@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces the §4.4 side note: under the (2+0) baseline, doubling
+ * the L1 D-cache from 64 KB to 128 KB improves performance by less
+ * than 1 % — the machine is bandwidth-bound, not capacity-bound.
+ */
+
+#include "bench/bench_util.hh"
+#include "core/experiment.hh"
+
+using namespace arl;
+
+int
+main(int argc, char **argv)
+{
+    unsigned scale = bench::parseScale(argc, argv);
+    InstCount timed = 400000;
+    bench::banner("Ablation (§4.4)", "64 KB vs 128 KB L1 under the "
+                  "(2+0) baseline", scale);
+
+    ooo::MachineConfig small = ooo::MachineConfig::nPlusM(2, 0);
+    ooo::MachineConfig big = ooo::MachineConfig::nPlusM(2, 0);
+    big.name = "(2+0)/128KB";
+    big.hierarchy.l1.sizeBytes = 128 * 1024;
+
+    TablePrinter table;
+    table.header({"Benchmark", "64KB IPC", "128KB IPC", "speedup%",
+                  "64KB L1 hit%", "128KB L1 hit%"});
+
+    double sum = 0.0;
+    unsigned count = 0;
+    for (const auto &info : workloads::allWorkloads()) {
+        core::Experiment experiment(info.build(scale));
+        auto results = experiment.timingSweep({small, big},
+                                              info.warmupInsts, timed);
+        double speedup = 100.0 * (static_cast<double>(results[0].cycles) /
+                                      static_cast<double>(
+                                          results[1].cycles) -
+                                  1.0);
+        auto hit_pct = [](const ooo::OooStats &stats) {
+            std::uint64_t total = stats.l1Hits + stats.l1Misses;
+            return total ? 100.0 * stats.l1Hits / total : 0.0;
+        };
+        table.row({info.name, TablePrinter::num(results[0].ipc()),
+                   TablePrinter::num(results[1].ipc()),
+                   TablePrinter::num(speedup, 2),
+                   TablePrinter::num(hit_pct(results[0]), 2),
+                   TablePrinter::num(hit_pct(results[1]), 2)});
+        sum += speedup;
+        ++count;
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("average speedup from doubling the cache: %.2f%% "
+                "(paper: <1%%)\n", sum / count);
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared plumbing for the table/figure reproduction benches.
+ *
+ * Every bench binary accepts an optional scale argument
+ * (`<bench> [scale]`, default 1) that multiplies workload iteration
+ * counts, prints the paper reference it reproduces, and renders its
+ * output with common/table.hh so EXPERIMENTS.md can quote it
+ * verbatim.
+ */
+
+#ifndef ARL_BENCH_BENCH_UTIL_HH
+#define ARL_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/table.hh"
+#include "workloads/workloads.hh"
+
+namespace arl::bench
+{
+
+/** Parse the scale argument (argv[1], default 1). */
+inline unsigned
+parseScale(int argc, char **argv)
+{
+    if (argc > 1) {
+        int value = std::atoi(argv[1]);
+        if (value >= 1)
+            return static_cast<unsigned>(value);
+    }
+    return 1;
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &experiment, const std::string &description,
+       unsigned scale)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", experiment.c_str(), description.c_str());
+    std::printf("workload scale: %u (paper ran full SPEC95 inputs; see "
+                "DESIGN.md)\n", scale);
+    std::printf("==============================================================\n");
+}
+
+/** Horizontal rule between the integer and FP program groups. */
+inline bool
+isFirstFpIndex(std::size_t index)
+{
+    const auto &all = workloads::allWorkloads();
+    return index < all.size() && all[index].floatingPoint &&
+           (index == 0 || !all[index - 1].floatingPoint);
+}
+
+} // namespace arl::bench
+
+#endif // ARL_BENCH_BENCH_UTIL_HH

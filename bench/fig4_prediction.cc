@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reproduces Figure 4: percentage of dynamic memory references
+ * correctly classified into stack / non-stack by the five schemes —
+ * STATIC (addressing-mode rules only), 1BIT, 1BIT-GBH, 1BIT-CID,
+ * and 1BIT-HYBRID (8 GBH + 24 CID bits) — all with an unlimited
+ * ARPT.  Also prints the share resolved conclusively by the
+ * addressing mode (the figure's dark lower bars) and the 2-bit
+ * variants the paper relegates to a footnote ("consistently lower").
+ *
+ * Paper headline: 1BIT-HYBRID reaches 99.89 % (integer) and 100 %
+ * (FP); the addressing mode alone resolves over 50 % of references.
+ */
+
+#include "bench/bench_util.hh"
+#include "core/experiment.hh"
+
+using namespace arl;
+
+int
+main(int argc, char **argv)
+{
+    unsigned scale = bench::parseScale(argc, argv);
+    bench::banner("Figure 4", "dynamic stack/non-stack classification "
+                  "accuracy by scheme (unlimited ARPT)", scale);
+
+    auto schemes = core::figure4Schemes();
+    auto two_bit = core::twoBitSchemes();
+    schemes.insert(schemes.end(), two_bit.begin(), two_bit.end());
+
+    TablePrinter table;
+    {
+        std::vector<std::string> head{"Benchmark", "addr-mode%"};
+        for (const auto &scheme : schemes)
+            head.push_back(scheme.name);
+        table.header(head);
+    }
+
+    std::vector<double> int_sum(schemes.size(), 0.0);
+    std::vector<double> fp_sum(schemes.size(), 0.0);
+    unsigned int_count = 0, fp_count = 0;
+
+    for (const auto &info : workloads::allWorkloads()) {
+        core::Experiment experiment(info.build(scale));
+        auto result = experiment.regionStudy(schemes);
+        std::vector<std::string> row{info.name};
+        row.push_back(TablePrinter::num(
+            result.schemes.front().second.addrModeResolvedPct(), 1));
+        for (std::size_t i = 0; i < result.schemes.size(); ++i) {
+            double acc = result.schemes[i].second.accuracyPct();
+            row.push_back(TablePrinter::num(acc, 3));
+            if (info.floatingPoint)
+                fp_sum[i] += acc;
+            else
+                int_sum[i] += acc;
+        }
+        table.row(row);
+        if (info.floatingPoint)
+            ++fp_count;
+        else
+            ++int_count;
+    }
+
+    std::vector<std::string> int_row{"Int avg", ""};
+    std::vector<std::string> fp_row{"FP avg", ""};
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+        int_row.push_back(TablePrinter::num(int_sum[i] / int_count, 3));
+        fp_row.push_back(TablePrinter::num(fp_sum[i] / fp_count, 3));
+    }
+    table.row(int_row);
+    table.row(fp_row);
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("paper: 1BIT-HYBRID = 99.89%% (int) / 100%% (FP); "
+                "2-bit schemes consistently below 1-bit.\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reproduces Figure 5: prediction accuracy of 1BIT-HYBRID as the
+ * ARPT size varies (unlimited, 64K, 32K, 16K, 8K entries), with and
+ * without profile-derived compiler hints (§3.5.2).
+ *
+ * Paper headline: a 32K-entry ARPT (4 KB of state) already exceeds
+ * 99.9 % for both program groups; compiler hints remove the residual
+ * sensitivity to table size.
+ */
+
+#include "bench/bench_util.hh"
+#include "common/bits.hh"
+#include "core/experiment.hh"
+
+using namespace arl;
+
+namespace
+{
+
+core::NamedScheme
+hybridScheme(std::uint32_t entries)
+{
+    core::NamedScheme scheme;
+    scheme.name = entries ? std::to_string(entries / 1024) + "K"
+                          : "unlimited";
+    scheme.config.useArpt = true;
+    scheme.config.arpt.entries = entries;
+    scheme.config.arpt.counterBits = 1;
+    scheme.config.arpt.context.kind = predict::ContextKind::Hybrid;
+    if (entries == 0) {
+        // Unlimited table: the paper's 8 GBH + 24 CID bits.
+        scheme.config.arpt.context.gbhBits = 8;
+        scheme.config.arpt.context.cidBits = 24;
+    } else {
+        // Limited table: context bits above log2(entries) would be
+        // discarded by the index mask, so size the split to the
+        // table (the paper's §4.3 uses 8 + 7 for 32K entries).
+        unsigned index_bits = floorLog2(entries);
+        scheme.config.arpt.context.gbhBits = 8;
+        scheme.config.arpt.context.cidBits =
+            index_bits > 8 ? index_bits - 8 : 0;
+    }
+    return scheme;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned scale = bench::parseScale(argc, argv);
+    bench::banner("Figure 5", "1BIT-HYBRID accuracy vs ARPT size, with "
+                  "and without compiler hints", scale);
+
+    const std::vector<std::uint32_t> sizes = {0, 64 * 1024, 32 * 1024,
+                                              16 * 1024, 8 * 1024};
+    std::vector<core::NamedScheme> schemes;
+    for (std::uint32_t entries : sizes)
+        schemes.push_back(hybridScheme(entries));
+
+    TablePrinter table;
+    {
+        std::vector<std::string> head{"Benchmark"};
+        for (const auto &scheme : schemes)
+            head.push_back(scheme.name);
+        for (const auto &scheme : schemes)
+            head.push_back(scheme.name + "+hints");
+        table.header(head);
+    }
+
+    for (const auto &info : workloads::allWorkloads()) {
+        std::vector<std::string> row{info.name};
+        {
+            core::Experiment experiment(info.build(scale));
+            auto plain = experiment.regionStudy(schemes, false);
+            for (const auto &[name, report] : plain.schemes)
+                row.push_back(TablePrinter::num(report.accuracyPct(), 3));
+        }
+        {
+            core::Experiment experiment(info.build(scale));
+            auto hinted = experiment.regionStudy(schemes, true);
+            for (const auto &[name, report] : hinted.schemes)
+                row.push_back(TablePrinter::num(report.accuracyPct(), 3));
+        }
+        table.row(row);
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("paper: >=99.9%% at 32K entries (4 KB of state) without "
+                "hints; hints flatten the size sensitivity.\n");
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the hot components: ARPT
+ * lookup/update, cache tag access, value-predictor operations, the
+ * functional interpreter, and the full out-of-order core.
+ *
+ * These measure the *reproduction's* implementation throughput (how
+ * many simulated units per host second), not simulated performance.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hh"
+#include "ooo/core.hh"
+#include "ooo/value_predictor.hh"
+#include "predict/arpt.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace arl;
+
+namespace
+{
+
+void
+BM_ArptLookupUpdate(benchmark::State &state)
+{
+    predict::ArptConfig config;
+    config.entries = static_cast<std::uint32_t>(state.range(0));
+    config.context.kind = predict::ContextKind::Hybrid;
+    config.context.gbhBits = 8;
+    config.context.cidBits = 7;
+    predict::Arpt arpt(config);
+    Addr pc = 0x00400000;
+    Word gbh = 0, cid = 0x00400100;
+    for (auto _ : state) {
+        bool prediction = arpt.predictStack(pc, gbh, cid);
+        benchmark::DoNotOptimize(prediction);
+        arpt.update(pc, gbh, cid, (pc & 64) != 0);
+        pc += 4;
+        gbh = (gbh << 1) | (pc & 1);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ArptLookupUpdate)->Arg(32 * 1024)->Arg(8 * 1024);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    cache::Cache cache(cache::CacheGeometry{"L1D", 64 * 1024, 32, 2});
+    Addr addr = 0x10000000;
+    for (auto _ : state) {
+        auto outcome = cache.access(addr, (addr & 128) != 0);
+        benchmark::DoNotOptimize(outcome);
+        addr += 36;  // mix of hits and misses
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_ValuePredictor(benchmark::State &state)
+{
+    ooo::ValuePredictor predictor(16 * 1024);
+    Addr pc = 0x00400000;
+    Word value = 0;
+    for (auto _ : state) {
+        auto offer = predictor.predict(pc);
+        benchmark::DoNotOptimize(offer);
+        predictor.train(pc, value);
+        value += 4;
+        pc = 0x00400000 + ((pc + 4) & 0xfff);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ValuePredictor);
+
+void
+BM_FunctionalSimulator(benchmark::State &state)
+{
+    auto prog = workloads::buildWorkload("compress_like", 1);
+    sim::Simulator simulator(prog);
+    sim::StepInfo step;
+    InstCount executed = 0;
+    for (auto _ : state) {
+        if (!simulator.step(step)) {
+            state.PauseTiming();
+            simulator = sim::Simulator(prog);
+            state.ResumeTiming();
+            continue;
+        }
+        ++executed;
+        benchmark::DoNotOptimize(step);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(executed));
+}
+BENCHMARK(BM_FunctionalSimulator);
+
+void
+BM_OooCoreCycles(benchmark::State &state)
+{
+    // Whole-run granularity: one iteration = 50K timed instructions.
+    for (auto _ : state) {
+        auto prog = workloads::buildWorkload("vortex_like", 1);
+        ooo::OooCore core(ooo::MachineConfig::nPlusM(3, 3), prog);
+        core.warmup(10000);
+        auto stats = core.run(50000);
+        benchmark::DoNotOptimize(stats);
+    }
+    state.SetItemsProcessed(state.iterations() * 50000);
+}
+BENCHMARK(BM_OooCoreCycles)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reproduces the §3.3 claim (from the authors' prior work [4]) that
+ * a small dedicated stack cache needs almost no capacity: "a 4-KB
+ * stack cache achieved over 99.5 % hit rate for the SPEC95
+ * benchmark programs, with an average of about 99.9 %".
+ *
+ * Also serves as the LVC sizing ablation called out in DESIGN.md:
+ * the direct-mapped stack cache is swept from 1 KB to 16 KB.
+ */
+
+#include "bench/bench_util.hh"
+#include "cache/cache.hh"
+#include "sim/simulator.hh"
+#include "vm/layout.hh"
+
+using namespace arl;
+
+int
+main(int argc, char **argv)
+{
+    unsigned scale = bench::parseScale(argc, argv);
+    bench::banner("§3.3 / LVC sizing", "hit rate of a direct-mapped "
+                  "stack (local variable) cache vs capacity", scale);
+
+    const std::vector<std::uint32_t> sizes = {1024, 2048, 4096, 8192,
+                                              16384};
+    TablePrinter table;
+    {
+        std::vector<std::string> head{"Benchmark", "stack refs"};
+        for (std::uint32_t size : sizes)
+            head.push_back(std::to_string(size / 1024) + "KB");
+        table.header(head);
+    }
+
+    double sum_4k = 0.0;
+    double min_4k = 100.0;
+    unsigned count = 0;
+
+    for (const auto &info : workloads::allWorkloads()) {
+        auto prog = info.build(scale);
+        std::vector<cache::Cache> caches;
+        caches.reserve(sizes.size());
+        for (std::uint32_t size : sizes)
+            caches.emplace_back(
+                cache::CacheGeometry{"LVC", size, 32, 1});
+        sim::Simulator simulator(prog);
+        std::uint64_t stack_refs = 0;
+        simulator.run(0, [&](const sim::StepInfo &step) {
+            if (!step.isMem || step.region != vm::Region::Stack)
+                return;
+            ++stack_refs;
+            for (auto &lvc : caches)
+                lvc.access(step.effAddr, !step.isLoad);
+        });
+        std::vector<std::string> row{info.name,
+                                     std::to_string(stack_refs)};
+        for (std::size_t i = 0; i < caches.size(); ++i) {
+            double rate = caches[i].hitRatePct();
+            row.push_back(TablePrinter::num(rate, 3));
+            if (sizes[i] == 4096) {
+                sum_4k += rate;
+                min_4k = std::min(min_4k, rate);
+                ++count;
+            }
+        }
+        table.row(row);
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("4KB stack cache: average %.3f%%, minimum %.3f%% "
+                "(paper: avg ~99.9%%, all >99.5%%)\n",
+                count ? sum_4k / count : 0.0, min_4k);
+    return 0;
+}

@@ -1,0 +1,48 @@
+#include "cache/hierarchy.hh"
+
+#include "common/logging.hh"
+
+namespace arl::cache
+{
+
+Hierarchy::Hierarchy(const HierarchyConfig &config_in)
+    : config(config_in), l1Cache(config.l1), l2Cache(config.l2)
+{
+    if (config.hasLvc)
+        lvc = std::make_unique<Cache>(config.lvc);
+}
+
+Cache &
+Hierarchy::firstLevel(MemPipe pipe)
+{
+    if (pipe == MemPipe::Lvc) {
+        ARL_ASSERT(lvc, "LVC pipeline access without an LVC");
+        return *lvc;
+    }
+    return l1Cache;
+}
+
+HierarchyResult
+Hierarchy::access(MemPipe pipe, Addr addr, bool is_write)
+{
+    HierarchyResult result;
+    Cache &first = firstLevel(pipe);
+    std::uint32_t first_latency = (pipe == MemPipe::Lvc)
+                                      ? config.lvcHitLatency
+                                      : config.l1HitLatency;
+    AccessOutcome l1_outcome = first.access(addr, is_write);
+    result.latency = first_latency;
+    result.l1Hit = l1_outcome.hit;
+    if (l1_outcome.hit)
+        return result;
+
+    AccessOutcome l2_outcome = l2Cache.access(addr, is_write);
+    result.latency += config.l2HitLatency;
+    if (l2_outcome.hit)
+        return result;
+
+    result.latency += config.memoryLatency;
+    return result;
+}
+
+} // namespace arl::cache

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Two-level data-memory hierarchy with an optional Local Variable
+ * Cache (Table 4 of the paper).
+ *
+ *   L1 D-cache: 64 KB, 2-way, 2-cycle hit (configurable)
+ *   LVC:         4 KB, direct-mapped, 1-cycle hit (decoupled mode)
+ *   L2:        512 KB, 4-way, 12-cycle
+ *   Memory:    50-cycle, fully interleaved (no bank conflicts)
+ *
+ * Both L1s and the LVC miss into the shared L2.  Caches are
+ * lockup-free: a miss occupies its port only on the initiating
+ * cycle; the returned latency tells the core when the data arrives.
+ */
+
+#ifndef ARL_CACHE_HIERARCHY_HH
+#define ARL_CACHE_HIERARCHY_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "cache/cache.hh"
+#include "common/types.hh"
+
+namespace arl::cache
+{
+
+/** Which first-level structure an access is routed to. */
+enum class MemPipe : std::uint8_t
+{
+    DCache = 0,  ///< the regular data-cache pipeline (LSQ side)
+    Lvc = 1      ///< the local-variable-cache pipeline (LVAQ side)
+};
+
+/** Hierarchy latencies and geometry. */
+struct HierarchyConfig
+{
+    CacheGeometry l1{"L1D", 64 * 1024, 32, 2};
+    std::uint32_t l1HitLatency = 2;
+
+    bool hasLvc = false;
+    CacheGeometry lvc{"LVC", 4 * 1024, 32, 1};
+    std::uint32_t lvcHitLatency = 1;
+
+    CacheGeometry l2{"L2", 512 * 1024, 64, 4};
+    std::uint32_t l2HitLatency = 12;
+
+    std::uint32_t memoryLatency = 50;
+};
+
+/** Timing outcome of one access. */
+struct HierarchyResult
+{
+    std::uint32_t latency = 0;  ///< cycles until data available
+    bool l1Hit = false;         ///< hit in the first-level structure
+};
+
+/** The full data-side hierarchy. */
+class Hierarchy
+{
+  public:
+    explicit Hierarchy(const HierarchyConfig &config);
+
+    /**
+     * Perform one access through @p pipe.
+     * @return total latency (first-level hit latency on a hit; plus
+     *         L2 / memory latency on misses).
+     */
+    HierarchyResult access(MemPipe pipe, Addr addr, bool is_write);
+
+    /** First-level cache behind @p pipe. */
+    Cache &firstLevel(MemPipe pipe);
+
+    Cache &l1() { return l1Cache; }
+    Cache &lvcCache() { return *lvc; }
+    Cache &l2() { return l2Cache; }
+    bool hasLvc() const { return lvc != nullptr; }
+
+    const HierarchyConfig &configuration() const { return config; }
+
+  private:
+    HierarchyConfig config;
+    Cache l1Cache;
+    std::unique_ptr<Cache> lvc;
+    Cache l2Cache;
+};
+
+} // namespace arl::cache
+
+#endif // ARL_CACHE_HIERARCHY_HH

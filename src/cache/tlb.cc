@@ -1,0 +1,36 @@
+#include "cache/tlb.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace arl::cache
+{
+
+Tlb::Tlb(std::uint32_t entry_count, const vm::RegionMap &regions_in)
+    : entries(entry_count), regions(regions_in)
+{
+    ARL_ASSERT(isPowerOf2(entry_count), "TLB entries must be 2^n");
+}
+
+TlbResult
+Tlb::translate(Addr addr)
+{
+    Addr vpn = addr >> vm::layout::PageShift;
+    Entry &entry = entries[vpn & (entries.size() - 1)];
+    TlbResult result;
+    if (entry.valid && entry.vpn == vpn) {
+        ++hits;
+        result.hit = true;
+        result.stackPage = entry.stackBit;
+        return result;
+    }
+    ++misses;
+    entry.valid = true;
+    entry.vpn = vpn;
+    entry.stackBit = regions.isStack(addr);
+    result.hit = false;
+    result.stackPage = entry.stackBit;
+    return result;
+}
+
+} // namespace arl::cache

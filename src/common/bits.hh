@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the ISA encoder/decoder and the
+ * predictor index functions.
+ */
+
+#ifndef ARL_COMMON_BITS_HH
+#define ARL_COMMON_BITS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace arl
+{
+
+/** Extract bits [lo, lo+width) of value (lo = 0 is the LSB). */
+constexpr std::uint32_t
+bits(std::uint32_t value, unsigned lo, unsigned width)
+{
+    if (width >= 32)
+        return value >> lo;
+    return (value >> lo) & ((1u << width) - 1u);
+}
+
+/** Insert the low @p width bits of @p field at bit position @p lo. */
+constexpr std::uint32_t
+insertBits(std::uint32_t value, unsigned lo, unsigned width,
+           std::uint32_t field)
+{
+    std::uint32_t mask =
+        (width >= 32) ? ~0u : (((1u << width) - 1u) << lo);
+    return (value & ~mask) | ((field << lo) & mask);
+}
+
+/** Sign-extend the low @p width bits of @p value to 32 bits. */
+constexpr std::int32_t
+signExtend(std::uint32_t value, unsigned width)
+{
+    std::uint32_t shift = 32u - width;
+    return static_cast<std::int32_t>(value << shift) >>
+           static_cast<std::int32_t>(shift);
+}
+
+/** Mask keeping the low @p width bits. */
+constexpr std::uint32_t
+mask(unsigned width)
+{
+    return (width >= 32) ? ~0u : ((1u << width) - 1u);
+}
+
+/** True when @p value is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** floor(log2(value)) for value > 0. */
+constexpr unsigned
+floorLog2(std::uint64_t value)
+{
+    unsigned result = 0;
+    while (value >>= 1)
+        ++result;
+    return result;
+}
+
+/** Round @p value up to the next multiple of @p align (a power of 2). */
+constexpr std::uint64_t
+roundUp(std::uint64_t value, std::uint64_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** Round @p value down to a multiple of @p align (a power of 2). */
+constexpr std::uint64_t
+roundDown(std::uint64_t value, std::uint64_t align)
+{
+    return value & ~(align - 1);
+}
+
+} // namespace arl
+
+#endif // ARL_COMMON_BITS_HH

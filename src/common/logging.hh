@@ -1,0 +1,83 @@
+/**
+ * @file
+ * gem5-style status/error reporting helpers.
+ *
+ * Four severities, mirroring gem5's logging conventions:
+ *  - inform(): normal operating message, no connotation of error.
+ *  - warn():   something is off but the run can continue.
+ *  - fatal():  the run cannot continue due to a user error (bad
+ *              configuration, malformed assembly, ...).  Exits with
+ *              status 1.
+ *  - panic():  an internal invariant was violated (a bug in arl
+ *              itself).  Aborts so that a core dump / debugger can
+ *              capture the state.
+ *
+ * All helpers accept printf-style formatting via std::format-like
+ * variadic templates built on snprintf to keep the dependency
+ * footprint minimal.
+ */
+
+#ifndef ARL_COMMON_LOGGING_HH
+#define ARL_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace arl
+{
+
+namespace log_detail
+{
+
+/** Format a printf-style message into a std::string. */
+std::string vformat(const char *fmt, std::va_list ap);
+
+/** Emit one log line to stderr with the given severity prefix. */
+void emit(const char *severity, const std::string &message);
+
+} // namespace log_detail
+
+/** Print an informational message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a warning; the simulation continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable *user* error (bad config, bad input) and
+ * exit(1).  Use panic() for internal bugs instead.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal invariant violation (an arl bug) and abort().
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Backend for ARL_ASSERT; panics with location and detail. */
+[[noreturn]] void assertFail(const char *condition, const char *file,
+                             int line, const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/**
+ * Assert-like helper: panic with a message when the condition fails.
+ * Always evaluated (not compiled out in release builds) because the
+ * simulators rely on these checks for correctness.
+ */
+#define ARL_ASSERT(cond, ...)                                            \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            _Pragma("GCC diagnostic push")                               \
+            _Pragma("GCC diagnostic ignored \"-Wformat-zero-length\"")   \
+            ::arl::assertFail(#cond, __FILE__, __LINE__, "" __VA_ARGS__);\
+            _Pragma("GCC diagnostic pop")                                \
+        }                                                                \
+    } while (0)
+
+} // namespace arl
+
+#endif // ARL_COMMON_LOGGING_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * All simulated workloads draw randomness from this xorshift64*
+ * generator with fixed seeds so that every experiment in the paper
+ * reproduction is bit-for-bit repeatable across runs and hosts.
+ * (std::mt19937 would also be deterministic, but a tiny local
+ * generator keeps the guest workloads' instruction mix free of
+ * host-library effects and is trivially reimplementable in guest
+ * code.)
+ */
+
+#ifndef ARL_COMMON_RANDOM_HH
+#define ARL_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace arl
+{
+
+/** xorshift64* generator; deterministic given the seed. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform value in [0, bound); bound must be non-zero. */
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform 32-bit value. */
+    std::uint32_t next32() { return static_cast<std::uint32_t>(next() >> 32); }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) *
+               (1.0 / 9007199254740992.0);
+    }
+
+    /** Reset to a new seed. */
+    void reseed(std::uint64_t seed) { state = seed ? seed : 1; }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace arl
+
+#endif // ARL_COMMON_RANDOM_HH

@@ -1,0 +1,77 @@
+#include "common/stats.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace arl
+{
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    std::uint64_t combined = n + other.n;
+    double delta = other.meanAcc - meanAcc;
+    double combined_mean =
+        meanAcc + delta * static_cast<double>(other.n) /
+                      static_cast<double>(combined);
+    m2 = m2 + other.m2 +
+         delta * delta * static_cast<double>(n) *
+             static_cast<double>(other.n) / static_cast<double>(combined);
+    meanAcc = combined_mean;
+    n = combined;
+}
+
+double
+Histogram::mean() const
+{
+    if (total == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < buckets.size(); ++i)
+        sum += static_cast<double>(i) * static_cast<double>(buckets[i]);
+    return sum / static_cast<double>(total);
+}
+
+double
+Histogram::stddev() const
+{
+    if (total == 0)
+        return 0.0;
+    double m = mean();
+    double acc = 0.0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        double d = static_cast<double>(i) - m;
+        acc += d * d * static_cast<double>(buckets[i]);
+    }
+    return std::sqrt(acc / static_cast<double>(total));
+}
+
+std::uint64_t
+CounterGroup::value(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+}
+
+std::string
+CounterGroup::dump(const std::string &prefix) const
+{
+    std::ostringstream os;
+    for (const auto &[name, val] : counters)
+        os << prefix << name << " = " << val << "\n";
+    return os.str();
+}
+
+} // namespace arl

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fundamental scalar type aliases shared by every arl module.
+ *
+ * The simulated machine is a 32-bit RISC: addresses and registers are
+ * 32 bits wide.  Host-side counters (cycles, instruction counts) are
+ * 64 bits so that multi-billion-instruction runs cannot overflow.
+ */
+
+#ifndef ARL_COMMON_TYPES_HH
+#define ARL_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace arl
+{
+
+/** Guest virtual address (the simulated machine is 32-bit). */
+using Addr = std::uint32_t;
+
+/** Guest machine word. */
+using Word = std::uint32_t;
+
+/** Signed view of a guest machine word. */
+using SWord = std::int32_t;
+
+/** Guest double word (used by mul/div helpers). */
+using DWord = std::uint64_t;
+
+/** Host-side cycle counter. */
+using Cycle = std::uint64_t;
+
+/** Host-side instruction counter. */
+using InstCount = std::uint64_t;
+
+/** Index of an architectural register (0..31 per file). */
+using RegIndex = std::uint8_t;
+
+} // namespace arl
+
+#endif // ARL_COMMON_TYPES_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Addressing-mode-based static access-region classification.
+ *
+ * Implements the paper's "Static Prediction" heuristics (§3.4.1):
+ *
+ *   1. Constant addressing        => non-stack (conclusive).
+ *   2. $sp or $fp base register   => stack (conclusive).
+ *   3. $gp base register          => non-stack (conclusive).
+ *   4. Any other base register    => *predict* non-stack
+ *                                    (inconclusive; these are the
+ *                                    instructions that occupy ARPT
+ *                                    entries).
+ *
+ * "Conclusive" hints bypass the ARPT entirely: the dispatcher trusts
+ * the (pre-)decoder over the table, and the instruction is never
+ * recorded in the table (saving space, §3.4.1).
+ */
+
+#ifndef ARL_ISA_ADDR_MODE_HH
+#define ARL_ISA_ADDR_MODE_HH
+
+#include "isa/inst.hh"
+#include "isa/registers.hh"
+
+namespace arl::isa
+{
+
+/** Outcome of the addressing-mode inspection. */
+enum class AddrModeHint : std::uint8_t
+{
+    StackConclusive,     ///< rule 2: $sp/$fp base
+    NonStackConclusive,  ///< rules 1 and 3: constant or $gp base
+    PredictNonStack      ///< rule 4: unknown base, default prediction
+};
+
+/**
+ * Classify a memory instruction's addressing mode.
+ * Must only be called on loads/stores.
+ */
+inline AddrModeHint
+classifyAddrMode(const DecodedInst &inst)
+{
+    RegIndex base = inst.baseReg();
+    if (base == reg::Sp || base == reg::Fp)
+        return AddrModeHint::StackConclusive;
+    if (base == reg::Gp || base == reg::Zero)
+        return AddrModeHint::NonStackConclusive;
+    return AddrModeHint::PredictNonStack;
+}
+
+/** True when the hint resolves the region without the ARPT. */
+inline bool
+isConclusive(AddrModeHint hint)
+{
+    return hint != AddrModeHint::PredictNonStack;
+}
+
+/** The region (stack?) implied by a hint, conclusive or default. */
+inline bool
+hintSaysStack(AddrModeHint hint)
+{
+    return hint == AddrModeHint::StackConclusive;
+}
+
+} // namespace arl::isa
+
+#endif // ARL_ISA_ADDR_MODE_HH

@@ -1,0 +1,167 @@
+#include "isa/inst.hh"
+
+#include <sstream>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "isa/registers.hh"
+
+namespace arl::isa
+{
+
+Word
+encode(const DecodedInst &inst)
+{
+    const OpInfo &info = opInfo(inst.op);
+    Word word = 0;
+    word = insertBits(word, 26, 6, static_cast<std::uint32_t>(inst.op));
+    switch (info.format) {
+      case InstFormat::R:
+        ARL_ASSERT(inst.rd < 32 && inst.rs < 32 && inst.rt < 32);
+        word = insertBits(word, 21, 5, inst.rd);
+        word = insertBits(word, 16, 5, inst.rs);
+        word = insertBits(word, 11, 5, inst.rt);
+        break;
+      case InstFormat::I: {
+        ARL_ASSERT(inst.rd < 32 && inst.rs < 32);
+        ARL_ASSERT(inst.imm >= -32768 && inst.imm <= 65535,
+                   "imm=%d does not fit 16 bits", inst.imm);
+        word = insertBits(word, 21, 5, inst.rd);
+        word = insertBits(word, 16, 5, inst.rs);
+        word = insertBits(word, 0, 16,
+                          static_cast<std::uint32_t>(inst.imm) & 0xffffu);
+        break;
+      }
+      case InstFormat::J:
+        ARL_ASSERT(inst.target < (1u << 26));
+        word = insertBits(word, 0, 26, inst.target);
+        break;
+    }
+    return word;
+}
+
+bool
+decode(Word word, DecodedInst &out)
+{
+    std::uint32_t opfield = bits(word, 26, 6);
+    if (opfield >= NumOpcodes)
+        return false;
+    out = DecodedInst{};
+    out.op = static_cast<Opcode>(opfield);
+    const OpInfo &info = opInfo(out.op);
+    switch (info.format) {
+      case InstFormat::R:
+        out.rd = static_cast<RegIndex>(bits(word, 21, 5));
+        out.rs = static_cast<RegIndex>(bits(word, 16, 5));
+        out.rt = static_cast<RegIndex>(bits(word, 11, 5));
+        break;
+      case InstFormat::I:
+        out.rd = static_cast<RegIndex>(bits(word, 21, 5));
+        out.rs = static_cast<RegIndex>(bits(word, 16, 5));
+        // Lui/Andi/Ori/Xori treat the immediate as unsigned; keep the
+        // sign-extended value here and let the executor mask as needed.
+        out.imm = signExtend(bits(word, 0, 16), 16);
+        break;
+      case InstFormat::J:
+        out.target = bits(word, 0, 26);
+        break;
+    }
+    return true;
+}
+
+Addr
+jumpTarget(const DecodedInst &inst, Addr pc)
+{
+    return (pc & 0xf0000000u) | (inst.target << 2);
+}
+
+Addr
+branchTarget(const DecodedInst &inst, Addr pc)
+{
+    return pc + 4 +
+           (static_cast<std::uint32_t>(inst.imm) << 2);
+}
+
+std::string
+disassemble(const DecodedInst &inst, Addr pc)
+{
+    const OpInfo &info = opInfo(inst.op);
+    std::ostringstream os;
+    os << info.mnemonic;
+
+    auto hex = [](Addr a) {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "0x%08x", a);
+        return std::string(buf);
+    };
+
+    switch (inst.op) {
+      case Opcode::Nop:
+      case Opcode::Syscall:
+        break;
+      case Opcode::J:
+      case Opcode::Jal:
+        os << " " << hex(jumpTarget(inst, pc));
+        break;
+      case Opcode::Jr:
+        os << " " << gprName(inst.rs);
+        break;
+      case Opcode::Jalr:
+        os << " " << gprName(inst.rd) << ", " << gprName(inst.rs);
+        break;
+      case Opcode::Beq:
+      case Opcode::Bne:
+        os << " " << gprName(inst.rd) << ", " << gprName(inst.rs)
+           << ", " << hex(branchTarget(inst, pc));
+        break;
+      case Opcode::Blez:
+      case Opcode::Bgtz:
+      case Opcode::Bltz:
+      case Opcode::Bgez:
+        os << " " << gprName(inst.rs) << ", "
+           << hex(branchTarget(inst, pc));
+        break;
+      case Opcode::Lui:
+        os << " " << gprName(inst.rd) << ", " << inst.imm;
+        break;
+      default:
+        if (info.isLoad || info.isStore) {
+            std::string target_reg = info.isFp || info.writesFpr
+                                         ? fprName(inst.rd)
+                                         : gprName(inst.rd);
+            if (inst.op == Opcode::Lwc1 || inst.op == Opcode::Swc1)
+                target_reg = fprName(inst.rd);
+            os << " " << target_reg << ", " << inst.imm << "("
+               << gprName(inst.rs) << ")";
+        } else if (info.format == InstFormat::R) {
+            auto reg_name = [&info](RegIndex r) {
+                return info.isFp ? fprName(r) : gprName(r);
+            };
+            if (inst.op == Opcode::Mtc1) {
+                os << " " << fprName(inst.rd) << ", " << gprName(inst.rs);
+            } else if (inst.op == Opcode::Mfc1) {
+                os << " " << gprName(inst.rd) << ", " << fprName(inst.rs);
+            } else if (inst.op == Opcode::FeqS || inst.op == Opcode::FltS ||
+                       inst.op == Opcode::FleS) {
+                os << " " << gprName(inst.rd) << ", " << fprName(inst.rs)
+                   << ", " << fprName(inst.rt);
+            } else if (inst.op == Opcode::FnegS ||
+                       inst.op == Opcode::FmovS ||
+                       inst.op == Opcode::CvtSW ||
+                       inst.op == Opcode::CvtWS) {
+                os << " " << reg_name(inst.rd) << ", " << reg_name(inst.rs);
+            } else {
+                os << " " << reg_name(inst.rd) << ", " << reg_name(inst.rs)
+                   << ", " << reg_name(inst.rt);
+            }
+        } else {
+            // I-format ALU.
+            os << " " << gprName(inst.rd) << ", " << gprName(inst.rs)
+               << ", " << inst.imm;
+        }
+        break;
+    }
+    return os.str();
+}
+
+} // namespace arl::isa

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Decoded instruction representation and binary encode/decode.
+ */
+
+#ifndef ARL_ISA_INST_HH
+#define ARL_ISA_INST_HH
+
+#include <string>
+
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+
+namespace arl::isa
+{
+
+/**
+ * A fully decoded ARL-ISA instruction.
+ *
+ * Field use by format:
+ *  - R: rd, rs, rt registers (GPR or FPR per opcode).
+ *  - I: rd, rs registers and a 16-bit immediate.  For loads, rd is
+ *    the destination and rs the base register; for stores, rd is the
+ *    *source* and rs the base; for beq/bne, rd and rs are compared.
+ *  - J: target is a 26-bit word index within the PC's 256 MB region.
+ */
+struct DecodedInst
+{
+    Opcode op = Opcode::Nop;
+    RegIndex rd = 0;
+    RegIndex rs = 0;
+    RegIndex rt = 0;
+    std::int32_t imm = 0;        ///< sign-extended immediate (I format)
+    std::uint32_t target = 0;    ///< raw 26-bit target (J format)
+
+    /** Properties of this instruction's opcode. */
+    const OpInfo &info() const { return opInfo(op); }
+
+    /** True when this is a load or store. */
+    bool isMem() const { return info().isLoad || info().isStore; }
+
+    /**
+     * Base register of a memory instruction (the paper's
+     * "index register"); only meaningful when isMem().
+     */
+    RegIndex baseReg() const { return rs; }
+
+    bool operator==(const DecodedInst &other) const = default;
+};
+
+/**
+ * Encode @p inst into a 32-bit instruction word.
+ * Panics when a field does not fit (assembler bugs).
+ */
+Word encode(const DecodedInst &inst);
+
+/**
+ * Decode a 32-bit instruction word.
+ * @return false when the opcode field is not a valid opcode.
+ */
+bool decode(Word word, DecodedInst &out);
+
+/**
+ * Resolve the jump target of a J-format instruction located at
+ * @p pc: (pc & 0xf0000000) | (target << 2).
+ */
+Addr jumpTarget(const DecodedInst &inst, Addr pc);
+
+/**
+ * Resolve a branch target: pc + 4 + (imm << 2).
+ */
+Addr branchTarget(const DecodedInst &inst, Addr pc);
+
+/** Disassemble one instruction (at @p pc, for target rendering). */
+std::string disassemble(const DecodedInst &inst, Addr pc = 0);
+
+} // namespace arl::isa
+
+#endif // ARL_ISA_INST_HH

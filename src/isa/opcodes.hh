@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Opcode set of the ARL ISA and the static per-opcode property table.
+ *
+ * Encoding formats (32-bit instruction word, op in bits [31:26]):
+ *
+ *   R: | op:6 | rd:5 | rs:5 | rt:5 | zero:11 |        three-register ALU
+ *   I: | op:6 | rd:5 | rs:5 | imm:16 |               immediate / memory /
+ *                                                    branch (rd is the
+ *                                                    source for stores
+ *                                                    and branches)
+ *   J: | op:6 | target:26 |                          j / jal (word target
+ *                                                    within the 256 MB
+ *                                                    region of PC)
+ *
+ * Memory instructions use base+displacement addressing exclusively
+ * (like SimpleScalar PISA at -O3 in practice): EA = GPR[rs] + imm.
+ * "Constant addressing" in the paper's static rule 1 corresponds to
+ * rs == $zero.
+ */
+
+#ifndef ARL_ISA_OPCODES_HH
+#define ARL_ISA_OPCODES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace arl::isa
+{
+
+/** Every architected operation. Values are the 6-bit encoding. */
+enum class Opcode : std::uint8_t
+{
+    // R-format integer ALU.
+    Add = 0,
+    Sub,
+    Mul,
+    Div,      ///< signed divide; result in rd
+    Rem,      ///< signed remainder; result in rd
+    And,
+    Or,
+    Xor,
+    Nor,
+    Sllv,     ///< shift left by register
+    Srlv,
+    Srav,
+    Slt,
+    Sltu,
+
+    // I-format integer ALU.
+    Addi,
+    Andi,
+    Ori,
+    Xori,
+    Slti,
+    Sltiu,
+    Lui,      ///< rd = imm << 16
+    Sll,      ///< shift by 5-bit immediate (in imm field)
+    Srl,
+    Sra,
+
+    // I-format memory: EA = GPR[rs] + signExtend(imm).
+    Lw,
+    Lh,
+    Lhu,
+    Lb,
+    Lbu,
+    Sw,
+    Sh,
+    Sb,
+    Lwc1,     ///< load word into FPR rd
+    Swc1,     ///< store FPR rd
+
+    // Floating point (single precision), R-format on FPRs.
+    FaddS,
+    FsubS,
+    FmulS,
+    FdivS,
+    FnegS,
+    FmovS,
+    CvtSW,    ///< FPR rd = float(FPR rs holding int bits)
+    CvtWS,    ///< FPR rd = int(FPR rs), truncating
+    FeqS,     ///< GPR rd = (FPR rs == FPR rt)
+    FltS,     ///< GPR rd = (FPR rs <  FPR rt)
+    FleS,     ///< GPR rd = (FPR rs <= FPR rt)
+    Mtc1,     ///< FPR rd = GPR rs (bit copy)
+    Mfc1,     ///< GPR rd = FPR rs (bit copy)
+
+    // Control transfer.
+    Beq,      ///< branch if GPR[rd] == GPR[rs]
+    Bne,
+    Blez,     ///< branch if GPR[rs] <= 0
+    Bgtz,
+    Bltz,
+    Bgez,
+    J,
+    Jal,
+    Jr,       ///< jump to GPR[rs]
+    Jalr,     ///< rd = return address; jump to GPR[rs]
+
+    // System.
+    Syscall,
+    Nop,      ///< architected no-op (distinct encoding, aids disasm)
+
+    NumOpcodes
+};
+
+/** Number of distinct opcodes. */
+constexpr unsigned NumOpcodes =
+    static_cast<unsigned>(Opcode::NumOpcodes);
+
+/** Encoding format of an opcode. */
+enum class InstFormat : std::uint8_t { R, I, J };
+
+/** Functional-unit class used by the timing simulator. */
+enum class FuClass : std::uint8_t
+{
+    IntAlu,    ///< single-cycle integer
+    IntMult,   ///< integer multiply/divide unit
+    FpAlu,     ///< FP add/compare/convert
+    FpMult,    ///< FP multiply/divide unit
+    Mem,       ///< load/store (goes through a memory pipeline)
+    None       ///< consumes no FU (nop, j, syscall in this model)
+};
+
+/** Static properties of one opcode. */
+struct OpInfo
+{
+    const char *mnemonic;   ///< assembler mnemonic
+    InstFormat format;      ///< encoding format
+    FuClass fu;             ///< functional-unit class
+    std::uint8_t latency;   ///< execute latency in cycles (R10000-like)
+    bool isLoad;            ///< reads data memory
+    bool isStore;           ///< writes data memory
+    bool isBranch;          ///< conditional control transfer
+    bool isJump;            ///< unconditional control transfer
+    bool isCall;            ///< writes a return address (jal/jalr)
+    bool isReturn;          ///< jr (by convention through $ra)
+    bool isFp;              ///< operates on the FP register file
+    std::uint8_t memSize;   ///< access size in bytes (0 if not memory)
+    bool memSigned;         ///< sign-extend a sub-word load
+    bool writesGpr;         ///< rd is a GPR destination
+    bool writesFpr;         ///< rd is an FPR destination
+};
+
+/** Property table lookup; panics on an out-of-range opcode. */
+const OpInfo &opInfo(Opcode op);
+
+/** Mnemonic of @p op. */
+std::string mnemonic(Opcode op);
+
+/**
+ * Look up an opcode by mnemonic.
+ * @return true and sets @p out when found.
+ */
+bool opcodeFromMnemonic(const std::string &name, Opcode &out);
+
+} // namespace arl::isa
+
+#endif // ARL_ISA_OPCODES_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Register-operand extraction for dependence tracking.
+ *
+ * The out-of-order timing model needs, for every decoded
+ * instruction, the set of architectural source registers and the
+ * (at most one) destination register.  GPRs and FPRs live in
+ * separate spaces; we map them into a flat 64-entry space
+ * (0..31 = GPR, 32..63 = FPR) so renaming tables can be simple
+ * arrays.  GPR0 ($zero) is never a real dependence.
+ */
+
+#ifndef ARL_ISA_OPERANDS_HH
+#define ARL_ISA_OPERANDS_HH
+
+#include <cstdint>
+
+#include "isa/inst.hh"
+#include "isa/registers.hh"
+
+namespace arl::isa
+{
+
+/** Flat architectural register id: 0..31 GPR, 32..63 FPR. */
+using FlatReg = std::uint8_t;
+
+constexpr FlatReg FprBase = 32;
+constexpr unsigned NumFlatRegs = 64;
+/** Sentinel meaning "no register". */
+constexpr FlatReg NoReg = 0xff;
+
+/** Up to three sources. */
+struct SourceList
+{
+    FlatReg regs[3] = {NoReg, NoReg, NoReg};
+    std::uint8_t count = 0;
+
+    void
+    add(FlatReg r)
+    {
+        // $zero is constant; never a dependence.
+        if (r == reg::Zero)
+            return;
+        regs[count++] = r;
+    }
+};
+
+/** Architectural sources read by @p inst. */
+inline SourceList
+instSources(const DecodedInst &inst)
+{
+    SourceList out;
+    const OpInfo &info = inst.info();
+    auto gpr = [](RegIndex r) { return static_cast<FlatReg>(r); };
+    auto fpr = [](RegIndex r) { return static_cast<FlatReg>(FprBase + r); };
+
+    switch (inst.op) {
+      case Opcode::Nop:
+      case Opcode::J:
+      case Opcode::Jal:
+      case Opcode::Lui:
+        break;
+      case Opcode::Syscall:
+        // Syscall number and first argument.
+        out.add(gpr(reg::V0));
+        out.add(gpr(reg::A0));
+        break;
+      case Opcode::Jr:
+      case Opcode::Jalr:
+        out.add(gpr(inst.rs));
+        break;
+      case Opcode::Beq:
+      case Opcode::Bne:
+        out.add(gpr(inst.rd));
+        out.add(gpr(inst.rs));
+        break;
+      case Opcode::Blez:
+      case Opcode::Bgtz:
+      case Opcode::Bltz:
+      case Opcode::Bgez:
+        out.add(gpr(inst.rs));
+        break;
+      case Opcode::Mtc1:
+        out.add(gpr(inst.rs));
+        break;
+      case Opcode::Mfc1:
+      case Opcode::FnegS:
+      case Opcode::FmovS:
+      case Opcode::CvtSW:
+      case Opcode::CvtWS:
+        out.add(fpr(inst.rs));
+        break;
+      case Opcode::FeqS:
+      case Opcode::FltS:
+      case Opcode::FleS:
+        out.add(fpr(inst.rs));
+        out.add(fpr(inst.rt));
+        break;
+      default:
+        if (info.isLoad) {
+            out.add(gpr(inst.rs));          // base register
+        } else if (info.isStore) {
+            out.add(gpr(inst.rs));          // base register
+            // Store data source.
+            if (inst.op == Opcode::Swc1)
+                out.add(fpr(inst.rd));
+            else
+                out.add(gpr(inst.rd));
+        } else if (info.isFp) {
+            // Three-register FP arithmetic.
+            out.add(fpr(inst.rs));
+            out.add(fpr(inst.rt));
+        } else if (info.format == InstFormat::R) {
+            out.add(gpr(inst.rs));
+            out.add(gpr(inst.rt));
+        } else {
+            // I-format integer ALU.
+            out.add(gpr(inst.rs));
+        }
+        break;
+    }
+    return out;
+}
+
+/**
+ * Architectural destination written by @p inst, or NoReg.
+ * jal/jalr write the link register.
+ */
+inline FlatReg
+instDest(const DecodedInst &inst)
+{
+    const OpInfo &info = inst.info();
+    if (inst.op == Opcode::Jal)
+        return static_cast<FlatReg>(reg::Ra);
+    if (inst.op == Opcode::Jalr)
+        return inst.rd == reg::Zero ? NoReg
+                                    : static_cast<FlatReg>(inst.rd);
+    if (inst.op == Opcode::Syscall)
+        return static_cast<FlatReg>(reg::V0);
+    if (info.writesFpr)
+        return static_cast<FlatReg>(FprBase + inst.rd);
+    if (info.writesGpr)
+        return inst.rd == reg::Zero ? NoReg
+                                    : static_cast<FlatReg>(inst.rd);
+    return NoReg;
+}
+
+} // namespace arl::isa
+
+#endif // ARL_ISA_OPERANDS_HH

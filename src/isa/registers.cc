@@ -1,0 +1,84 @@
+#include "isa/registers.hh"
+
+#include <array>
+#include <cstdlib>
+
+namespace arl::isa
+{
+
+namespace
+{
+
+const std::array<const char *, NumGprs> gprNames = {
+    "$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3",
+    "$t0",   "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7",
+    "$s0",   "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+    "$t8",   "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra",
+};
+
+} // namespace
+
+std::string
+gprName(RegIndex index)
+{
+    if (index < NumGprs)
+        return gprNames[index];
+    return "$?";
+}
+
+std::string
+fprName(RegIndex index)
+{
+    return "$f" + std::to_string(static_cast<int>(index));
+}
+
+int
+parseGprName(const std::string &name)
+{
+    if (name.empty())
+        return -1;
+    for (unsigned i = 0; i < NumGprs; ++i) {
+        if (name == gprNames[i])
+            return static_cast<int>(i);
+    }
+    // Numeric forms: "$12" or "r12".
+    std::string digits;
+    if (name[0] == '$' || name[0] == 'r')
+        digits = name.substr(1);
+    else
+        return -1;
+    if (digits.empty())
+        return -1;
+    for (char c : digits) {
+        if (c < '0' || c > '9')
+            return -1;
+    }
+    long value = std::strtol(digits.c_str(), nullptr, 10);
+    if (value < 0 || value >= static_cast<long>(NumGprs))
+        return -1;
+    return static_cast<int>(value);
+}
+
+int
+parseFprName(const std::string &name)
+{
+    std::string digits;
+    if (name.size() >= 2 && name[0] == '$' && name[1] == 'f')
+        digits = name.substr(2);
+    else if (name.size() >= 1 && name[0] == 'f')
+        digits = name.substr(1);
+    else
+        return -1;
+    if (digits.empty())
+        return -1;
+    for (char c : digits) {
+        if (c < '0' || c > '9')
+            return -1;
+    }
+    long value = std::strtol(digits.c_str(), nullptr, 10);
+    if (value < 0 || value >= static_cast<long>(NumFprs))
+        return -1;
+    return static_cast<int>(value);
+}
+
+} // namespace arl::isa

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Architectural register file definition and calling conventions of
+ * the ARL ISA.
+ *
+ * The ARL ISA is a 32-bit RISC in the SimpleScalar-PISA / MIPS mould:
+ * 32 general-purpose registers and 32 single-precision FP registers.
+ * The register *conventions* matter for this paper: the access-region
+ * predictor's static rules key on whether a memory instruction's base
+ * register is the stack pointer ($sp), frame pointer ($fp), or global
+ * pointer ($gp).
+ */
+
+#ifndef ARL_ISA_REGISTERS_HH
+#define ARL_ISA_REGISTERS_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace arl::isa
+{
+
+/** Number of general-purpose registers. */
+constexpr unsigned NumGprs = 32;
+/** Number of floating-point registers. */
+constexpr unsigned NumFprs = 32;
+
+/**
+ * Symbolic GPR indices following the MIPS o32 convention the paper's
+ * compiler (EGCS for SimpleScalar PISA) used.
+ */
+namespace reg
+{
+constexpr RegIndex Zero = 0;  ///< hard-wired zero
+constexpr RegIndex At = 1;    ///< assembler temporary
+constexpr RegIndex V0 = 2;    ///< return value 0 / syscall number
+constexpr RegIndex V1 = 3;    ///< return value 1
+constexpr RegIndex A0 = 4;    ///< argument 0
+constexpr RegIndex A1 = 5;    ///< argument 1
+constexpr RegIndex A2 = 6;    ///< argument 2
+constexpr RegIndex A3 = 7;    ///< argument 3
+constexpr RegIndex T0 = 8;    ///< caller-saved temporaries T0..T7
+constexpr RegIndex T1 = 9;
+constexpr RegIndex T2 = 10;
+constexpr RegIndex T3 = 11;
+constexpr RegIndex T4 = 12;
+constexpr RegIndex T5 = 13;
+constexpr RegIndex T6 = 14;
+constexpr RegIndex T7 = 15;
+constexpr RegIndex S0 = 16;   ///< callee-saved S0..S7
+constexpr RegIndex S1 = 17;
+constexpr RegIndex S2 = 18;
+constexpr RegIndex S3 = 19;
+constexpr RegIndex S4 = 20;
+constexpr RegIndex S5 = 21;
+constexpr RegIndex S6 = 22;
+constexpr RegIndex S7 = 23;
+constexpr RegIndex T8 = 24;
+constexpr RegIndex T9 = 25;
+constexpr RegIndex K0 = 26;   ///< reserved (unused by arl)
+constexpr RegIndex K1 = 27;
+constexpr RegIndex Gp = 28;   ///< global pointer (static data base)
+constexpr RegIndex Sp = 29;   ///< stack pointer
+constexpr RegIndex Fp = 30;   ///< frame pointer
+constexpr RegIndex Ra = 31;   ///< return address (link register)
+} // namespace reg
+
+/** Canonical name ("$sp", "$t0", ...) of GPR @p index. */
+std::string gprName(RegIndex index);
+
+/** Canonical name ("$f5") of FPR @p index. */
+std::string fprName(RegIndex index);
+
+/**
+ * Parse a GPR name: accepts "$sp"-style symbolic names and "$12" /
+ * "r12" numeric names.
+ * @return register index, or -1 when the name is not a GPR.
+ */
+int parseGprName(const std::string &name);
+
+/**
+ * Parse an FPR name: accepts "$f0".."$f31" and "f0".."f31".
+ * @return register index, or -1 when the name is not an FPR.
+ */
+int parseFprName(const std::string &name);
+
+} // namespace arl::isa
+
+#endif // ARL_ISA_REGISTERS_HH

@@ -1,0 +1,35 @@
+#include "ooo/branch_predictor.hh"
+
+#include "common/logging.hh"
+
+namespace arl::ooo
+{
+
+GsharePredictor::GsharePredictor(std::uint32_t entry_count)
+    : counters(entry_count, 2)  // weakly taken: loops start right
+{
+    ARL_ASSERT(isPowerOf2(entry_count), "gshare entries must be 2^n");
+}
+
+bool
+GsharePredictor::predictTaken(Addr pc, Word gbh) const
+{
+    return counters[index(pc, gbh)] >= 2;
+}
+
+void
+GsharePredictor::train(Addr pc, Word gbh, bool taken)
+{
+    std::uint8_t &counter = counters[index(pc, gbh)];
+    ++lookups;
+    if ((counter >= 2) == taken)
+        ++correct;
+    if (taken) {
+        if (counter < 3)
+            ++counter;
+    } else if (counter > 0) {
+        --counter;
+    }
+}
+
+} // namespace arl::ooo

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * gshare branch predictor (McFarling [15] in the paper's reference
+ * list).
+ *
+ * The paper's machine model deliberately uses a *perfect* front end
+ * ("to assert the maximum pressure on the data memory bandwidth").
+ * This predictor backs the optional realistic-front-end mode of the
+ * timing model (MachineConfig::perfectBranchPrediction = false),
+ * used by the branch-prediction ablation to quantify how much of the
+ * bandwidth story survives a real fetch unit.
+ *
+ * Standard organisation: a tagless table of 2-bit saturating
+ * counters indexed by PC bits XOR'ed with the global branch history
+ * — the same GBH register the ARPT's context uses.
+ */
+
+#ifndef ARL_OOO_BRANCH_PREDICTOR_HH
+#define ARL_OOO_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.hh"
+#include "common/types.hh"
+
+namespace arl::ooo
+{
+
+/** gshare: PC xor GBH indexed 2-bit counters. */
+class GsharePredictor
+{
+  public:
+    explicit GsharePredictor(std::uint32_t entry_count = 16 * 1024);
+
+    /** Predict the direction of the branch at @p pc under @p gbh. */
+    bool predictTaken(Addr pc, Word gbh) const;
+
+    /** Train with the resolved direction. */
+    void train(Addr pc, Word gbh, bool taken);
+
+    // --- statistics ---
+    std::uint64_t lookups = 0;
+    std::uint64_t correct = 0;
+
+    double
+    accuracyPct() const
+    {
+        return lookups ? 100.0 * static_cast<double>(correct) /
+                             static_cast<double>(lookups)
+                       : 100.0;
+    }
+
+  private:
+    std::uint32_t
+    index(Addr pc, Word gbh) const
+    {
+        return ((pc >> 2) ^ gbh) &
+               (static_cast<std::uint32_t>(counters.size()) - 1);
+    }
+
+    std::vector<std::uint8_t> counters;  ///< 2-bit, init weakly taken
+};
+
+} // namespace arl::ooo
+
+#endif // ARL_OOO_BRANCH_PREDICTOR_HH

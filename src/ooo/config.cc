@@ -1,0 +1,46 @@
+#include "ooo/config.hh"
+
+#include <cstdio>
+
+namespace arl::ooo
+{
+
+MachineConfig
+MachineConfig::nPlusM(unsigned dports, unsigned lports,
+                      unsigned l1_hit_latency)
+{
+    MachineConfig config;
+    char buf[48];
+    if (lports == 0 && l1_hit_latency != 2)
+        std::snprintf(buf, sizeof(buf), "(%u+0)/%ucyc", dports,
+                      l1_hit_latency);
+    else
+        std::snprintf(buf, sizeof(buf), "(%u+%u)", dports, lports);
+    config.name = buf;
+    config.dcachePorts = dports;
+    config.lvcPorts = lports;
+    config.decoupled = lports > 0;
+    config.hierarchy.l1HitLatency = l1_hit_latency;
+    config.hierarchy.hasLvc = config.decoupled;
+    return config;
+}
+
+std::vector<MachineConfig>
+MachineConfig::figure8Suite()
+{
+    // The paper charges the 4-port L1 with a 3-cycle access time
+    // ("we have accordingly set the cache access time to be 3 cycles
+    // for the configuration, not to increase the clock cycle time").
+    return {
+        MachineConfig::nPlusM(2, 0, 2),   // baseline
+        MachineConfig::nPlusM(3, 0, 2),
+        MachineConfig::nPlusM(3, 0, 3),
+        MachineConfig::nPlusM(4, 0, 3),
+        MachineConfig::nPlusM(2, 2, 2),
+        MachineConfig::nPlusM(2, 3, 2),
+        MachineConfig::nPlusM(3, 3, 2),
+        MachineConfig::nPlusM(16, 0, 2),  // upper bound
+    };
+}
+
+} // namespace arl::ooo

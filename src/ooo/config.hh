@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Machine configuration for the out-of-order timing model, mirroring
+ * the paper's Table 4, plus named presets for every configuration
+ * point of Figure 8.
+ *
+ * An "(N+M)" configuration has an N-port data cache and an M-port
+ * LVC; M = 0 is the conventional design with a unified 128-entry
+ * LSQ, M > 0 is the data-decoupled design with 96-entry LSQ and
+ * 96-entry LVAQ steered by a 32K-entry ARPT (PC xor {8 GBH bits,
+ * 7 CID bits}).
+ */
+
+#ifndef ARL_OOO_CONFIG_HH
+#define ARL_OOO_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "predict/arpt.hh"
+
+namespace arl::ooo
+{
+
+/** Full machine configuration (Table 4 defaults). */
+struct MachineConfig
+{
+    std::string name = "base";
+
+    // Core.
+    unsigned issueWidth = 16;   ///< also decode and commit width
+    unsigned robSize = 256;
+
+    // Functional units.
+    unsigned intAlus = 16;
+    unsigned fpAlus = 16;
+    unsigned intMuls = 4;
+    unsigned fpMuls = 4;
+
+    // Memory queues.
+    bool decoupled = false;     ///< split LSQ + LVAQ?
+    unsigned lsqSize = 128;     ///< unified LSQ (conventional)
+    unsigned lsqSizeDecoupled = 96;
+    unsigned lvaqSize = 96;
+
+    // Cache ports (per cycle).
+    unsigned dcachePorts = 2;
+    unsigned lvcPorts = 2;
+
+    // Hierarchy (latencies per Table 4).
+    cache::HierarchyConfig hierarchy{};
+
+    // Region prediction (decoupled mode only).
+    predict::ArptConfig arpt{
+        32 * 1024, 1,
+        {predict::ContextKind::Hybrid, /*gbhBits=*/8, /*cidBits=*/7}};
+    /** Cycles between detection and dependent re-issue (§4.3). */
+    unsigned regionMispredictPenalty = 1;
+    /** LVAQ offset-based fast forwarding (§4.2). */
+    bool fastForwarding = true;
+
+    // Value prediction.
+    bool valuePrediction = true;
+    std::uint32_t vpEntries = 16 * 1024;
+
+    // Front end.  The paper uses a perfect I-cache and perfect
+    // branch prediction (Table 4); switching this off models a
+    // 16K-entry gshare with a fetch-redirect penalty instead
+    // (used by bench/ablation_branch_prediction).
+    bool perfectBranchPrediction = true;
+    std::uint32_t bpEntries = 16 * 1024;
+    unsigned branchMispredictPenalty = 5;
+
+    /**
+     * Build the "(N+M)" preset of Fig 8.
+     * @param dports N (data-cache ports).
+     * @param lports M (LVC ports; 0 = conventional).
+     * @param l1_hit_latency the L1 access time for this point — the
+     *        paper uses 2 cycles up to 3 ports and charges 3 cycles
+     *        for the 4-port design.
+     */
+    static MachineConfig nPlusM(unsigned dports, unsigned lports,
+                                unsigned l1_hit_latency = 2);
+
+    /** All Figure 8 configuration points, in the paper's order. */
+    static std::vector<MachineConfig> figure8Suite();
+};
+
+} // namespace arl::ooo
+
+#endif // ARL_OOO_CONFIG_HH

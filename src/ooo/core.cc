@@ -1,0 +1,765 @@
+#include "ooo/core.hh"
+#include <cstdlib>
+#include <cstdio>
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "isa/addr_mode.hh"
+#include "isa/operands.hh"
+
+namespace arl::ooo
+{
+
+namespace
+{
+
+/** Byte interval [start, end) of a memory access. */
+struct Interval
+{
+    Addr start;
+    Addr end;
+};
+
+Interval
+intervalOf(const sim::StepInfo &step)
+{
+    return {step.effAddr, step.effAddr + step.memSize};
+}
+
+} // namespace
+
+std::string
+OooStats::dump() const
+{
+    std::ostringstream os;
+    auto rate = [](std::uint64_t hits, std::uint64_t misses) {
+        std::uint64_t total = hits + misses;
+        return total ? 100.0 * static_cast<double>(hits) /
+                           static_cast<double>(total)
+                     : 100.0;
+    };
+    os << "sim.config            " << configName << "\n";
+    os << "sim.cycles            " << cycles << "\n";
+    os << "sim.instructions      " << instructions << "\n";
+    os << "sim.ipc               " << ipc() << "\n";
+    os << "mem.loads             " << loads << "\n";
+    os << "mem.stores            " << stores << "\n";
+    os << "mem.lvaq_steered      " << lvaqSteered << "\n";
+    os << "mem.region_mispred    " << regionMispredictions << "\n";
+    os << "mem.forwarded_loads   " << forwardedLoads << "\n";
+    os << "mem.fast_forwarded    " << fastForwardedLoads << "\n";
+    os << "cache.l1_hit_pct      " << rate(l1Hits, l1Misses) << "\n";
+    os << "cache.lvc_hit_pct     " << rate(lvcHits, lvcMisses) << "\n";
+    os << "cache.l2_hit_pct      " << rate(l2Hits, l2Misses) << "\n";
+    os << "tlb.misses            " << tlbMisses << "\n";
+    os << "vp.offered            " << vpOffered << "\n";
+    os << "vp.wrong              " << vpWrong << "\n";
+    os << "vp.squashes           " << vpSquashes << "\n";
+    os << "bp.branches           " << branches << "\n";
+    os << "bp.mispredicts        " << branchMispredicts << "\n";
+    os << "stall.rob_full        " << robFullStalls << "\n";
+    os << "stall.queue_full      " << queueFullStalls << "\n";
+    return os.str();
+}
+
+OooCore::OooCore(const MachineConfig &config_in,
+                 std::shared_ptr<const vm::Program> program)
+    : config(config_in),
+      funcSim(std::move(program)),
+      hierarchy(config.hierarchy),
+      tlb(64, funcSim.process().regions),
+      arpt(config.arpt),
+      valuePred(config.vpEntries),
+      branchPred(config.bpEntries),
+      rob(config.robSize)
+{
+    std::fill(std::begin(regProducer), std::end(regProducer), -1);
+    std::fill(std::begin(regProducerSeq), std::end(regProducerSeq),
+              InstCount{0});
+    stats.configName = config.name;
+}
+
+bool
+OooCore::overlaps(const sim::StepInfo &a, const sim::StepInfo &b)
+{
+    Interval ia = intervalOf(a);
+    Interval ib = intervalOf(b);
+    return ia.start < ib.end && ib.start < ia.end;
+}
+
+bool
+OooCore::operandsReady(Entry &e)
+{
+    bool spec = false;
+    for (unsigned i = 0; i < e.numProducers; ++i) {
+        std::int32_t slot = e.producers[i];
+        if (slot < 0)
+            continue;
+        Entry &p = rob[slot];
+        if (!p.valid || p.seq != e.producerSeq[i])
+            continue;  // producer retired: value architected
+        if (p.completed)
+            continue;
+        if (config.valuePrediction && p.vpConfident && !p.vpWrongKnown) {
+            spec = true;
+            continue;
+        }
+        return false;
+    }
+    if (spec)
+        e.usedSpecValue = true;
+    return true;
+}
+
+std::size_t
+OooCore::StoreQueue::olderCount(InstCount seq) const
+{
+    // The deque is sorted by seq; binary search for the partition.
+    std::size_t lo = 0;
+    std::size_t hi = list.size();
+    while (lo < hi) {
+        std::size_t mid = (lo + hi) / 2;
+        if (list[mid].seq < seq)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+void
+OooCore::storeAddrGenStage()
+{
+    // A store's address needs only its base register: once that
+    // producer resolves, the AGU computes the address next cycle and
+    // (in the decoupled design) the region prediction is verified —
+    // the store data may arrive much later without blocking younger
+    // loads' ordering checks.
+    for (StoreQueue *queue : {&lsqStores, &lvaqStores}) {
+        for (const StoreQueue::Ref &ref : queue->list) {
+            Entry &store = rob[ref.slot];
+            if (store.addrGenDone)
+                continue;
+            if (store.earliestIssueAt > now)
+                continue;
+            if (store.baseProdSlot >= 0) {
+                const Entry &p = rob[store.baseProdSlot];
+                if (p.valid && p.seq == store.baseProdSeq &&
+                    !p.completed)
+                    continue;  // base register still in flight
+            }
+            store.addrGenDone = true;
+            store.addrKnownAt = now + 1;
+            translateAndVerify(store);
+        }
+    }
+}
+
+void
+OooCore::advanceStorePrefixes()
+{
+    for (StoreQueue *queue : {&lsqStores, &lvaqStores}) {
+        while (queue->knownPrefix < queue->list.size()) {
+            const Entry &store = rob[queue->list[queue->knownPrefix].slot];
+            if (!store.valid ||
+                store.seq != queue->list[queue->knownPrefix].seq)
+                panic("store queue out of sync with ROB");
+            if (!store.addrGenDone || store.addrKnownAt > now)
+                break;
+            ++queue->knownPrefix;
+        }
+    }
+}
+
+void
+OooCore::onStoreSquashed(const Entry &e)
+{
+    if (!e.step.inst.info().isStore || e.queue == Queue::None)
+        return;
+    StoreQueue &queue = storeQueueOf(e.queue);
+    std::size_t index = queue.olderCount(e.seq);
+    queue.knownPrefix = std::min(queue.knownPrefix, index);
+}
+
+bool
+OooCore::loadMayIssue(const Entry &e) const
+{
+    // LVAQ fast forwarding: frame offsets identify dependences at
+    // dispatch, so loads need not wait for older stores' address
+    // generation (the forwarding search at the access stage handles
+    // true dependences).
+    if (e.queue == Queue::Lvaq && config.fastForwarding)
+        return true;
+
+    // Conservative rule: all older same-queue stores must have
+    // generated their addresses.
+    const StoreQueue &queue =
+        e.queue == Queue::Lvaq ? lvaqStores : lsqStores;
+    return queue.knownPrefix >= queue.olderCount(e.seq);
+}
+
+std::int32_t
+OooCore::findForwardingStore(const Entry &load, bool &all_known) const
+{
+    const StoreQueue &queue =
+        load.queue == Queue::Lvaq ? lvaqStores : lsqStores;
+    std::size_t older = queue.olderCount(load.seq);
+    all_known = queue.knownPrefix >= older;
+    // Youngest older store first.
+    for (std::size_t i = older; i-- > 0;) {
+        const Entry &store = rob[queue.list[i].slot];
+        if (overlaps(store.step, load.step))
+            return queue.list[i].slot;
+    }
+    return -1;
+}
+
+void
+OooCore::translateAndVerify(Entry &e)
+{
+    if (e.regionChecked)
+        return;
+    e.regionChecked = true;
+    cache::TlbResult translation = tlb.translate(e.step.effAddr);
+
+    if (!config.decoupled)
+        return;
+
+    bool predicted_stack = (e.queue == Queue::Lvaq);
+    bool actual_stack = translation.stackPage;
+    if (predicted_stack != actual_stack) {
+        ++stats.regionMispredictions;
+        // Redirect to the correct memory pipeline and charge the
+        // selective re-issue penalty.
+        e.pipe = actual_stack ? cache::MemPipe::Lvc
+                              : cache::MemPipe::DCache;
+        e.memReqAt += config.regionMispredictPenalty + 1;
+        e.addrKnownAt += config.regionMispredictPenalty + 1;
+    }
+    // Train the ARPT; conclusively-resolved addressing modes are
+    // never recorded (§3.4.1).
+    if (!isa::isConclusive(isa::classifyAddrMode(e.step.inst)))
+        arpt.update(e.step.pc, e.step.gbh, e.step.cid, actual_stack);
+}
+
+/**
+ * Selective re-issue after a value misverification: every issued
+ * consumer of @p producer consumed a wrong value (either the
+ * mispredicted one, or — in the recursive case — a result computed
+ * from one) and must execute again, 1 cycle after detection.
+ */
+void
+OooCore::squashConsumers(Entry &producer)
+{
+    for (std::int32_t slot : producer.consumers) {
+        Entry &c = rob[slot];
+        if (!c.valid || c.seq <= producer.seq)
+            continue;  // stale reference
+        if (!c.issued && !c.completed)
+            continue;
+        bool was_completed = c.completed;
+        c.issued = false;
+        c.completed = false;
+        c.pendingMem = false;
+        c.regionChecked = false;
+        c.addrGenDone = false;
+        c.usedSpecValue = false;
+        c.earliestIssueAt = now + 1;
+        ++stats.vpSquashes;
+        onStoreSquashed(c);
+        if (was_completed)
+            squashConsumers(c);
+    }
+}
+
+void
+OooCore::completeStage()
+{
+    for (InstCount s = headSeq; s < tailSeq; ++s) {
+        Entry &e = rob[s % rob.size()];
+        if (!e.valid || !e.issued || e.completed || e.pendingMem)
+            continue;
+        if (e.completeAt > now)
+            continue;
+        e.completed = true;
+        // Realistic front end: a resolved mispredicted branch
+        // redirects fetch after the refill penalty.
+        if (e.seq == blockingBranchSeq) {
+            blockingBranchSeq = ~InstCount{0};
+            dispatchResumeAt =
+                now + 1 + config.branchMispredictPenalty;
+        }
+        // Value-prediction verification: only consumers that issued
+        // on the *predicted* value are affected (consumers that
+        // waited saw the correct result).
+        if (e.vpConfident && e.vpValue != e.step.result) {
+            e.vpWrongKnown = true;
+            ++stats.vpWrong;
+            for (std::int32_t slot : e.consumers) {
+                Entry &c = rob[slot];
+                if (!c.valid || c.seq <= e.seq)
+                    continue;
+                if (!c.usedSpecValue)
+                    continue;
+                if (!c.issued && !c.completed)
+                    continue;
+                bool was_completed = c.completed;
+                c.issued = false;
+                c.completed = false;
+                c.pendingMem = false;
+                c.regionChecked = false;
+                c.addrGenDone = false;
+                c.usedSpecValue = false;
+                c.earliestIssueAt = now + 1;
+                ++stats.vpSquashes;
+                onStoreSquashed(c);
+                if (was_completed)
+                    squashConsumers(c);
+            }
+        }
+    }
+}
+
+void
+OooCore::memoryStage()
+{
+    for (InstCount s = headSeq; s < tailSeq; ++s) {
+        Entry &e = rob[s % rob.size()];
+        if (!e.valid || !e.pendingMem || e.memReqAt > now)
+            continue;
+
+        // Try store->load forwarding within the queue first: a
+        // forwarded load reads the queue entry, not a cache port.
+        bool all_known = true;
+        std::int32_t fwd = findForwardingStore(e, all_known);
+        if (fwd >= 0) {
+            const Entry &store = rob[fwd];
+            if (store.issued && store.addrKnownAt <= now) {
+                e.pendingMem = false;
+                e.completeAt = now + 1;  // 1-cycle forwarding delay
+                ++stats.forwardedLoads;
+                if (e.queue == Queue::Lvaq && config.fastForwarding)
+                    ++stats.fastForwardedLoads;
+            }
+            continue;  // matched store not ready yet: retry
+        }
+        if (e.queue == Queue::Lvaq && config.fastForwarding &&
+            !all_known) {
+            // An older LVAQ store's frame offset rules out overlap
+            // (checked at dispatch in real hardware); proceed.
+        }
+
+        unsigned pipe_index = static_cast<unsigned>(e.pipe);
+        unsigned limit = (e.pipe == cache::MemPipe::Lvc)
+                             ? config.lvcPorts
+                             : config.dcachePorts;
+        if (portsUsed[pipe_index] >= limit)
+            continue;  // no port this cycle
+        ++portsUsed[pipe_index];
+        cache::HierarchyResult result =
+            hierarchy.access(e.pipe, e.step.effAddr, false);
+        e.pendingMem = false;
+        e.completeAt = now + result.latency;
+    }
+}
+
+void
+OooCore::doIssue(Entry &e)
+{
+    const isa::OpInfo &info = e.step.inst.info();
+    e.issued = true;
+    ++issuedThisCycle;
+    if (info.fu != isa::FuClass::None &&
+        info.fu != isa::FuClass::Mem)
+        ++fuUsed[static_cast<unsigned>(info.fu)];
+
+    if (info.isLoad) {
+        e.pendingMem = true;
+        e.memReqAt = now + 1;
+        e.addrKnownAt = now + 1;
+        translateAndVerify(e);
+    } else if (info.isStore) {
+        // Address generation already ran in storeAddrGenStage (it
+        // only needs the base register); issue means the data is now
+        // ready as well.
+        e.completeAt = now + 1;
+    } else {
+        unsigned latency = std::max<unsigned>(1, info.latency);
+        e.completeAt = now + latency;
+    }
+}
+
+void
+OooCore::issueStage()
+{
+    for (InstCount s = headSeq;
+         s < tailSeq && issuedThisCycle < config.issueWidth; ++s) {
+        Entry &e = rob[s % rob.size()];
+        if (!e.valid || e.issued || e.completed)
+            continue;
+        if (e.earliestIssueAt > now)
+            continue;
+        const isa::OpInfo &info = e.step.inst.info();
+
+        // Functional-unit availability (fully pipelined units).
+        unsigned fu_index = static_cast<unsigned>(info.fu);
+        unsigned fu_limit = 0;
+        switch (info.fu) {
+          case isa::FuClass::IntAlu:
+            fu_limit = config.intAlus;
+            break;
+          case isa::FuClass::IntMult:
+            fu_limit = config.intMuls;
+            break;
+          case isa::FuClass::FpAlu:
+            fu_limit = config.fpAlus;
+            break;
+          case isa::FuClass::FpMult:
+            fu_limit = config.fpMuls;
+            break;
+          case isa::FuClass::Mem:
+          case isa::FuClass::None:
+            fu_limit = 0;  // not FU-constrained in this model
+            break;
+        }
+        if (fu_limit && fuUsed[fu_index] >= fu_limit)
+            continue;
+
+        if (!operandsReady(e))
+            continue;
+        if (info.isLoad && !loadMayIssue(e))
+            continue;
+
+        doIssue(e);
+    }
+}
+
+void
+OooCore::commitStage()
+{
+    unsigned committed = 0;
+    while (committed < config.issueWidth && headSeq < tailSeq) {
+        Entry &e = rob[headSeq % rob.size()];
+        if (!e.valid || !e.completed)
+            break;
+        const isa::OpInfo &info = e.step.inst.info();
+        if (info.isStore && !e.storeWritten) {
+            unsigned pipe_index = static_cast<unsigned>(e.pipe);
+            unsigned limit = (e.pipe == cache::MemPipe::Lvc)
+                                 ? config.lvcPorts
+                                 : config.dcachePorts;
+            if (portsUsed[pipe_index] >= limit)
+                break;  // stores write the cache at commit
+            ++portsUsed[pipe_index];
+            hierarchy.access(e.pipe, e.step.effAddr, true);
+            e.storeWritten = true;
+        }
+        // Train the value predictor on the committed stream.
+        if (config.valuePrediction && e.step.dest != isa::NoReg &&
+            e.step.dest < isa::FprBase)
+            valuePred.train(e.step.pc, e.step.result);
+
+        if (e.queue == Queue::Lsq)
+            --lsqOccupancy;
+        else if (e.queue == Queue::Lvaq)
+            --lvaqOccupancy;
+        if (info.isStore && e.queue != Queue::None) {
+            StoreQueue &store_queue = storeQueueOf(e.queue);
+            ARL_ASSERT(!store_queue.list.empty() &&
+                       store_queue.list.front().seq == e.seq,
+                       "store retires out of queue order");
+            store_queue.list.pop_front();
+            if (store_queue.knownPrefix > 0)
+                --store_queue.knownPrefix;
+        }
+        e.valid = false;
+        e.consumers.clear();
+        ++stats.instructions;
+        ++headSeq;
+        ++committed;
+    }
+}
+
+void
+OooCore::dispatchStage()
+{
+    // Realistic front end: fetch is stalled behind an unresolved
+    // mispredicted branch or still refilling after the redirect.
+    if (blockingBranchSeq != ~InstCount{0} || now < dispatchResumeAt)
+        return;
+
+    unsigned dispatched = 0;
+    while (dispatched < config.issueWidth) {
+        // ROB space?
+        if (tailSeq - headSeq >= rob.size()) {
+            ++stats.robFullStalls;
+            return;
+        }
+        // Next instruction from the (perfect) front end.
+        if (!pendingStep) {
+            if (traceExhausted)
+                return;
+            if (dispatchBudget && funcSim.instCount() >= dispatchBudget) {
+                traceExhausted = true;
+                return;
+            }
+            sim::StepInfo step;
+            if (!funcSim.step(step)) {
+                traceExhausted = true;
+                return;
+            }
+            pendingStep = step;
+        }
+        const sim::StepInfo &step = *pendingStep;
+        const isa::OpInfo &info = step.inst.info();
+
+        // Steering and queue admission.
+        Queue queue = Queue::None;
+        cache::MemPipe pipe = cache::MemPipe::DCache;
+        if (info.isLoad || info.isStore) {
+            bool steer_stack = false;
+            if (config.decoupled) {
+                isa::AddrModeHint hint =
+                    isa::classifyAddrMode(step.inst);
+                if (isa::isConclusive(hint)) {
+                    steer_stack = isa::hintSaysStack(hint);
+                } else {
+                    steer_stack =
+                        arpt.predictStack(step.pc, step.gbh, step.cid);
+                }
+            }
+            if (steer_stack) {
+                if (lvaqOccupancy >= config.lvaqSize) {
+                    ++stats.queueFullStalls;
+                    return;
+                }
+                queue = Queue::Lvaq;
+                pipe = cache::MemPipe::Lvc;
+                ++lvaqOccupancy;
+                ++stats.lvaqSteered;
+            } else {
+                unsigned lsq_limit = config.decoupled
+                                         ? config.lsqSizeDecoupled
+                                         : config.lsqSize;
+                if (lsqOccupancy >= lsq_limit) {
+                    ++stats.queueFullStalls;
+                    return;
+                }
+                queue = Queue::Lsq;
+                pipe = cache::MemPipe::DCache;
+                ++lsqOccupancy;
+            }
+            if (info.isLoad)
+                ++stats.loads;
+            else
+                ++stats.stores;
+        }
+
+        // Allocate the ROB entry.
+        Entry &e = rob[tailSeq % rob.size()];
+        ARL_ASSERT(!e.valid, "ROB slot reuse while occupied");
+        e = Entry{};
+        e.step = step;
+        e.seq = tailSeq;
+        e.valid = true;
+        e.queue = queue;
+        e.pipe = pipe;
+        e.earliestIssueAt = now + 1;
+
+        // Register dependences.
+        isa::SourceList sources = isa::instSources(step.inst);
+        e.numProducers = 0;
+        for (unsigned i = 0; i < sources.count; ++i) {
+            isa::FlatReg reg = sources.regs[i];
+            std::int32_t slot = regProducer[reg];
+            if (slot < 0)
+                continue;
+            Entry &p = rob[slot];
+            if (!p.valid || p.seq != regProducerSeq[reg])
+                continue;  // producer retired
+            if (p.completed)
+                continue;  // value final and correct; no tracking
+            e.producers[e.numProducers] = slot;
+            e.producerSeq[e.numProducers] = p.seq;
+            ++e.numProducers;
+            p.consumers.push_back(
+                static_cast<std::int32_t>(tailSeq % rob.size()));
+        }
+
+        // Track in-flight stores for ordering and forwarding, and
+        // record the base-register producer for early address
+        // generation.
+        if (info.isStore) {
+            storeQueueOf(queue).list.push_back(
+                {tailSeq,
+                 static_cast<std::int32_t>(tailSeq % rob.size())});
+            isa::FlatReg base = step.inst.baseReg();
+            std::int32_t slot = regProducer[base];
+            if (slot >= 0) {
+                const Entry &p = rob[slot];
+                if (p.valid && p.seq == regProducerSeq[base] &&
+                    !p.completed) {
+                    e.baseProdSlot = slot;
+                    e.baseProdSeq = p.seq;
+                }
+            }
+        }
+
+        // Value prediction offer.  FP results are excluded: stride
+        // prediction over IEEE bit patterns has near-zero accuracy
+        // and the squash traffic would swamp the gains (the paper's
+        // stride predictor targets the integer register dataflow).
+        isa::FlatReg dest = isa::instDest(step.inst);
+        if (config.valuePrediction && dest != isa::NoReg &&
+            dest < isa::FprBase) {
+            ValuePredictor::Offer offer = valuePred.predict(step.pc);
+            e.vpConfident = offer.confident;
+            e.vpValue = offer.value;
+            if (offer.confident)
+                ++stats.vpOffered;
+        }
+
+        // Register renaming (producer map update).
+        if (dest != isa::NoReg) {
+            regProducer[dest] =
+                static_cast<std::int32_t>(tailSeq % rob.size());
+            regProducerSeq[dest] = tailSeq;
+        }
+
+        // Realistic front end: predict conditional branches; a
+        // misprediction stops fetch at this instruction until the
+        // branch resolves (completeStage schedules the redirect).
+        bool fetch_break = false;
+        if (info.isBranch) {
+            ++stats.branches;
+            if (!config.perfectBranchPrediction) {
+                bool predicted =
+                    branchPred.predictTaken(step.pc, step.gbh);
+                branchPred.train(step.pc, step.gbh, step.branchTaken);
+                if (predicted != step.branchTaken) {
+                    ++stats.branchMispredicts;
+                    blockingBranchSeq = tailSeq;
+                    fetch_break = true;
+                }
+            }
+        }
+
+        ++tailSeq;
+        ++dispatched;
+        pendingStep.reset();
+        if (fetch_break)
+            return;
+    }
+}
+
+void
+OooCore::warmup(InstCount insts)
+{
+    sim::StepInfo step;
+    for (InstCount i = 0; i < insts; ++i) {
+        if (!funcSim.step(step))
+            break;
+        if (step.isMem) {
+            bool is_stack = (step.region == vm::Region::Stack);
+            cache::MemPipe pipe =
+                (config.decoupled && is_stack) ? cache::MemPipe::Lvc
+                                               : cache::MemPipe::DCache;
+            hierarchy.access(pipe, step.effAddr, !step.isLoad);
+            tlb.translate(step.effAddr);
+            if (config.decoupled &&
+                !isa::isConclusive(isa::classifyAddrMode(step.inst)))
+                arpt.update(step.pc, step.gbh, step.cid, is_stack);
+        }
+        if (config.valuePrediction && step.dest != isa::NoReg &&
+            step.dest < isa::FprBase)
+            valuePred.train(step.pc, step.result);
+        if (!config.perfectBranchPrediction && step.isBranch)
+            branchPred.train(step.pc, step.gbh, step.branchTaken);
+    }
+    // Timed statistics start clean.
+    hierarchy.l1().hits = hierarchy.l1().misses = 0;
+    hierarchy.l1().writebacks = 0;
+    if (hierarchy.hasLvc()) {
+        hierarchy.lvcCache().hits = hierarchy.lvcCache().misses = 0;
+        hierarchy.lvcCache().writebacks = 0;
+    }
+    hierarchy.l2().hits = hierarchy.l2().misses = 0;
+    hierarchy.l2().writebacks = 0;
+    tlb.hits = tlb.misses = 0;
+}
+
+OooStats
+OooCore::run(InstCount max_insts)
+{
+    dispatchBudget =
+        max_insts ? max_insts + funcSim.instCount() : 0;
+    Cycle deadlock_guard = 0;
+    InstCount last_committed = 0;
+
+    while (true) {
+        portsUsed[0] = portsUsed[1] = 0;
+        std::fill(std::begin(fuUsed), std::end(fuUsed), 0u);
+        issuedThisCycle = 0;
+
+        advanceStorePrefixes();
+        completeStage();
+        storeAddrGenStage();
+        memoryStage();
+        issueStage();
+        dispatchStage();
+        commitStage();
+
+        if (std::getenv("ARL_OOO_TRACE") && now < 60) {
+            unsigned pending = 0, inflight = 0;
+            for (InstCount s = headSeq; s < tailSeq; ++s) {
+                const Entry &e = rob[s % rob.size()];
+                if (e.valid && e.pendingMem)
+                    ++pending;
+                if (e.valid && e.issued && !e.completed)
+                    ++inflight;
+            }
+            std::fprintf(stderr,
+                         "cyc %3llu head %4llu tail %4llu issued %2u "
+                         "ports %u/%u pendMem %u exec %u\n",
+                         (unsigned long long)now,
+                         (unsigned long long)headSeq,
+                         (unsigned long long)tailSeq, issuedThisCycle,
+                         portsUsed[0], portsUsed[1], pending, inflight);
+        }
+        ++now;
+
+        // Forward-progress guard (an arl bug, not a guest bug).
+        if (stats.instructions == last_committed) {
+            if (++deadlock_guard > 200000)
+                panic("OooCore deadlock at cycle %llu (head=%llu "
+                      "tail=%llu)",
+                      (unsigned long long)now,
+                      (unsigned long long)headSeq,
+                      (unsigned long long)tailSeq);
+        } else {
+            deadlock_guard = 0;
+            last_committed = stats.instructions;
+        }
+
+        if (headSeq == tailSeq && !pendingStep &&
+            (traceExhausted || funcSim.halted())) {
+            break;
+        }
+    }
+
+    stats.cycles = now;
+    stats.l1Hits = hierarchy.l1().hits;
+    stats.l1Misses = hierarchy.l1().misses;
+    if (hierarchy.hasLvc()) {
+        stats.lvcHits = hierarchy.lvcCache().hits;
+        stats.lvcMisses = hierarchy.lvcCache().misses;
+    }
+    stats.l2Hits = hierarchy.l2().hits;
+    stats.l2Misses = hierarchy.l2().misses;
+    stats.tlbMisses = tlb.misses;
+    return stats;
+}
+
+} // namespace arl::ooo

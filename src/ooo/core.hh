@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Trace-driven out-of-order timing model of the paper's §4 machine.
+ *
+ * The model reproduces SimpleScalar's RUU-style core as configured
+ * in Table 4: a 16-wide machine with a 256-entry ROB whose front end
+ * is perfect (perfect I-cache and branch prediction — realised here
+ * by dispatching the committed instruction stream produced by the
+ * embedded functional simulator), a stride value predictor, and a
+ * data memory system that is either
+ *
+ *  - conventional: one 128-entry LSQ in front of an N-port L1
+ *    D-cache, or
+ *  - data-decoupled: a 96-entry LSQ + 96-entry LVAQ pair, steered at
+ *    dispatch by addressing-mode rules + the ARPT, in front of an
+ *    N-port L1 and an M-port 4 KB LVC.
+ *
+ * Modelled effects: register dataflow (lazy readiness via producer
+ * state), FU pools, cache-port arbitration (loads at access, stores
+ * at commit), lockup-free hierarchy latencies, store→load forwarding
+ * inside each queue (1 cycle), LVAQ fast forwarding (loads need not
+ * wait for older stores' address generation; offsets identify
+ * dependences early), ARPT steering mispredictions verified at TLB
+ * translation with selective 1-cycle re-issue, and value-prediction
+ * squash/re-issue on misverification.
+ */
+
+#ifndef ARL_OOO_CORE_HH
+#define ARL_OOO_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "cache/tlb.hh"
+#include "common/types.hh"
+#include "ooo/branch_predictor.hh"
+#include "ooo/config.hh"
+#include "ooo/value_predictor.hh"
+#include "predict/arpt.hh"
+#include "sim/simulator.hh"
+
+namespace arl::ooo
+{
+
+/** End-of-run statistics. */
+struct OooStats
+{
+    std::string configName;
+    Cycle cycles = 0;
+    InstCount instructions = 0;
+
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t lvaqSteered = 0;         ///< mem ops sent to the LVAQ
+    std::uint64_t regionMispredictions = 0;
+    std::uint64_t forwardedLoads = 0;
+    std::uint64_t fastForwardedLoads = 0;  ///< forwarded without waiting
+
+    std::uint64_t vpOffered = 0;
+    std::uint64_t vpWrong = 0;
+    std::uint64_t vpSquashes = 0;
+
+    std::uint64_t branches = 0;
+    std::uint64_t branchMispredicts = 0;  ///< realistic front end only
+
+    std::uint64_t l1Hits = 0, l1Misses = 0;
+    std::uint64_t lvcHits = 0, lvcMisses = 0;
+    std::uint64_t l2Hits = 0, l2Misses = 0;
+    std::uint64_t tlbMisses = 0;
+
+    std::uint64_t robFullStalls = 0;
+    std::uint64_t queueFullStalls = 0;
+
+    double ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /** sim-outorder-style end-of-run statistics report. */
+    std::string dump() const;
+};
+
+/** The out-of-order core. */
+class OooCore
+{
+  public:
+    OooCore(const MachineConfig &config,
+            std::shared_ptr<const vm::Program> program);
+
+    /**
+     * Fast-forward @p insts instructions functionally before timed
+     * simulation (the SimpleScalar methodology for skipping
+     * initialisation).  Caches, TLB, ARPT, and the value predictor
+     * are warmed from the skipped stream so the timed window starts
+     * in steady state.
+     */
+    void warmup(InstCount insts);
+
+    /**
+     * Simulate until the program halts or @p max_insts instructions
+     * have been dispatched (0 = unlimited), then drain the pipeline.
+     */
+    OooStats run(InstCount max_insts = 0);
+
+  private:
+    /** Which memory queue an entry sits in. */
+    enum class Queue : std::uint8_t { None, Lsq, Lvaq };
+
+    /** One ROB (RUU) entry. */
+    struct Entry
+    {
+        sim::StepInfo step;
+        InstCount seq = 0;
+        bool valid = false;
+
+        // Register dataflow.
+        std::int32_t producers[3] = {-1, -1, -1};
+        InstCount producerSeq[3] = {0, 0, 0};
+        std::uint8_t numProducers = 0;
+        std::vector<std::int32_t> consumers;   ///< ROB slots
+        bool usedSpecValue = false;  ///< issued on a predicted input
+
+        // Execution state.
+        bool issued = false;
+        bool completed = false;
+        Cycle completeAt = 0;
+        Cycle earliestIssueAt = 0;
+
+        // Value prediction.
+        bool vpConfident = false;
+        Word vpValue = 0;
+        bool vpWrongKnown = false;   ///< verification failed
+
+        // Memory state.
+        Queue queue = Queue::None;
+        cache::MemPipe pipe = cache::MemPipe::DCache;
+        bool pendingMem = false;     ///< load waiting for a port
+        Cycle memReqAt = 0;
+        bool addrGenDone = false;    ///< store AGU pass scheduled
+        Cycle addrKnownAt = 0;
+        bool storeWritten = false;   ///< store performed at commit
+        bool regionChecked = false;
+
+        // Store address generation depends only on the base
+        // register; these track that producer separately so a slow
+        // store *data* chain does not stall younger loads.
+        std::int32_t baseProdSlot = -1;
+        InstCount baseProdSeq = 0;
+    };
+
+    // --- pipeline stages (called once per cycle) ---
+    void completeStage();
+    void memoryStage();
+    void issueStage();
+    void dispatchStage();
+    void commitStage();
+
+    // --- helpers ---
+    Entry &entryAt(std::int32_t slot) { return rob[slot]; }
+    std::int32_t slotOf(InstCount seq) const
+    {
+        return static_cast<std::int32_t>(seq % rob.size());
+    }
+
+    /** True when every register input of @p e is available. */
+    bool operandsReady(Entry &e);
+
+    /** True when queue-order constraints allow load @p e to issue. */
+    bool loadMayIssue(const Entry &e) const;
+
+    /**
+     * Youngest older overlapping store in the same queue, or -1.
+     * @param all_known set false when an older same-queue store's
+     *        address is still unknown (ambiguous dependence).
+     */
+    std::int32_t findForwardingStore(const Entry &load,
+                                     bool &all_known) const;
+
+    /** Verify steering at translation; applies penalty on mispredict. */
+    void translateAndVerify(Entry &e);
+
+    /** Recursively squash dependents after a value misprediction. */
+    void squashConsumers(Entry &producer);
+
+    /** Issue one instruction (shared bookkeeping). */
+    void doIssue(Entry &e);
+
+    /** True when two accesses overlap in memory. */
+    static bool overlaps(const sim::StepInfo &a, const sim::StepInfo &b);
+
+    MachineConfig config;
+    sim::Simulator funcSim;
+    cache::Hierarchy hierarchy;
+    cache::Tlb tlb;
+    predict::Arpt arpt;
+    ValuePredictor valuePred;
+    GsharePredictor branchPred;
+
+    // Realistic-front-end state: dispatch stalls behind an
+    // unresolved mispredicted branch, then pays the redirect penalty.
+    InstCount blockingBranchSeq = ~InstCount{0};
+    Cycle dispatchResumeAt = 0;
+
+    // ROB ring: slots [head, tail) by sequence number.
+    std::vector<Entry> rob;
+    InstCount headSeq = 0;   ///< oldest in-flight instruction
+    InstCount tailSeq = 0;   ///< next sequence number to dispatch
+
+    // Register producer map: flat reg -> (slot, seq).
+    std::int32_t regProducer[isa::NumFlatRegs];
+    InstCount regProducerSeq[isa::NumFlatRegs];
+
+    /**
+     * Per-queue in-flight store tracking.  `list` holds the stores
+     * of one queue in program order; `knownPrefix` counts the
+     * leading stores whose addresses have been generated.  Together
+     * they answer "have all stores older than seq generated their
+     * addresses?" in O(log n) and bound the forwarding search to the
+     * queue's stores instead of the whole window.
+     */
+    struct StoreQueue
+    {
+        struct Ref
+        {
+            InstCount seq;
+            std::int32_t slot;
+        };
+        std::deque<Ref> list;
+        std::size_t knownPrefix = 0;
+
+        /** Index of the first store with seq >= @p seq. */
+        std::size_t olderCount(InstCount seq) const;
+    };
+
+    StoreQueue &storeQueueOf(Queue queue)
+    {
+        return queue == Queue::Lvaq ? lvaqStores : lsqStores;
+    }
+
+    /** Advance each queue's address-known prefix. */
+    void advanceStorePrefixes();
+
+    /** Early store address generation (base-operand-only AGU pass). */
+    void storeAddrGenStage();
+
+    /** Roll back the known prefix when a store is squashed. */
+    void onStoreSquashed(const Entry &e);
+
+    StoreQueue lsqStores;
+    StoreQueue lvaqStores;
+
+    // Queue occupancy.
+    unsigned lsqOccupancy = 0;
+    unsigned lvaqOccupancy = 0;
+
+    // Per-cycle resources.
+    unsigned portsUsed[2] = {0, 0};   ///< [DCache, Lvc]
+    unsigned fuUsed[5] = {0, 0, 0, 0, 0};
+    unsigned issuedThisCycle = 0;
+
+    // Trace buffering.
+    std::optional<sim::StepInfo> pendingStep;
+    bool traceExhausted = false;
+    InstCount dispatchBudget = 0;    ///< 0 = unlimited
+
+    Cycle now = 0;
+    OooStats stats;
+};
+
+} // namespace arl::ooo
+
+#endif // ARL_OOO_CORE_HH

@@ -1,0 +1,49 @@
+#include "ooo/value_predictor.hh"
+
+#include "common/logging.hh"
+
+namespace arl::ooo
+{
+
+ValuePredictor::ValuePredictor(std::uint32_t entry_count)
+    : entries(entry_count)
+{
+    ARL_ASSERT(isPowerOf2(entry_count), "VP entries must be 2^n");
+}
+
+ValuePredictor::Offer
+ValuePredictor::predict(Addr pc)
+{
+    Entry &entry = entries[index(pc)];
+    Offer offer;
+    if (entry.confidence >= 3) {
+        offer.confident = true;
+        offer.value = entry.specLast + static_cast<Word>(entry.stride);
+        entry.specLast = offer.value;
+    }
+    return offer;
+}
+
+void
+ValuePredictor::train(Addr pc, Word actual)
+{
+    Entry &entry = entries[index(pc)];
+    SWord new_stride =
+        static_cast<SWord>(actual - entry.lastValue);
+    if (new_stride == entry.stride) {
+        if (entry.confidence < 3) {
+            ++entry.confidence;
+            entry.specLast = actual;  // not predicting yet: stay synced
+        }
+    } else {
+        // A broken stride resets confidence entirely: mispredictions
+        // trigger selective re-issue storms, so the filter must be
+        // strict (predict again only after three stable strides).
+        entry.stride = new_stride;
+        entry.confidence = 0;
+        entry.specLast = actual;      // resynchronise
+    }
+    entry.lastValue = actual;
+}
+
+} // namespace arl::ooo

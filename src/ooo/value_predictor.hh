@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Stride-based value predictor for register-producing instructions
+ * (paper Table 4: "stride-based predictor for register values,
+ * 16K-entry table").
+ *
+ * Classic last-value+stride organisation: each (tagless,
+ * direct-mapped) entry holds the last observed result, the last
+ * stride, and a 2-bit confidence counter.  A prediction is offered
+ * only at full confidence; consumers that issue on a predicted value
+ * are squashed and selectively re-issued when verification fails
+ * (§4.3's recovery model).
+ */
+
+#ifndef ARL_OOO_VALUE_PREDICTOR_HH
+#define ARL_OOO_VALUE_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.hh"
+#include "common/types.hh"
+
+namespace arl::ooo
+{
+
+/** Stride value predictor. */
+class ValuePredictor
+{
+  public:
+    explicit ValuePredictor(std::uint32_t entry_count = 16 * 1024);
+
+    /** A prediction offer. */
+    struct Offer
+    {
+        bool confident = false;
+        Word value = 0;
+    };
+
+    /**
+     * Look up a prediction for the instruction at @p pc and advance
+     * the speculative last value, so that several in-flight dynamic
+     * instances of the same static instruction (a tight loop's
+     * induction variable, dispatched far ahead of commit) each
+     * receive the correctly extrapolated value.
+     */
+    Offer predict(Addr pc);
+
+    /** Train with the committed result of the instruction at @p pc. */
+    void train(Addr pc, Word actual);
+
+    // --- statistics ---
+    std::uint64_t offered = 0;    ///< confident predictions made
+    std::uint64_t verifiedOk = 0; ///< confident predictions correct
+
+  private:
+    struct Entry
+    {
+        Word lastValue = 0;   ///< last committed result
+        Word specLast = 0;    ///< speculatively advanced value
+        SWord stride = 0;
+        std::uint8_t confidence = 0;  ///< 2-bit saturating
+    };
+
+    std::uint32_t index(Addr pc) const
+    {
+        return (pc >> 2) & (static_cast<std::uint32_t>(entries.size()) - 1);
+    }
+
+    std::vector<Entry> entries;
+};
+
+} // namespace arl::ooo
+
+#endif // ARL_OOO_VALUE_PREDICTOR_HH

@@ -1,0 +1,77 @@
+#include "predict/arpt.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace arl::predict
+{
+
+Arpt::Arpt(const ArptConfig &config_in) : config(config_in)
+{
+    ARL_ASSERT(config.counterBits >= 1 && config.counterBits <= 2,
+               "counterBits must be 1 or 2");
+    maxCounter =
+        static_cast<std::uint8_t>((1u << config.counterBits) - 1);
+    threshold = static_cast<std::uint8_t>(1u << (config.counterBits - 1));
+    if (config.entries) {
+        ARL_ASSERT(isPowerOf2(config.entries),
+                   "ARPT entry count must be a power of two");
+        table.assign(config.entries, 0);
+        touched.assign(config.entries, false);
+    }
+}
+
+bool
+Arpt::predictStack(Addr pc, Word gbh, Word cid) const
+{
+    if (config.entries)
+        return counterSaysStack(table[tableIndex(pc, gbh, cid)]);
+    auto it = map.find(mapKey(pc, gbh, cid));
+    // Cold entries read as 0: predict non-stack (static rule 4).
+    return it == map.end() ? false : counterSaysStack(it->second);
+}
+
+void
+Arpt::update(Addr pc, Word gbh, Word cid, bool actual_stack)
+{
+    if (config.entries) {
+        std::uint32_t index = tableIndex(pc, gbh, cid);
+        table[index] = trainCounter(table[index], actual_stack);
+        if (!touched[index]) {
+            touched[index] = true;
+            ++touchedCount;
+        }
+        return;
+    }
+    std::uint8_t &counter = map[mapKey(pc, gbh, cid)];
+    counter = trainCounter(counter, actual_stack);
+}
+
+std::size_t
+Arpt::occupiedEntries() const
+{
+    return config.entries ? touchedCount : map.size();
+}
+
+std::size_t
+Arpt::storageBytes() const
+{
+    if (!config.entries)
+        return 0;
+    return (static_cast<std::size_t>(config.entries) * config.counterBits +
+            7) / 8;
+}
+
+void
+Arpt::reset()
+{
+    if (config.entries) {
+        table.assign(config.entries, 0);
+        touched.assign(config.entries, false);
+        touchedCount = 0;
+    } else {
+        map.clear();
+    }
+}
+
+} // namespace arl::predict

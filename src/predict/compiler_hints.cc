@@ -1,0 +1,24 @@
+#include "predict/compiler_hints.hh"
+
+namespace arl::predict
+{
+
+std::size_t
+CompilerHints::classifiedInstructions() const
+{
+    std::size_t count = 0;
+    for (const auto &[pc, mask] : masks) {
+        (void)pc;
+        constexpr unsigned data_bit =
+            1u << static_cast<unsigned>(vm::Region::Data);
+        constexpr unsigned heap_bit =
+            1u << static_cast<unsigned>(vm::Region::Heap);
+        constexpr unsigned stack_bit =
+            1u << static_cast<unsigned>(vm::Region::Stack);
+        if (mask == data_bit || mask == heap_bit || mask == stack_bit)
+            ++count;
+    }
+    return count;
+}
+
+} // namespace arl::predict

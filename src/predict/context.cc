@@ -1,0 +1,22 @@
+#include "predict/context.hh"
+
+namespace arl::predict
+{
+
+std::string
+contextKindName(ContextKind kind)
+{
+    switch (kind) {
+      case ContextKind::None:
+        return "none";
+      case ContextKind::Gbh:
+        return "GBH";
+      case ContextKind::Cid:
+        return "CID";
+      case ContextKind::Hybrid:
+        return "hybrid";
+    }
+    return "?";
+}
+
+} // namespace arl::predict

@@ -1,0 +1,95 @@
+#include "predict/region_predictor.hh"
+
+#include "common/logging.hh"
+#include "vm/layout.hh"
+
+namespace arl::predict
+{
+
+RegionPredictor::RegionPredictor(const RegionPredictorConfig &config_in,
+                                 const HintSource *hints_in)
+    : config(config_in), hints(hints_in)
+{
+    if (config.useCompilerHints && !hints)
+        fatal("RegionPredictor: compiler hints enabled but none supplied");
+    if (config.useArpt)
+        table = std::make_unique<Arpt>(config.arpt);
+}
+
+bool
+RegionPredictor::resolveEarly(Addr pc, const isa::DecodedInst &inst,
+                              Prediction &out) const
+{
+    if (config.useCompilerHints) {
+        HintTag tag = hints->tag(pc);
+        if (tag != HintTag::Unknown) {
+            out.stack = (tag == HintTag::Stack);
+            out.source = PredictionSource::CompilerHint;
+            return true;
+        }
+    }
+    isa::AddrModeHint mode = isa::classifyAddrMode(inst);
+    if (isa::isConclusive(mode)) {
+        out.stack = isa::hintSaysStack(mode);
+        out.source = PredictionSource::AddrMode;
+        return true;
+    }
+    return false;
+}
+
+Prediction
+RegionPredictor::predict(Addr pc, const isa::DecodedInst &inst, Word gbh,
+                         Word cid) const
+{
+    Prediction out;
+    if (resolveEarly(pc, inst, out))
+        return out;
+    out.source = PredictionSource::Arpt;
+    // Without an ARPT (the STATIC scheme) rule 4's fixed prediction
+    // stands: non-stack.
+    out.stack = config.useArpt ? table->predictStack(pc, gbh, cid) : false;
+    return out;
+}
+
+void
+RegionPredictor::update(Addr pc, const isa::DecodedInst &inst, Word gbh,
+                        Word cid, bool actual_stack)
+{
+    Prediction early;
+    if (resolveEarly(pc, inst, early))
+        return;  // conclusively resolved instructions never train
+    if (config.useArpt)
+        table->update(pc, gbh, cid, actual_stack);
+}
+
+void
+RegionPredictor::observe(const sim::StepInfo &step)
+{
+    if (!step.isMem)
+        return;
+    bool actual_stack = (step.region == vm::Region::Stack);
+    Prediction prediction =
+        predict(step.pc, step.inst, step.gbh, step.cid);
+    ++total;
+    auto source_index = static_cast<unsigned>(prediction.source);
+    ++totalBySource[source_index];
+    if (prediction.stack == actual_stack) {
+        ++correct;
+        ++correctBySource[source_index];
+    }
+    update(step.pc, step.inst, step.gbh, step.cid, actual_stack);
+}
+
+PredictorReport
+RegionPredictor::report() const
+{
+    PredictorReport out;
+    out.total = total;
+    out.correct = correct;
+    out.totalBySource = totalBySource;
+    out.correctBySource = correctBySource;
+    out.arptOccupancy = config.useArpt ? table->occupiedEntries() : 0;
+    return out;
+}
+
+} // namespace arl::predict

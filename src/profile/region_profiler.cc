@@ -1,0 +1,132 @@
+#include "profile/region_profiler.hh"
+
+#include "common/logging.hh"
+
+namespace arl::profile
+{
+
+std::string
+regionClassName(RegionClass cls)
+{
+    switch (cls) {
+      case RegionClass::D:
+        return "D";
+      case RegionClass::H:
+        return "H";
+      case RegionClass::S:
+        return "S";
+      case RegionClass::DH:
+        return "D/H";
+      case RegionClass::DS:
+        return "D/S";
+      case RegionClass::HS:
+        return "H/S";
+      case RegionClass::DHS:
+        return "D/H/S";
+      case RegionClass::NumClasses:
+        break;
+    }
+    return "?";
+}
+
+RegionClass
+regionClassFromMask(unsigned mask)
+{
+    switch (mask & 7u) {
+      case 1:
+        return RegionClass::D;
+      case 2:
+        return RegionClass::H;
+      case 4:
+        return RegionClass::S;
+      case 3:
+        return RegionClass::DH;
+      case 5:
+        return RegionClass::DS;
+      case 6:
+        return RegionClass::HS;
+      case 7:
+        return RegionClass::DHS;
+      default:
+        panic("regionClassFromMask: empty mask");
+    }
+}
+
+std::uint64_t
+RegionProfile::staticTotal() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t c : staticCounts)
+        total += c;
+    return total;
+}
+
+std::uint64_t
+RegionProfile::dynamicTotal() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t c : dynamicCounts)
+        total += c;
+    return total;
+}
+
+std::uint64_t
+RegionProfile::staticMultiRegion() const
+{
+    return staticCounts[static_cast<unsigned>(RegionClass::DH)] +
+           staticCounts[static_cast<unsigned>(RegionClass::DS)] +
+           staticCounts[static_cast<unsigned>(RegionClass::HS)] +
+           staticCounts[static_cast<unsigned>(RegionClass::DHS)];
+}
+
+std::uint64_t
+RegionProfile::dynamicMultiRegion() const
+{
+    return dynamicCounts[static_cast<unsigned>(RegionClass::DH)] +
+           dynamicCounts[static_cast<unsigned>(RegionClass::DS)] +
+           dynamicCounts[static_cast<unsigned>(RegionClass::HS)] +
+           dynamicCounts[static_cast<unsigned>(RegionClass::DHS)];
+}
+
+double
+RegionProfile::staticMultiRegionPct() const
+{
+    std::uint64_t total = staticTotal();
+    return total ? 100.0 * static_cast<double>(staticMultiRegion()) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+double
+RegionProfile::dynamicMultiRegionPct() const
+{
+    std::uint64_t total = dynamicTotal();
+    return total ? 100.0 * static_cast<double>(dynamicMultiRegion()) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+RegionProfile
+RegionProfiler::profile() const
+{
+    RegionProfile out;
+    out.totalInstructions = instructions;
+    out.dynamicLoads = loads;
+    out.dynamicStores = stores;
+    out.regionRefs = regionRefs;
+    for (const auto &[pc, info] : perPc) {
+        unsigned cls = static_cast<unsigned>(regionClassFromMask(info.mask));
+        ++out.staticCounts[cls];
+        out.dynamicCounts[cls] += info.dynamicRefs;
+    }
+    return out;
+}
+
+unsigned
+RegionProfiler::maskForPc(Addr pc) const
+{
+    auto it = perPc.find(pc);
+    return it == perPc.end() ? 0 : it->second.mask;
+}
+
+} // namespace arl::profile

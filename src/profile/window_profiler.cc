@@ -1,0 +1,27 @@
+#include "profile/window_profiler.hh"
+
+#include "common/logging.hh"
+
+namespace arl::profile
+{
+
+WindowProfiler::WindowProfiler(unsigned window_size)
+    : ring(window_size, 0)
+{
+    ARL_ASSERT(window_size > 0);
+}
+
+WindowStats
+WindowProfiler::stats_summary() const
+{
+    WindowStats out;
+    out.windowSize = windowSize();
+    for (unsigned r = 0; r < vm::NumDataRegions; ++r) {
+        out.mean[r] = stats[r].mean();
+        out.stddev[r] = stats[r].stddev();
+    }
+    out.samples = stats[0].count();
+    return out;
+}
+
+} // namespace arl::profile

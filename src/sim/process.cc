@@ -1,0 +1,32 @@
+#include "sim/process.hh"
+
+#include "common/logging.hh"
+#include "isa/registers.hh"
+
+namespace arl::sim
+{
+
+Process::Process(std::shared_ptr<const vm::Program> program_in)
+    : heap(program_in->heapBase(), vm::layout::HeapCeiling),
+      regions(program_in->heapBase()),
+      prog(std::move(program_in))
+{
+    ARL_ASSERT(!prog->text.empty(), "empty program %s",
+               prog->name.c_str());
+
+    // Install the initialised data image.
+    if (!prog->data.empty())
+        memory.writeBlock(vm::layout::DataBase, prog->data.data(),
+                          prog->data.size());
+
+    // Initial register conventions.
+    gpr.fill(0);
+    fpr.fill(0);
+    gpr[isa::reg::Sp] = vm::layout::StackTop;
+    gpr[isa::reg::Fp] = vm::layout::StackTop;
+    gpr[isa::reg::Gp] = vm::layout::DataBase;
+    pc = prog->entry;
+    rng.reseed(0xa11ce5 ^ std::hash<std::string>{}(prog->name));
+}
+
+} // namespace arl::sim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Functional (1-instruction-per-step) simulator of the ARL ISA.
+ *
+ * This is the reproduction's analogue of SimpleScalar's sim-safe /
+ * sim-profile: it executes the program architecturally, maintains
+ * the global branch-history register, and hands a StepInfo record
+ * per instruction to an optional callback.  The §4 timing model
+ * co-simulates by pulling StepInfos from an embedded functional
+ * simulator (equivalent to the paper's perfect I-cache + perfect
+ * branch prediction front end).
+ */
+
+#ifndef ARL_SIM_SIMULATOR_HH
+#define ARL_SIM_SIMULATOR_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/process.hh"
+#include "sim/step_info.hh"
+
+namespace arl::sim
+{
+
+/** Functional interpreter for one process. */
+class Simulator
+{
+  public:
+    /** Per-instruction observer callback. */
+    using StepHook = std::function<void(const StepInfo &)>;
+
+    explicit Simulator(std::shared_ptr<const vm::Program> prog);
+
+    /** The process being simulated. */
+    Process &process() { return proc; }
+    const Process &process() const { return proc; }
+
+    /**
+     * Execute one instruction.
+     * @param out filled with the dynamic record of the instruction.
+     * @return false when the process has already halted (no
+     *         instruction was executed).
+     */
+    bool step(StepInfo &out);
+
+    /**
+     * Run until the process halts or @p max_insts more instructions
+     * have executed (0 = unlimited).
+     * @param hook optional per-instruction observer.
+     * @return number of instructions executed by this call.
+     */
+    InstCount run(InstCount max_insts = 0, const StepHook &hook = nullptr);
+
+    /** Total instructions executed so far. */
+    InstCount instCount() const { return icount; }
+
+    /** Current global branch-history register. */
+    Word branchHistory() const { return gbh; }
+
+    /** True when the process has halted. */
+    bool halted() const { return proc.halted; }
+
+  private:
+    /** Execute the syscall selected by $v0. */
+    void execSyscall();
+
+    Process proc;
+    /** Pre-decoded text (index = (pc - textBase) / 4). */
+    std::vector<isa::DecodedInst> decoded;
+    Addr textBase;
+    Addr textEnd;
+    Word gbh = 0;
+    InstCount icount = 0;
+};
+
+} // namespace arl::sim
+
+#endif // ARL_SIM_SIMULATOR_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Per-instruction record emitted by the functional simulator.
+ *
+ * One StepInfo carries everything downstream consumers need:
+ *  - the profilers (§3) read pc / region / base register;
+ *  - the predictors read pc, the pre-execution global branch
+ *    history (gbh) and caller id (cid), and the actual region;
+ *  - the out-of-order timing model (§4) additionally reads the
+ *    produced register value (for value-prediction verification),
+ *    the effective address, and control-flow outcomes (its perfect
+ *    front end follows the recorded path).
+ */
+
+#ifndef ARL_SIM_STEP_INFO_HH
+#define ARL_SIM_STEP_INFO_HH
+
+#include "common/types.hh"
+#include "isa/inst.hh"
+#include "isa/operands.hh"
+#include "vm/layout.hh"
+
+namespace arl::sim
+{
+
+/** Dynamic record of one executed instruction. */
+struct StepInfo
+{
+    /** PC of the instruction. */
+    Addr pc = 0;
+    /** Dynamic sequence number (0-based). */
+    InstCount seq = 0;
+    /** The decoded instruction. */
+    isa::DecodedInst inst;
+
+    // --- memory ---
+    bool isMem = false;
+    bool isLoad = false;
+    Addr effAddr = 0;
+    std::uint8_t memSize = 0;
+    vm::Region region = vm::Region::Unknown;
+
+    // --- control flow ---
+    bool isBranch = false;     ///< conditional branch
+    bool branchTaken = false;
+    bool isCall = false;       ///< jal/jalr
+    bool isReturn = false;     ///< jr $ra
+    Addr nextPc = 0;           ///< architectural successor PC
+
+    // --- run-time context *before* execution (predictor inputs) ---
+    Word gbh = 0;              ///< global branch history register
+    Word cid = 0;              ///< caller id = current $ra value
+
+    // --- produced value ---
+    isa::FlatReg dest = isa::NoReg;
+    Word result = 0;           ///< value written to dest (if any)
+    Word storeValue = 0;       ///< value written to memory (stores)
+};
+
+} // namespace arl::sim
+
+#endif // ARL_SIM_STEP_INFO_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Guest system-call numbers and conventions.
+ *
+ * Convention (SPIM-flavoured): the call number is passed in $v0,
+ * the first argument in $a0, and the result comes back in $v0.
+ */
+
+#ifndef ARL_SIM_SYSCALLS_HH
+#define ARL_SIM_SYSCALLS_HH
+
+#include <cstdint>
+
+namespace arl::sim
+{
+
+/** Guest system calls handled by the simulator. */
+enum class Syscall : std::uint32_t
+{
+    PrintInt = 1,    ///< append decimal($a0) to the process output
+    PrintChar = 2,   ///< append char($a0) to the process output
+    Sbrk = 9,        ///< $v0 = old break; grow heap by $a0 bytes
+    Exit = 10,       ///< halt with status $a0
+    Malloc = 13,     ///< $v0 = heap pointer for $a0 bytes (0 = OOM)
+    Free = 14,       ///< release heap pointer $a0
+    Rand = 17        ///< $v0 = deterministic pseudo-random 31-bit value
+};
+
+} // namespace arl::sim
+
+#endif // ARL_SIM_SYSCALLS_HH

@@ -1,0 +1,161 @@
+#include "trace/trace.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "sim/simulator.hh"
+
+namespace arl::trace
+{
+
+namespace
+{
+
+/** Fixed-size file header. */
+struct TraceHeader
+{
+    std::uint32_t magic;
+    std::uint32_t version;
+    char program[56];  // NUL-padded name
+};
+
+static_assert(sizeof(TraceHeader) == 64, "header must pack");
+
+constexpr std::uint8_t FlagTaken = 1 << 0;
+constexpr std::uint8_t FlagCall = 1 << 1;
+constexpr std::uint8_t FlagReturn = 1 << 2;
+
+} // namespace
+
+TraceRecord
+toRecord(const sim::StepInfo &step)
+{
+    TraceRecord record{};
+    record.pc = step.pc;
+    record.instWord = isa::encode(step.inst);
+    record.effAddr = step.effAddr;
+    record.gbh = step.gbh;
+    record.cid = step.cid;
+    record.result = step.result;
+    record.storeValue = step.storeValue;
+    record.flags = (step.branchTaken ? FlagTaken : 0) |
+                   (step.isCall ? FlagCall : 0) |
+                   (step.isReturn ? FlagReturn : 0);
+    record.region = static_cast<std::uint8_t>(step.region);
+    record.memSize = step.memSize;
+    record.dest = step.dest;
+    return record;
+}
+
+sim::StepInfo
+fromRecord(const TraceRecord &record, InstCount seq)
+{
+    sim::StepInfo step;
+    step.pc = record.pc;
+    step.seq = seq;
+    if (!isa::decode(record.instWord, step.inst))
+        fatal("trace: undecodable instruction word 0x%08x",
+              record.instWord);
+    const isa::OpInfo &info = step.inst.info();
+    step.isMem = info.isLoad || info.isStore;
+    step.isLoad = info.isLoad;
+    step.effAddr = record.effAddr;
+    step.memSize = record.memSize;
+    step.region = static_cast<vm::Region>(record.region);
+    step.isBranch = info.isBranch;
+    step.branchTaken = record.flags & FlagTaken;
+    step.isCall = record.flags & FlagCall;
+    step.isReturn = record.flags & FlagReturn;
+    step.gbh = record.gbh;
+    step.cid = record.cid;
+    step.dest = record.dest;
+    step.result = record.result;
+    step.storeValue = record.storeValue;
+    // nextPc is not persisted; §3 consumers do not read it.
+    step.nextPc = record.pc + 4;
+    return step;
+}
+
+TraceWriter::TraceWriter(const std::string &path_in,
+                         const std::string &program)
+    : out(path_in, std::ios::binary | std::ios::trunc), path(path_in)
+{
+    if (!out)
+        fatal("trace: cannot open '%s' for writing", path.c_str());
+    TraceHeader header{};
+    header.magic = TraceMagic;
+    header.version = TraceVersion;
+    std::strncpy(header.program, program.c_str(),
+                 sizeof(header.program) - 1);
+    out.write(reinterpret_cast<const char *>(&header), sizeof(header));
+}
+
+void
+TraceWriter::append(const sim::StepInfo &step)
+{
+    TraceRecord record = toRecord(step);
+    out.write(reinterpret_cast<const char *>(&record), sizeof(record));
+    ++written;
+}
+
+void
+TraceWriter::close()
+{
+    if (out.is_open()) {
+        out.close();
+        if (!out)
+            fatal("trace: write error on '%s'", path.c_str());
+    }
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (out.is_open())
+        out.close();
+}
+
+TraceReader::TraceReader(const std::string &path)
+    : in(path, std::ios::binary)
+{
+    if (!in)
+        fatal("trace: cannot open '%s'", path.c_str());
+    TraceHeader header{};
+    in.read(reinterpret_cast<char *>(&header), sizeof(header));
+    if (!in || header.magic != TraceMagic)
+        fatal("trace: '%s' is not an ARL trace", path.c_str());
+    if (header.version != TraceVersion)
+        fatal("trace: '%s' has unsupported version %u", path.c_str(),
+              header.version);
+    header.program[sizeof(header.program) - 1] = '\0';
+    name = header.program;
+}
+
+bool
+TraceReader::next(sim::StepInfo &out_step)
+{
+    TraceRecord record{};
+    in.read(reinterpret_cast<char *>(&record), sizeof(record));
+    if (in.gcount() == 0)
+        return false;
+    if (in.gcount() != sizeof(record))
+        fatal("trace: truncated record (offset %llu)",
+              (unsigned long long)consumed);
+    out_step = fromRecord(record, consumed);
+    ++consumed;
+    return true;
+}
+
+InstCount
+recordTrace(std::shared_ptr<const vm::Program> program,
+            const std::string &path, InstCount max_insts)
+{
+    TraceWriter writer(path, program->name);
+    sim::Simulator simulator(std::move(program));
+    InstCount n = simulator.run(max_insts, [&](const sim::StepInfo &s) {
+        writer.append(s);
+    });
+    writer.close();
+    return n;
+}
+
+} // namespace arl::trace

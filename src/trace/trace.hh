@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Binary instruction-trace recording and replay.
+ *
+ * The 1990s methodology the paper's toolchain supported: run the
+ * functional simulator once, persist the dynamic instruction stream,
+ * then drive any number of analyses (profilers, predictors) from the
+ * file without re-executing.  Every §3 consumer in this repository
+ * reads sim::StepInfo, so a replayed trace is a drop-in substitute
+ * for a live simulation.
+ *
+ * Format (little-endian):
+ *
+ *     [TraceHeader]            magic, version, program name
+ *     [TraceRecord] * N        32 bytes per retired instruction
+ *
+ * Records carry everything the profilers and predictors consume —
+ * PC, the encoded instruction word (re-decoded on read), effective
+ * address, region, fetch-time GBH/CID context, and produced values.
+ * Traces are bit-reproducible: recording the same program twice
+ * yields identical files.
+ */
+
+#ifndef ARL_TRACE_TRACE_HH
+#define ARL_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "sim/step_info.hh"
+#include "vm/program.hh"
+
+namespace arl::trace
+{
+
+/** File magic: "ARLT". */
+constexpr std::uint32_t TraceMagic = 0x544c5241;
+/** Format version. */
+constexpr std::uint32_t TraceVersion = 1;
+
+/** On-disk record; fixed 32 bytes. */
+struct TraceRecord
+{
+    std::uint32_t pc;
+    std::uint32_t instWord;    ///< encoded instruction (re-decoded)
+    std::uint32_t effAddr;
+    std::uint32_t gbh;
+    std::uint32_t cid;
+    std::uint32_t result;
+    std::uint32_t storeValue;
+    std::uint8_t flags;        ///< bit0 taken, bit1 call, bit2 return
+    std::uint8_t region;       ///< vm::Region (or Unknown if not mem)
+    std::uint8_t memSize;
+    std::uint8_t dest;         ///< flat destination register or NoReg
+};
+
+static_assert(sizeof(TraceRecord) == 32, "trace record must pack");
+
+/** Convert a live step into a record. */
+TraceRecord toRecord(const sim::StepInfo &step);
+
+/**
+ * Reconstitute a step.  @p seq restores the dynamic sequence number
+ * (records do not store it — it is implicit in file position).
+ */
+sim::StepInfo fromRecord(const TraceRecord &record, InstCount seq);
+
+/** Streams retired instructions to a trace file. */
+class TraceWriter
+{
+  public:
+    /**
+     * Open @p path for writing and emit the header.
+     * Fatal on I/O errors (user environment problem).
+     */
+    TraceWriter(const std::string &path, const std::string &program);
+
+    /** Append one instruction. */
+    void append(const sim::StepInfo &step);
+
+    /** Flush and close (also done by the destructor). */
+    void close();
+
+    /** Instructions written so far. */
+    InstCount count() const { return written; }
+
+    ~TraceWriter();
+
+  private:
+    std::ofstream out;
+    std::string path;
+    InstCount written = 0;
+};
+
+/** Reads a trace file back as a StepInfo stream. */
+class TraceReader
+{
+  public:
+    /** Open @p path; fatal on missing/corrupt headers. */
+    explicit TraceReader(const std::string &path);
+
+    /**
+     * Read the next instruction.
+     * @return false at end of trace.
+     */
+    bool next(sim::StepInfo &out);
+
+    /** Program name recorded in the header. */
+    const std::string &programName() const { return name; }
+
+    /** Instructions read so far. */
+    InstCount count() const { return consumed; }
+
+  private:
+    std::ifstream in;
+    std::string name;
+    InstCount consumed = 0;
+};
+
+/**
+ * Convenience: run @p program functionally and record the stream.
+ * @return instructions recorded.
+ */
+InstCount recordTrace(std::shared_ptr<const vm::Program> program,
+                      const std::string &path,
+                      InstCount max_insts = 0);
+
+} // namespace arl::trace
+
+#endif // ARL_TRACE_TRACE_HH

@@ -1,0 +1,94 @@
+#include "vm/heap.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace arl::vm
+{
+
+namespace
+{
+constexpr Addr Alignment = 8;
+} // namespace
+
+HeapAllocator::HeapAllocator(Addr heap_base, Addr heap_limit)
+    : base(heap_base), limit(heap_limit), breakAddr(heap_base)
+{
+    ARL_ASSERT(heap_base < heap_limit);
+}
+
+Addr
+HeapAllocator::malloc(Addr bytes)
+{
+    if (bytes == 0)
+        bytes = 1;
+    bytes = static_cast<Addr>(roundUp(bytes, Alignment));
+
+    // First fit over the free list.
+    for (auto it = freeBlocks.begin(); it != freeBlocks.end(); ++it) {
+        auto [start, size] = *it;
+        if (size < bytes)
+            continue;
+        freeBlocks.erase(it);
+        if (size > bytes)
+            freeBlocks.emplace(start + bytes, size - bytes);
+        allocated.emplace(start, bytes);
+        inUse += bytes;
+        return start;
+    }
+
+    // Extend the break.
+    if (breakAddr + bytes > limit || breakAddr + bytes < breakAddr)
+        return 0;
+    Addr start = breakAddr;
+    breakAddr += bytes;
+    allocated.emplace(start, bytes);
+    inUse += bytes;
+    return start;
+}
+
+void
+HeapAllocator::free(Addr ptr)
+{
+    auto it = allocated.find(ptr);
+    if (it == allocated.end())
+        panic("HeapAllocator::free: 0x%08x was not allocated", ptr);
+    Addr size = it->second;
+    allocated.erase(it);
+    inUse -= size;
+    auto [fit, inserted] = freeBlocks.emplace(ptr, size);
+    ARL_ASSERT(inserted);
+    coalesce(fit);
+}
+
+Addr
+HeapAllocator::sbrk(Addr bytes)
+{
+    bytes = static_cast<Addr>(roundUp(bytes, Alignment));
+    if (breakAddr + bytes > limit || breakAddr + bytes < breakAddr)
+        return 0;
+    Addr old = breakAddr;
+    breakAddr += bytes;
+    return old;
+}
+
+void
+HeapAllocator::coalesce(std::map<Addr, Addr>::iterator it)
+{
+    // Merge with the successor.
+    auto next = std::next(it);
+    if (next != freeBlocks.end() && it->first + it->second == next->first) {
+        it->second += next->second;
+        freeBlocks.erase(next);
+    }
+    // Merge with the predecessor.
+    if (it != freeBlocks.begin()) {
+        auto prev = std::prev(it);
+        if (prev->first + prev->second == it->first) {
+            prev->second += it->second;
+            freeBlocks.erase(it);
+        }
+    }
+}
+
+} // namespace arl::vm

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Host-side heap allocator backing the guest's malloc/free syscalls.
+ *
+ * The paper's benchmarks obtain heap storage through libc malloc on
+ * top of sbrk; we model the same: a first-fit free list with
+ * coalescing over a break that grows upward from the end of the data
+ * segment.  Bookkeeping lives host-side (the guest never reads the
+ * allocator metadata), which keeps guest memory traffic equal to the
+ * *application's* accesses — the quantity the paper profiles.
+ * Returned blocks are 8-byte aligned, like a typical 1990s libc.
+ */
+
+#ifndef ARL_VM_HEAP_HH
+#define ARL_VM_HEAP_HH
+
+#include <cstdint>
+#include <map>
+
+#include "common/types.hh"
+
+namespace arl::vm
+{
+
+/** First-fit free-list allocator over the guest heap region. */
+class HeapAllocator
+{
+  public:
+    /**
+     * @param heap_base  lowest heap address (page aligned).
+     * @param heap_limit one past the highest usable heap address.
+     */
+    HeapAllocator(Addr heap_base, Addr heap_limit);
+
+    /**
+     * Allocate @p bytes (>=1) of guest heap.
+     * @return guest address, or 0 when the heap is exhausted.
+     */
+    Addr malloc(Addr bytes);
+
+    /**
+     * Release a block previously returned by malloc().
+     * Panics on a double free or a pointer malloc never returned
+     * (guest workload bugs should be loud).
+     */
+    void free(Addr ptr);
+
+    /**
+     * Grow the break by @p bytes (sbrk semantics).
+     * @return the previous break, or 0 on exhaustion.
+     */
+    Addr sbrk(Addr bytes);
+
+    /** Current break (first never-allocated address). */
+    Addr brk() const { return breakAddr; }
+
+    /** Total bytes currently allocated to the guest. */
+    Addr bytesInUse() const { return inUse; }
+
+    /** Number of live allocations. */
+    std::size_t liveBlocks() const { return allocated.size(); }
+
+  private:
+    /** Merge adjacent free blocks around the block at @p addr. */
+    void coalesce(std::map<Addr, Addr>::iterator it);
+
+    Addr base;
+    Addr limit;
+    Addr breakAddr;
+    Addr inUse = 0;
+
+    /** Free blocks: start -> size. */
+    std::map<Addr, Addr> freeBlocks;
+    /** Live allocations: start -> size. */
+    std::map<Addr, Addr> allocated;
+};
+
+} // namespace arl::vm
+
+#endif // ARL_VM_HEAP_HH

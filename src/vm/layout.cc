@@ -1,0 +1,24 @@
+#include "vm/layout.hh"
+
+namespace arl::vm
+{
+
+std::string
+regionName(Region region)
+{
+    switch (region) {
+      case Region::Data:
+        return "data";
+      case Region::Heap:
+        return "heap";
+      case Region::Stack:
+        return "stack";
+      case Region::Text:
+        return "text";
+      case Region::Unknown:
+        return "unknown";
+    }
+    return "invalid";
+}
+
+} // namespace arl::vm

@@ -1,0 +1,121 @@
+#include "vm/memory.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace arl::vm
+{
+
+const SparseMemory::Page *
+SparseMemory::findPage(Addr addr) const
+{
+    auto it = pages.find(addr >> layout::PageShift);
+    return it == pages.end() ? nullptr : it->second.get();
+}
+
+SparseMemory::Page &
+SparseMemory::touchPage(Addr addr)
+{
+    auto &slot = pages[addr >> layout::PageShift];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+std::uint8_t
+SparseMemory::read8(Addr addr) const
+{
+    const Page *page = findPage(addr);
+    if (!page)
+        return 0;
+    return (*page)[addr & (layout::PageBytes - 1)];
+}
+
+std::uint16_t
+SparseMemory::read16(Addr addr) const
+{
+    ARL_ASSERT((addr & 1) == 0, "misaligned 16-bit read at 0x%08x", addr);
+    const Page *page = findPage(addr);
+    if (!page)
+        return 0;
+    std::uint16_t value;
+    std::memcpy(&value, page->data() + (addr & (layout::PageBytes - 1)),
+                sizeof(value));
+    return value;
+}
+
+std::uint32_t
+SparseMemory::read32(Addr addr) const
+{
+    ARL_ASSERT((addr & 3) == 0, "misaligned 32-bit read at 0x%08x", addr);
+    const Page *page = findPage(addr);
+    if (!page)
+        return 0;
+    std::uint32_t value;
+    std::memcpy(&value, page->data() + (addr & (layout::PageBytes - 1)),
+                sizeof(value));
+    return value;
+}
+
+void
+SparseMemory::write8(Addr addr, std::uint8_t value)
+{
+    touchPage(addr)[addr & (layout::PageBytes - 1)] = value;
+}
+
+void
+SparseMemory::write16(Addr addr, std::uint16_t value)
+{
+    ARL_ASSERT((addr & 1) == 0, "misaligned 16-bit write at 0x%08x", addr);
+    Page &page = touchPage(addr);
+    std::memcpy(page.data() + (addr & (layout::PageBytes - 1)), &value,
+                sizeof(value));
+}
+
+void
+SparseMemory::write32(Addr addr, std::uint32_t value)
+{
+    ARL_ASSERT((addr & 3) == 0, "misaligned 32-bit write at 0x%08x", addr);
+    Page &page = touchPage(addr);
+    std::memcpy(page.data() + (addr & (layout::PageBytes - 1)), &value,
+                sizeof(value));
+}
+
+void
+SparseMemory::writeBlock(Addr addr, const std::uint8_t *data,
+                         std::size_t len)
+{
+    while (len > 0) {
+        std::size_t offset = addr & (layout::PageBytes - 1);
+        std::size_t chunk =
+            std::min<std::size_t>(len, layout::PageBytes - offset);
+        std::memcpy(touchPage(addr).data() + offset, data, chunk);
+        addr += static_cast<Addr>(chunk);
+        data += chunk;
+        len -= chunk;
+    }
+}
+
+void
+SparseMemory::readBlock(Addr addr, std::uint8_t *data,
+                        std::size_t len) const
+{
+    while (len > 0) {
+        std::size_t offset = addr & (layout::PageBytes - 1);
+        std::size_t chunk =
+            std::min<std::size_t>(len, layout::PageBytes - offset);
+        const Page *page = findPage(addr);
+        if (page)
+            std::memcpy(data, page->data() + offset, chunk);
+        else
+            std::memset(data, 0, chunk);
+        addr += static_cast<Addr>(chunk);
+        data += chunk;
+        len -= chunk;
+    }
+}
+
+} // namespace arl::vm

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Sparse paged guest memory.
+ *
+ * Pages (4 KB) are allocated on first touch, so the 2 GB guest
+ * address space costs only what the workload actually uses.  All
+ * multi-byte accesses are little-endian and must be naturally
+ * aligned (the ISA only generates aligned accesses; misalignment is
+ * an arl bug and panics).
+ */
+
+#ifndef ARL_VM_MEMORY_HH
+#define ARL_VM_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "vm/layout.hh"
+
+namespace arl::vm
+{
+
+/** Sparse, page-granular guest physical memory. */
+class SparseMemory
+{
+  public:
+    /** Read one byte (0 for never-written locations). */
+    std::uint8_t read8(Addr addr) const;
+
+    /** Read a naturally aligned 16-bit little-endian value. */
+    std::uint16_t read16(Addr addr) const;
+
+    /** Read a naturally aligned 32-bit little-endian value. */
+    std::uint32_t read32(Addr addr) const;
+
+    /** Write one byte. */
+    void write8(Addr addr, std::uint8_t value);
+
+    /** Write a naturally aligned 16-bit value. */
+    void write16(Addr addr, std::uint16_t value);
+
+    /** Write a naturally aligned 32-bit value. */
+    void write32(Addr addr, std::uint32_t value);
+
+    /** Bulk copy into guest memory (no alignment requirement). */
+    void writeBlock(Addr addr, const std::uint8_t *data, std::size_t len);
+
+    /** Bulk copy out of guest memory. */
+    void readBlock(Addr addr, std::uint8_t *data, std::size_t len) const;
+
+    /** Number of pages currently materialised. */
+    std::size_t pageCount() const { return pages.size(); }
+
+    /** Drop every page (memory reads as zero again). */
+    void clear() { pages.clear(); }
+
+  private:
+    using Page = std::array<std::uint8_t, layout::PageBytes>;
+
+    /** Page for reading; nullptr when the page was never written. */
+    const Page *findPage(Addr addr) const;
+
+    /** Page for writing; allocates (zero-filled) on first touch. */
+    Page &touchPage(Addr addr);
+
+    std::unordered_map<std::uint32_t, std::unique_ptr<Page>> pages;
+};
+
+} // namespace arl::vm
+
+#endif // ARL_VM_MEMORY_HH

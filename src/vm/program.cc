@@ -1,0 +1,59 @@
+#include "vm/program.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace arl::vm
+{
+
+Addr
+Program::heapBase() const
+{
+    Addr end = layout::DataBase + static_cast<Addr>(data.size()) + bssBytes;
+    return static_cast<Addr>(roundUp(end, layout::PageBytes));
+}
+
+Word
+Program::fetch(Addr pc) const
+{
+    if (!validPc(pc))
+        panic("instruction fetch outside text: pc=0x%08x (%s)", pc,
+              name.c_str());
+    return text[(pc - textBase) >> 2];
+}
+
+bool
+Program::lookup(const std::string &symbol, Addr &out) const
+{
+    auto it = symbols.find(symbol);
+    if (it == symbols.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+std::vector<isa::DecodedInst>
+Program::decodeAll() const
+{
+    std::vector<isa::DecodedInst> decoded(text.size());
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        if (!isa::decode(text[i], decoded[i]))
+            panic("undecodable word 0x%08x at pc=0x%08x in %s", text[i],
+                  textBase + static_cast<Addr>(i * 4), name.c_str());
+    }
+    return decoded;
+}
+
+std::size_t
+Program::staticMemInstructionCount() const
+{
+    std::size_t count = 0;
+    for (Word w : text) {
+        isa::DecodedInst inst;
+        if (isa::decode(w, inst) && inst.isMem())
+            ++count;
+    }
+    return count;
+}
+
+} // namespace arl::vm

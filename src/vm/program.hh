@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Loadable program image: text, initialised data, bss, entry point,
+ * and a symbol table.  Produced by the assembler or the
+ * ProgramBuilder; consumed by the loader/simulator.
+ */
+
+#ifndef ARL_VM_PROGRAM_HH
+#define ARL_VM_PROGRAM_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/inst.hh"
+#include "vm/layout.hh"
+
+namespace arl::vm
+{
+
+/** A fully linked ARL-ISA program. */
+class Program
+{
+  public:
+    /** Program name (used in reports). */
+    std::string name = "anonymous";
+
+    /** First text address (always layout::TextBase in this repo). */
+    Addr textBase = layout::TextBase;
+
+    /** Encoded instruction words, textBase-relative. */
+    std::vector<Word> text;
+
+    /** Initialised data image, placed at layout::DataBase. */
+    std::vector<std::uint8_t> data;
+
+    /** Zero-initialised bytes following the data image. */
+    Addr bssBytes = 0;
+
+    /** Entry point PC. */
+    Addr entry = layout::TextBase;
+
+    /** Label/symbol table (text and data symbols). */
+    std::map<std::string, Addr> symbols;
+
+    /** Address one past the last text word. */
+    Addr
+    textEnd() const
+    {
+        return textBase + static_cast<Addr>(text.size() * 4);
+    }
+
+    /** Address one past data+bss (page aligned = heap base). */
+    Addr heapBase() const;
+
+    /** True when @p pc addresses a valid text word. */
+    bool
+    validPc(Addr pc) const
+    {
+        return pc >= textBase && pc < textEnd() && (pc & 3) == 0;
+    }
+
+    /** Fetch the encoded word at @p pc (panics on invalid PC). */
+    Word fetch(Addr pc) const;
+
+    /**
+     * Look up a symbol.
+     * @return true and sets @p out when found.
+     */
+    bool lookup(const std::string &symbol, Addr &out) const;
+
+    /**
+     * Decode the whole text segment once (used by the simulators to
+     * avoid re-decoding in the hot loop).  Panics on undecodable
+     * words — a linked Program must contain only valid encodings.
+     */
+    std::vector<isa::DecodedInst> decodeAll() const;
+
+    /** Static (per-PC) count of load/store instructions in text. */
+    std::size_t staticMemInstructionCount() const;
+};
+
+} // namespace arl::vm
+
+#endif // ARL_VM_PROGRAM_HH

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * ProgramBuilder tests: data allocation, label fixups, pseudo
+ * expansion, function frames (verified by executing the generated
+ * code), leaf functions, and $gp-relative global access.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "builder/program_builder.hh"
+#include "sim/simulator.hh"
+
+using namespace arl;
+namespace r = isa::reg;
+using builder::Label;
+using builder::ProgramBuilder;
+
+TEST(Builder, DataAllocationAndAddresses)
+{
+    ProgramBuilder b("data");
+    Addr w = b.globalWord("w", 42);
+    Addr arr = b.globalArray("arr", 10);
+    Addr bytes = b.globalBytes("bytes", 3);   // word aligned
+    Addr init = b.globalInit("init", {1, 2, 3});
+    EXPECT_EQ(w, vm::layout::DataBase);
+    EXPECT_EQ(arr, w + 4);
+    EXPECT_EQ(bytes, arr + 40);
+    EXPECT_EQ(init, bytes + 4);
+    EXPECT_EQ(b.dataAddr("arr"), arr);
+    b.nop();
+    auto prog = b.finish();
+    // Initial image contains the initialised values.
+    EXPECT_EQ(prog->data[0], 42u);
+    std::uint32_t first_init;
+    std::memcpy(&first_init, prog->data.data() + (init - w), 4);
+    EXPECT_EQ(first_init, 1u);
+}
+
+TEST(Builder, ForwardAndBackwardBranches)
+{
+    ProgramBuilder b("branchy");
+    b.emitStartStub("main");
+    b.beginFunction("main", 0);
+    Label fwd = b.label();
+    Label back = b.label();
+    b.li(r::T0, 0);
+    b.bind(back);
+    b.addi(r::T0, r::T0, 1);
+    b.li(r::T1, 3);
+    b.bne(r::T0, r::T1, back);    // backward
+    b.beq(r::T0, r::T1, fwd);     // forward
+    b.li(r::T0, 99);              // skipped
+    b.bind(fwd);
+    b.fnReturn();
+    b.endFunction();
+
+    sim::Simulator simulator(b.finish());
+    simulator.run();
+    EXPECT_EQ(simulator.process().gpr[r::T0], 3u);
+}
+
+TEST(Builder, LiExpansion)
+{
+    ProgramBuilder b("li");
+    b.emitStartStub("main");
+    b.beginFunction("main", 0);
+    b.li(r::T0, 5);                 // addi
+    b.li(r::T1, -5);                // addi
+    b.li(r::T2, 0x12345678);        // lui+ori
+    b.li(r::T3, -2000000000);       // lui+ori
+    b.li(r::T4, 0x00010000);        // lui only (low bits zero)
+    b.fnReturn();
+    b.endFunction();
+    sim::Simulator simulator(b.finish());
+    simulator.run();
+    const auto &proc = simulator.process();
+    EXPECT_EQ(proc.gpr[r::T0], 5u);
+    EXPECT_EQ(static_cast<SWord>(proc.gpr[r::T1]), -5);
+    EXPECT_EQ(proc.gpr[r::T2], 0x12345678u);
+    EXPECT_EQ(static_cast<SWord>(proc.gpr[r::T3]), -2000000000);
+    EXPECT_EQ(proc.gpr[r::T4], 0x00010000u);
+}
+
+TEST(Builder, FunctionFramePreservesCalleeSaved)
+{
+    ProgramBuilder b("frames");
+    b.emitStartStub("main");
+    // clobber() trashes $s0..$s2 but must restore them.
+    b.beginFunction("clobber", 1, {r::S0, r::S1, r::S2});
+    b.li(r::S0, 0xbad);
+    b.li(r::S1, 0xbad);
+    b.li(r::S2, 0xbad);
+    b.fnReturn();
+    b.endFunction();
+    b.beginFunction("main", 0, {r::S0, r::S1, r::S2});
+    b.li(r::S0, 111);
+    b.li(r::S1, 222);
+    b.li(r::S2, 333);
+    b.jal("clobber");
+    b.move(r::T0, r::S0);
+    b.move(r::T1, r::S1);
+    b.move(r::T2, r::S2);
+    b.fnReturn();
+    b.endFunction();
+
+    sim::Simulator simulator(b.finish());
+    simulator.run();
+    const auto &proc = simulator.process();
+    EXPECT_EQ(proc.gpr[r::T0], 111u);
+    EXPECT_EQ(proc.gpr[r::T1], 222u);
+    EXPECT_EQ(proc.gpr[r::T2], 333u);
+    // The stack pointer is fully restored.
+    EXPECT_EQ(proc.gpr[r::Sp], vm::layout::StackTop);
+    EXPECT_EQ(simulator.process().exitCode, 0u);
+}
+
+TEST(Builder, LocalOffsetsSpAndFpViewsAgree)
+{
+    ProgramBuilder b("locals");
+    b.emitStartStub("main");
+    b.beginFunction("main", 3, {r::S0});
+    // Write through the $sp view, read through the $fp view.
+    b.li(r::T0, 4242);
+    b.sw(r::T0, b.localOffset(2), r::Sp);
+    b.lw(r::T1, b.localOffsetFp(2), r::Fp);
+    b.fnReturn();
+    b.endFunction();
+    sim::Simulator simulator(b.finish());
+    simulator.run();
+    EXPECT_EQ(simulator.process().gpr[r::T1], 4242u);
+}
+
+TEST(Builder, LeafFunctionHasNoFrame)
+{
+    ProgramBuilder b("leafy");
+    b.emitStartStub("main");
+    b.beginLeaf("leaf");
+    b.addi(r::V0, r::A0, 5);
+    b.fnReturn();
+    b.endFunction();
+    b.beginFunction("main", 0);
+    b.li(r::A0, 10);
+    b.jal("leaf");
+    b.fnReturn();
+    b.endFunction();
+
+    auto prog = b.finish();
+    sim::Simulator simulator(prog);
+    // Count memory accesses inside the leaf: must be zero.
+    Addr leaf_addr = 0;
+    ASSERT_TRUE(prog->lookup("leaf", leaf_addr));
+    unsigned leaf_mem = 0;
+    simulator.run(0, [&](const sim::StepInfo &step) {
+        if (step.isMem && step.pc >= leaf_addr &&
+            step.pc < leaf_addr + 12)
+            ++leaf_mem;
+    });
+    EXPECT_EQ(leaf_mem, 0u);
+    EXPECT_TRUE(simulator.halted());
+}
+
+TEST(Builder, GpRelativeGlobalsUseRule3Addressing)
+{
+    ProgramBuilder b("gprel");
+    b.globalWord("near", 7);
+    b.emitStartStub("main");
+    b.beginFunction("main", 0);
+    b.lwGlobal(r::T0, "near");
+    b.addi(r::T0, r::T0, 1);
+    b.swGlobal(r::T0, "near");
+    b.fnReturn();
+    b.endFunction();
+
+    auto prog = b.finish();
+    // Find lw/sw with base $gp in the text.
+    unsigned gp_based = 0;
+    for (Word word : prog->text) {
+        isa::DecodedInst inst;
+        if (isa::decode(word, inst) && inst.isMem() &&
+            inst.baseReg() == r::Gp)
+            ++gp_based;
+    }
+    EXPECT_EQ(gp_based, 2u);
+    sim::Simulator simulator(prog);
+    simulator.run();
+    EXPECT_EQ(simulator.process().memory.read32(b.dataAddr("near")), 8u);
+}
+
+TEST(Builder, LaFuncResolvesTextSymbols)
+{
+    ProgramBuilder b("funcptr");
+    b.emitStartStub("main");
+    b.beginLeaf("target");
+    b.li(r::V0, 1234);
+    b.fnReturn();
+    b.endFunction();
+    b.beginFunction("main", 0);
+    b.laFunc(r::T0, "target");
+    b.jalr(r::Ra, r::T0);
+    b.move(r::A0, r::V0);
+    b.li(r::V0, 1);
+    b.syscall();
+    b.fnReturn();
+    b.endFunction();
+    sim::Simulator simulator(b.finish());
+    simulator.run();
+    EXPECT_EQ(simulator.process().output, "1234");
+}
+
+TEST(Builder, NextPcAndTextSize)
+{
+    ProgramBuilder b("size");
+    EXPECT_EQ(b.nextPc(), vm::layout::TextBase);
+    b.nop();
+    b.nop();
+    EXPECT_EQ(b.textSize(), 2u);
+    EXPECT_EQ(b.nextPc(), vm::layout::TextBase + 8);
+}
+
+TEST(BuilderDeath, OutOfRangeImmediate)
+{
+    ProgramBuilder b("bad");
+    EXPECT_DEATH(b.addi(r::T0, r::T0, 70000), "out of range");
+}
+
+TEST(BuilderDeath, DuplicateSymbol)
+{
+    ProgramBuilder b("dup");
+    b.globalWord("x", 0);
+    EXPECT_DEATH(b.globalWord("x", 1), "duplicate");
+}
+
+TEST(BuilderDeath, UnresolvedSymbolAtFinish)
+{
+    ProgramBuilder b("unresolved");
+    b.emitStartStub("main");
+    // "main" never defined.
+    EXPECT_DEATH(b.finish(), "unresolved symbol");
+}
+
+TEST(Builder, EntryDefaultsToMain)
+{
+    ProgramBuilder b("entry");
+    b.nop();
+    b.bindHere("main");
+    b.exit_(0);
+    auto prog = b.finish();
+    EXPECT_EQ(prog->entry, vm::layout::TextBase + 4);
+}

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Cache model tests: hits/misses/LRU/writebacks, probe semantics,
+ * hierarchy latency composition (parameterized over both pipelines),
+ * and the TLB's per-page stack bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "cache/hierarchy.hh"
+#include "cache/tlb.hh"
+#include "vm/layout.hh"
+
+using namespace arl;
+using namespace arl::cache;
+
+TEST(Cache, HitAfterMiss)
+{
+    Cache cache(CacheGeometry{"t", 1024, 32, 2});
+    EXPECT_FALSE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x101c, false).hit);   // same line
+    EXPECT_FALSE(cache.access(0x1020, false).hit);  // next line
+    EXPECT_EQ(cache.hits, 2u);
+    EXPECT_EQ(cache.misses, 2u);
+}
+
+TEST(Cache, LruReplacement)
+{
+    // 2-way, 16 sets of 32B lines: addresses 0, 512, 1024 share set 0.
+    Cache cache(CacheGeometry{"t", 1024, 32, 2});
+    cache.access(0, false);
+    cache.access(512, false);
+    cache.access(0, false);      // refresh line 0
+    cache.access(1024, false);   // evicts 512 (LRU)
+    EXPECT_TRUE(cache.access(0, false).hit);
+    EXPECT_FALSE(cache.access(512, false).hit);
+}
+
+TEST(Cache, WritebackOnDirtyEviction)
+{
+    Cache cache(CacheGeometry{"t", 64, 32, 1});  // 2 sets, direct
+    cache.access(0, true);                       // dirty line
+    auto outcome = cache.access(64, false);      // same set: evicts
+    EXPECT_TRUE(outcome.writeback);
+    EXPECT_EQ(cache.writebacks, 1u);
+    // Clean eviction has no writeback.
+    cache.access(128, false);
+    EXPECT_EQ(cache.writebacks, 1u);
+}
+
+TEST(Cache, ProbeDoesNotAllocate)
+{
+    Cache cache(CacheGeometry{"t", 1024, 32, 2});
+    EXPECT_FALSE(cache.probe(0x2000));
+    EXPECT_EQ(cache.misses, 0u);
+    cache.access(0x2000, false);
+    EXPECT_TRUE(cache.probe(0x2000));
+}
+
+TEST(Cache, FlushClears)
+{
+    Cache cache(CacheGeometry{"t", 1024, 32, 2});
+    cache.access(0x3000, true);
+    cache.flush();
+    EXPECT_FALSE(cache.probe(0x3000));
+}
+
+TEST(Cache, HitRateAccounting)
+{
+    Cache cache(CacheGeometry{"t", 1024, 32, 2});
+    EXPECT_EQ(cache.hitRatePct(), 100.0);  // vacuous
+    cache.access(0, false);
+    cache.access(0, false);
+    cache.access(0, false);
+    cache.access(32, false);
+    EXPECT_NEAR(cache.hitRatePct(), 50.0, 1e-9);
+}
+
+TEST(CacheDeath, BadGeometryRejected)
+{
+    EXPECT_DEATH(Cache(CacheGeometry{"bad", 1000, 24, 2}),
+                 "powers");
+}
+
+/** Hierarchy latency composition for both first-level pipes. */
+class HierarchyLatency : public ::testing::TestWithParam<MemPipe>
+{
+  protected:
+    HierarchyConfig
+    config() const
+    {
+        HierarchyConfig c;
+        c.hasLvc = true;
+        return c;
+    }
+};
+
+TEST_P(HierarchyLatency, ComposesMissLatencies)
+{
+    HierarchyConfig c = config();
+    Hierarchy hierarchy(c);
+    MemPipe pipe = GetParam();
+    std::uint32_t first = (pipe == MemPipe::Lvc) ? c.lvcHitLatency
+                                                 : c.l1HitLatency;
+
+    // Cold: first-level miss + L2 miss -> full memory latency.
+    auto cold = hierarchy.access(pipe, 0x10000000, false);
+    EXPECT_FALSE(cold.l1Hit);
+    EXPECT_EQ(cold.latency, first + c.l2HitLatency + c.memoryLatency);
+
+    // Hot: first-level hit.
+    auto hot = hierarchy.access(pipe, 0x10000000, false);
+    EXPECT_TRUE(hot.l1Hit);
+    EXPECT_EQ(hot.latency, first);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothPipes, HierarchyLatency,
+                         ::testing::Values(MemPipe::DCache,
+                                           MemPipe::Lvc),
+                         [](const auto &info) {
+                             return info.param == MemPipe::Lvc
+                                        ? "Lvc"
+                                        : "DCache";
+                         });
+
+TEST(Hierarchy, L2CatchesL1Evictions)
+{
+    HierarchyConfig c;
+    c.l1.sizeBytes = 64;   // tiny L1: 2 lines direct... 1 set 2-way
+    c.l1.assoc = 2;
+    Hierarchy hierarchy(c);
+    hierarchy.access(MemPipe::DCache, 0x10000000, false);  // cold
+    hierarchy.access(MemPipe::DCache, 0x10001000, false);
+    hierarchy.access(MemPipe::DCache, 0x10002000, false);  // evicts 1st
+    // The first line is gone from L1 but still in L2.
+    auto again = hierarchy.access(MemPipe::DCache, 0x10000000, false);
+    EXPECT_FALSE(again.l1Hit);
+    EXPECT_EQ(again.latency, c.l1HitLatency + c.l2HitLatency);
+}
+
+TEST(Hierarchy, LvcAndL1ShareL2)
+{
+    HierarchyConfig c;
+    c.hasLvc = true;
+    Hierarchy hierarchy(c);
+    Addr addr = vm::layout::StackTop - 64;
+    hierarchy.access(MemPipe::Lvc, addr, true);   // fills LVC and L2
+    // The same line through the D-cache pipe misses L1 but hits L2.
+    auto via_l1 = hierarchy.access(MemPipe::DCache, addr, false);
+    EXPECT_EQ(via_l1.latency, c.l1HitLatency + c.l2HitLatency);
+}
+
+TEST(HierarchyDeath, LvcAccessWithoutLvc)
+{
+    HierarchyConfig c;
+    c.hasLvc = false;
+    Hierarchy hierarchy(c);
+    EXPECT_DEATH(hierarchy.access(MemPipe::Lvc, 0x1000, false),
+                 "without an LVC");
+}
+
+TEST(Tlb, StackBitFromRegionMap)
+{
+    vm::RegionMap regions(0x10004000);
+    Tlb tlb(64, regions);
+    auto stack = tlb.translate(vm::layout::StackTop - 128);
+    EXPECT_FALSE(stack.hit);  // cold
+    EXPECT_TRUE(stack.stackPage);
+    auto stack_again = tlb.translate(vm::layout::StackTop - 64);
+    EXPECT_TRUE(stack_again.hit);  // same page
+    EXPECT_TRUE(stack_again.stackPage);
+    auto data = tlb.translate(vm::layout::DataBase);
+    EXPECT_FALSE(data.stackPage);
+    auto heap = tlb.translate(0x10004000);
+    EXPECT_FALSE(heap.stackPage);
+    EXPECT_EQ(tlb.misses, 3u);
+    EXPECT_EQ(tlb.hits, 1u);
+}
+
+TEST(Tlb, ConflictEvictionRefills)
+{
+    vm::RegionMap regions(0x10004000);
+    Tlb tlb(1, regions);  // single entry: every new page evicts
+    tlb.translate(vm::layout::DataBase);
+    tlb.translate(vm::layout::StackTop - 4);
+    auto back = tlb.translate(vm::layout::DataBase);
+    EXPECT_FALSE(back.hit);
+    EXPECT_FALSE(back.stackPage);
+    EXPECT_EQ(tlb.misses, 3u);
+}

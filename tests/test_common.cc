@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for the common utilities: bit manipulation, statistics
+ * accumulators, the table printer, and the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/bits.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+using namespace arl;
+
+TEST(Bits, ExtractAndInsert)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 0, 4), 0xfu);
+    EXPECT_EQ(bits(0xdeadbeef, 28, 4), 0xdu);
+    EXPECT_EQ(bits(0xdeadbeef, 8, 8), 0xbeu);
+    EXPECT_EQ(bits(0xffffffff, 0, 32), 0xffffffffu);
+
+    std::uint32_t word = 0;
+    word = insertBits(word, 26, 6, 0x3f);
+    EXPECT_EQ(word, 0xfc000000u);
+    word = insertBits(word, 0, 16, 0x1234);
+    EXPECT_EQ(word, 0xfc001234u);
+    // Overwide fields are masked.
+    word = insertBits(0, 0, 4, 0xff);
+    EXPECT_EQ(word, 0xfu);
+}
+
+TEST(Bits, SignExtend)
+{
+    EXPECT_EQ(signExtend(0x8000, 16), -32768);
+    EXPECT_EQ(signExtend(0x7fff, 16), 32767);
+    EXPECT_EQ(signExtend(0xffff, 16), -1);
+    EXPECT_EQ(signExtend(0x1, 1), -1);
+    EXPECT_EQ(signExtend(0x0, 1), 0);
+}
+
+TEST(Bits, PowersAndRounding)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(32768));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(48));
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(32768), 15u);
+    EXPECT_EQ(floorLog2(32769), 15u);
+    EXPECT_EQ(roundUp(13, 8), 16u);
+    EXPECT_EQ(roundUp(16, 8), 16u);
+    EXPECT_EQ(roundDown(13, 8), 8u);
+}
+
+TEST(RunningStat, MeanAndStddev)
+{
+    RunningStat stat;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stat.add(x);
+    EXPECT_EQ(stat.count(), 8u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(stat.stddev(), 2.0);  // classic textbook set
+}
+
+TEST(RunningStat, MergeMatchesSequential)
+{
+    RunningStat all, a, b;
+    for (int i = 0; i < 100; ++i) {
+        double x = std::sin(i) * 10.0;
+        all.add(x);
+        (i < 37 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.stddev(), all.stddev(), 1e-12);
+}
+
+TEST(RunningStat, EmptyAndMergeEmpty)
+{
+    RunningStat stat;
+    EXPECT_EQ(stat.count(), 0u);
+    EXPECT_EQ(stat.mean(), 0.0);
+    EXPECT_EQ(stat.stddev(), 0.0);
+    RunningStat other;
+    other.add(5.0);
+    other.merge(stat);  // merging empty changes nothing
+    EXPECT_EQ(other.count(), 1u);
+    stat.merge(other);  // merging into empty copies
+    EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+}
+
+TEST(Histogram, BucketsAndMoments)
+{
+    Histogram hist(8);
+    hist.add(2);
+    hist.add(2);
+    hist.add(4);
+    EXPECT_EQ(hist.count(), 3u);
+    EXPECT_EQ(hist.bucket(2), 2u);
+    EXPECT_EQ(hist.bucket(4), 1u);
+    EXPECT_NEAR(hist.mean(), 8.0 / 3.0, 1e-12);
+    // Overflow clamping.
+    hist.add(1000);
+    EXPECT_EQ(hist.bucket(hist.size() - 1), 1u);
+}
+
+TEST(CounterGroup, IncrementAndDump)
+{
+    CounterGroup counters;
+    counters.inc("loads");
+    counters.inc("loads", 2);
+    counters.inc("stores");
+    EXPECT_EQ(counters.value("loads"), 3u);
+    EXPECT_EQ(counters.value("stores"), 1u);
+    EXPECT_EQ(counters.value("absent"), 0u);
+    std::string dump = counters.dump("sim.");
+    EXPECT_NE(dump.find("sim.loads = 3"), std::string::npos);
+}
+
+TEST(TablePrinter, AlignsColumns)
+{
+    TablePrinter table;
+    table.header({"name", "value"});
+    table.row({"x", "1"});
+    table.row({"longer_name", "22"});
+    std::string out = table.render();
+    EXPECT_NE(out.find("longer_name"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+    // Each line has the value column starting at the same offset.
+    auto first_line_end = out.find('\n');
+    ASSERT_NE(first_line_end, std::string::npos);
+}
+
+TEST(TablePrinter, Formatters)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::meanSd(1.5, 0.25), "1.50 (0.25)");
+    EXPECT_EQ(TablePrinter::pct(99.891, 2), "99.89%");
+}
+
+TEST(Rng, DeterministicAndSeedSensitive)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    bool differs = false;
+    Rng a2(42);
+    for (int i = 0; i < 10; ++i)
+        differs |= (a2.next() != c.next());
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BoundsRespected)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.nextBounded(17), 17u);
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, ZeroSeedIsNotDegenerate)
+{
+    Rng rng(0);
+    EXPECT_NE(rng.next(), 0u);
+}

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Profiler tests: region-class bookkeeping (Fig 2) and the
+ * sliding-window interleaving statistics (Table 2), checked against
+ * hand-computed values on synthetic step streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include "profile/region_profiler.hh"
+#include "profile/window_profiler.hh"
+
+using namespace arl;
+using namespace arl::profile;
+
+namespace
+{
+
+sim::StepInfo
+memStep(Addr pc, vm::Region region, bool load = true)
+{
+    sim::StepInfo step;
+    step.isMem = true;
+    step.isLoad = load;
+    step.pc = pc;
+    step.region = region;
+    step.memSize = 4;
+    return step;
+}
+
+sim::StepInfo
+aluStep(Addr pc)
+{
+    sim::StepInfo step;
+    step.pc = pc;
+    return step;
+}
+
+} // namespace
+
+TEST(RegionClass, MaskMapping)
+{
+    EXPECT_EQ(regionClassFromMask(0b001), RegionClass::D);
+    EXPECT_EQ(regionClassFromMask(0b010), RegionClass::H);
+    EXPECT_EQ(regionClassFromMask(0b100), RegionClass::S);
+    EXPECT_EQ(regionClassFromMask(0b011), RegionClass::DH);
+    EXPECT_EQ(regionClassFromMask(0b101), RegionClass::DS);
+    EXPECT_EQ(regionClassFromMask(0b110), RegionClass::HS);
+    EXPECT_EQ(regionClassFromMask(0b111), RegionClass::DHS);
+}
+
+TEST(RegionClass, Names)
+{
+    EXPECT_EQ(regionClassName(RegionClass::D), "D");
+    EXPECT_EQ(regionClassName(RegionClass::DHS), "D/H/S");
+}
+
+TEST(RegionProfiler, SingleAndMultiRegionInstructions)
+{
+    RegionProfiler profiler;
+    // PC 0x100 only touches data; PC 0x104 touches data then stack.
+    profiler.observe(memStep(0x100, vm::Region::Data));
+    profiler.observe(memStep(0x100, vm::Region::Data));
+    profiler.observe(memStep(0x104, vm::Region::Data));
+    profiler.observe(memStep(0x104, vm::Region::Stack, false));
+    profiler.observe(memStep(0x108, vm::Region::Heap));
+    profiler.observe(aluStep(0x10c));
+
+    RegionProfile profile = profiler.profile();
+    EXPECT_EQ(profile.totalInstructions, 6u);
+    EXPECT_EQ(profile.dynamicLoads, 4u);
+    EXPECT_EQ(profile.dynamicStores, 1u);
+    EXPECT_EQ(profile.staticTotal(), 3u);
+    EXPECT_EQ(profile.dynamicTotal(), 5u);
+    EXPECT_EQ(
+        profile.staticCounts[static_cast<unsigned>(RegionClass::D)], 1u);
+    EXPECT_EQ(
+        profile.staticCounts[static_cast<unsigned>(RegionClass::DS)], 1u);
+    EXPECT_EQ(
+        profile.staticCounts[static_cast<unsigned>(RegionClass::H)], 1u);
+    EXPECT_EQ(profile.staticMultiRegion(), 1u);
+    EXPECT_EQ(profile.dynamicMultiRegion(), 2u);
+    EXPECT_NEAR(profile.staticMultiRegionPct(), 100.0 / 3.0, 1e-9);
+    EXPECT_NEAR(profile.dynamicMultiRegionPct(), 40.0, 1e-9);
+    EXPECT_EQ(profile.regionRefs[0], 3u);  // data
+    EXPECT_EQ(profile.regionRefs[1], 1u);  // heap
+    EXPECT_EQ(profile.regionRefs[2], 1u);  // stack
+}
+
+TEST(RegionProfiler, MaskAccessors)
+{
+    RegionProfiler profiler;
+    profiler.observe(memStep(0x200, vm::Region::Heap));
+    profiler.observe(memStep(0x200, vm::Region::Stack));
+    EXPECT_EQ(profiler.maskForPc(0x200), 0b110u);
+    EXPECT_EQ(profiler.maskForPc(0x999), 0u);
+}
+
+TEST(WindowProfiler, ExactSmallWindow)
+{
+    // Window of 4; stream: D D - S | D - - - (sampling starts once
+    // the window is full).
+    WindowProfiler profiler(4);
+    profiler.observe(memStep(0, vm::Region::Data));
+    profiler.observe(memStep(4, vm::Region::Data));
+    profiler.observe(aluStep(8));
+    // Window fills here: contents {D, D, -, S}: first sample.
+    profiler.observe(memStep(12, vm::Region::Stack));
+    // Second sample: {D, -, S, D} -> D=2, S=1.
+    profiler.observe(memStep(16, vm::Region::Data));
+    // Third: {-, S, D, -} -> D=1, S=1.
+    profiler.observe(aluStep(20));
+
+    WindowStats stats = profiler.stats_summary();
+    EXPECT_EQ(stats.windowSize, 4u);
+    EXPECT_EQ(stats.samples, 3u);
+    // Data counts per sample: 2, 2, 1 -> mean 5/3.
+    EXPECT_NEAR(stats.mean[0], 5.0 / 3.0, 1e-12);
+    // Stack counts: 1, 1, 1 -> mean 1, sd 0.
+    EXPECT_NEAR(stats.mean[2], 1.0, 1e-12);
+    EXPECT_NEAR(stats.stddev[2], 0.0, 1e-12);
+    EXPECT_NEAR(stats.mean[1], 0.0, 1e-12);
+}
+
+TEST(WindowProfiler, BurstyPredicate)
+{
+    // 64 instructions: one burst of 8 stack refs then 56 ALU ops.
+    WindowProfiler profiler(8);
+    for (int i = 0; i < 8; ++i)
+        profiler.observe(memStep(static_cast<Addr>(i * 4),
+                                 vm::Region::Stack));
+    for (int i = 0; i < 56; ++i)
+        profiler.observe(aluStep(static_cast<Addr>(0x1000 + i * 4)));
+    WindowStats stats = profiler.stats_summary();
+    // Long quiet tail => small mean, burst => large deviation.
+    EXPECT_TRUE(stats.strictlyBursty(2));
+    EXPECT_FALSE(stats.strictlyBursty(0));  // no data refs at all
+}
+
+TEST(WindowProfiler, SteadyStreamIsNotBursty)
+{
+    // Every other instruction is a data ref: perfectly steady.
+    WindowProfiler profiler(8);
+    for (int i = 0; i < 200; ++i) {
+        if (i % 2 == 0)
+            profiler.observe(memStep(static_cast<Addr>(i),
+                                     vm::Region::Data));
+        else
+            profiler.observe(aluStep(static_cast<Addr>(i)));
+    }
+    WindowStats stats = profiler.stats_summary();
+    EXPECT_NEAR(stats.mean[0], 4.0, 1e-9);
+    EXPECT_FALSE(stats.strictlyBursty(0));
+}
+
+TEST(WindowProfiler, NoSamplesBeforeWindowFills)
+{
+    WindowProfiler profiler(32);
+    for (int i = 0; i < 31; ++i)
+        profiler.observe(aluStep(static_cast<Addr>(i)));
+    EXPECT_EQ(profiler.stats_summary().samples, 0u);
+    profiler.observe(aluStep(31));
+    EXPECT_EQ(profiler.stats_summary().samples, 1u);
+}

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Cross-layer property tests:
+ *
+ *  - encode → disassemble → assemble → encode is the identity for
+ *    every non-control opcode across randomized operand sweeps
+ *    (ties the encoder, disassembler, and assembler together);
+ *  - randomized heap-allocator stress against a reference model;
+ *  - parameterized cache-geometry sweep: a linear walk of exactly
+ *    cache-size bytes must fit (only cold misses), twice the size
+ *    must thrash a direct-mapped cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "assembler/assembler.hh"
+#include "cache/cache.hh"
+#include "common/random.hh"
+#include "isa/inst.hh"
+#include "vm/heap.hh"
+
+using namespace arl;
+
+namespace
+{
+
+/** Opcodes whose disassembly is directly valid assembler input. */
+bool
+reassemblable(isa::Opcode op)
+{
+    const isa::OpInfo &info = isa::opInfo(op);
+    if (info.isBranch || info.isJump)
+        return false;  // disassembly prints resolved hex targets
+    if (op == isa::Opcode::Lui)
+        return true;
+    return true;
+}
+
+} // namespace
+
+class DisasmRoundTrip : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(DisasmRoundTrip, DisassemblyReassemblesIdentically)
+{
+    auto op = static_cast<isa::Opcode>(GetParam());
+    if (!reassemblable(op))
+        GTEST_SKIP() << "control transfer: target is context-relative";
+
+    const isa::OpInfo &info = isa::opInfo(op);
+    Rng rng(0xc0ffee ^ GetParam());
+    for (int trial = 0; trial < 32; ++trial) {
+        isa::DecodedInst inst;
+        inst.op = op;
+        // Only randomize fields the disassembly actually renders;
+        // unused encoding fields must stay zero to survive the
+        // text round trip.
+        bool two_reg = (op == isa::Opcode::FnegS ||
+                        op == isa::Opcode::FmovS ||
+                        op == isa::Opcode::CvtSW ||
+                        op == isa::Opcode::CvtWS ||
+                        op == isa::Opcode::Mtc1 ||
+                        op == isa::Opcode::Mfc1);
+        bool bare = (op == isa::Opcode::Syscall ||
+                     op == isa::Opcode::Nop);
+        switch (info.format) {
+          case isa::InstFormat::R:
+            if (bare)
+                break;
+            inst.rd = static_cast<RegIndex>(rng.nextBounded(32));
+            inst.rs = static_cast<RegIndex>(rng.nextBounded(32));
+            if (!two_reg)
+                inst.rt = static_cast<RegIndex>(rng.nextBounded(32));
+            break;
+          case isa::InstFormat::I:
+            inst.rd = static_cast<RegIndex>(rng.nextBounded(32));
+            if (op != isa::Opcode::Lui)
+                inst.rs = static_cast<RegIndex>(rng.nextBounded(32));
+            if (op == isa::Opcode::Sll || op == isa::Opcode::Srl ||
+                op == isa::Opcode::Sra) {
+                inst.imm = static_cast<std::int32_t>(rng.nextBounded(32));
+            } else if (op == isa::Opcode::Andi ||
+                       op == isa::Opcode::Ori ||
+                       op == isa::Opcode::Xori ||
+                       op == isa::Opcode::Lui) {
+                inst.imm =
+                    static_cast<std::int32_t>(rng.nextBounded(65536));
+            } else {
+                inst.imm =
+                    static_cast<std::int32_t>(rng.nextBounded(65536)) -
+                    32768;
+            }
+            break;
+          case isa::InstFormat::J:
+            continue;  // excluded above
+        }
+        Word original = isa::encode(inst);
+        std::string text = isa::disassemble(inst);
+        auto result = assembler::assemble(text + "\n", "roundtrip");
+        ASSERT_TRUE(result.ok())
+            << text << " : "
+            << (result.errors.empty() ? "?"
+                                      : result.errors[0].format());
+        ASSERT_EQ(result.program->text.size(), 1u) << text;
+        EXPECT_EQ(result.program->text[0], original) << text;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, DisasmRoundTrip,
+    ::testing::Range(0u, isa::NumOpcodes),
+    [](const ::testing::TestParamInfo<unsigned> &info) {
+        std::string name =
+            isa::mnemonic(static_cast<isa::Opcode>(info.param));
+        for (char &c : name)
+            if (c == '.')
+                c = '_';
+        return name;
+    });
+
+TEST(HeapProperty, RandomizedStressAgainstReferenceModel)
+{
+    vm::HeapAllocator heap(0x20000000, 0x21000000);
+    Rng rng(1234);
+    std::map<Addr, Addr> live;  // start -> size
+    std::uint64_t allocated_total = 0;
+
+    for (int step = 0; step < 20000; ++step) {
+        bool do_alloc = live.empty() || rng.nextBounded(100) < 60;
+        if (do_alloc) {
+            Addr bytes = static_cast<Addr>(1 + rng.nextBounded(512));
+            Addr ptr = heap.malloc(bytes);
+            ASSERT_NE(ptr, 0u);
+            ASSERT_EQ(ptr % 8, 0u);
+            // No overlap with any live block.
+            Addr rounded = (bytes + 7) & ~Addr{7};
+            auto next = live.lower_bound(ptr);
+            if (next != live.end()) {
+                ASSERT_LE(ptr + rounded, next->first);
+            }
+            if (next != live.begin()) {
+                auto prev = std::prev(next);
+                ASSERT_LE(prev->first + prev->second, ptr);
+            }
+            live[ptr] = rounded;
+            allocated_total += rounded;
+        } else {
+            auto victim = live.begin();
+            std::advance(victim,
+                         static_cast<long>(rng.nextBounded(live.size())));
+            heap.free(victim->first);
+            live.erase(victim);
+        }
+        ASSERT_EQ(heap.liveBlocks(), live.size());
+    }
+    // Everything still live is accounted for.
+    Addr live_bytes = 0;
+    for (const auto &[ptr, size] : live)
+        live_bytes += size;
+    EXPECT_EQ(heap.bytesInUse(), live_bytes);
+}
+
+/** Cache geometry sweep: (size, assoc). */
+class CacheGeometrySweep
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>>
+{
+};
+
+TEST_P(CacheGeometrySweep, LinearWalkFitsExactly)
+{
+    auto [size, assoc] = GetParam();
+    cache::Cache cache(cache::CacheGeometry{"sweep", size, 32, assoc});
+
+    // First pass: all cold misses.
+    for (Addr addr = 0; addr < size; addr += 32)
+        cache.access(addr, false);
+    EXPECT_EQ(cache.misses, size / 32);
+    EXPECT_EQ(cache.hits, 0u);
+
+    // Second pass over the same footprint: all hits (fits exactly).
+    for (Addr addr = 0; addr < size; addr += 32)
+        cache.access(addr, false);
+    EXPECT_EQ(cache.hits, size / 32);
+    EXPECT_EQ(cache.misses, size / 32);
+}
+
+TEST_P(CacheGeometrySweep, DoubleFootprintThrashes)
+{
+    auto [size, assoc] = GetParam();
+    cache::Cache cache(cache::CacheGeometry{"sweep", size, 32, assoc});
+    // Repeated linear walks of 2x the capacity with LRU never hit.
+    for (int pass = 0; pass < 3; ++pass)
+        for (Addr addr = 0; addr < 2 * size; addr += 32)
+            cache.access(addr, false);
+    EXPECT_EQ(cache.hits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometrySweep,
+    ::testing::Values(std::make_pair(1024u, 1u),
+                      std::make_pair(4096u, 1u),
+                      std::make_pair(4096u, 2u),
+                      std::make_pair(65536u, 2u),
+                      std::make_pair(65536u, 4u),
+                      std::make_pair(8192u, 8u)),
+    [](const auto &info) {
+        return "size" + std::to_string(info.param.first) + "_assoc" +
+               std::to_string(info.param.second);
+    });

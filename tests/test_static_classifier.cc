@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Figure-6 static classifier tests: provenance lattice, per-pattern
+ * classification (frame accesses, $gp globals, la-derived array
+ * bases, malloc results, pointer parameters, loaded pointers,
+ * control-flow merges), and soundness against profiles on the full
+ * workload suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include "builder/program_builder.hh"
+#include "predict/compiler_hints.hh"
+#include "predict/static_classifier.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace arl;
+namespace r = isa::reg;
+using builder::Label;
+using builder::ProgramBuilder;
+using predict::HintTag;
+using predict::Provenance;
+using predict::StaticClassifier;
+
+TEST(ProvenanceLattice, JoinRules)
+{
+    using predict::joinProvenance;
+    EXPECT_EQ(joinProvenance(Provenance::Bottom, Provenance::Stack),
+              Provenance::Stack);
+    EXPECT_EQ(joinProvenance(Provenance::Stack, Provenance::Stack),
+              Provenance::Stack);
+    EXPECT_EQ(joinProvenance(Provenance::Stack, Provenance::NonStack),
+              Provenance::Unknown);
+    EXPECT_EQ(joinProvenance(Provenance::Int, Provenance::Unknown),
+              Provenance::Unknown);
+}
+
+namespace
+{
+
+/** Tag of the idx-th memory instruction in the program. */
+HintTag
+memTag(const vm::Program &prog, const StaticClassifier &classifier,
+       unsigned which)
+{
+    unsigned seen = 0;
+    for (std::size_t i = 0; i < prog.text.size(); ++i) {
+        isa::DecodedInst inst;
+        if (!isa::decode(prog.text[i], inst) || !inst.isMem())
+            continue;
+        if (seen++ == which)
+            return classifier.tag(prog.textBase +
+                                  static_cast<Addr>(i * 4));
+    }
+    ADD_FAILURE() << "memory instruction " << which << " not found";
+    return HintTag::Unknown;
+}
+
+} // namespace
+
+TEST(StaticClassifier, SpDerivedPointerIsStack)
+{
+    ProgramBuilder b("spderived");
+    b.beginFunction("main", 4);
+    // A pointer computed FROM $sp (rule 4 addressing, but provably
+    // stack — this is what Figure 6 adds over the addressing mode).
+    b.addi(r::T0, r::Sp, 4);
+    b.sw(r::T1, 0, r::T0);        // mem[2]: after 2 prologue stores
+    b.fnReturn();
+    b.endFunction();
+    auto prog = b.finish();
+    StaticClassifier classifier(*prog);
+    EXPECT_EQ(memTag(*prog, classifier, 2), HintTag::Stack);
+}
+
+TEST(StaticClassifier, LaDerivedArrayBaseIsNonStack)
+{
+    ProgramBuilder b("laderived");
+    b.globalArray("arr", 64);
+    b.beginLeaf("main");
+    b.la(r::T0, "arr");           // lui+ori constant in data range
+    b.sll(r::T1, r::A0, 2);
+    b.add(r::T2, r::T0, r::T1);   // base + scaled index
+    b.lw(r::V0, 0, r::T2);        // mem[0]
+    b.fnReturn();
+    b.endFunction();
+    auto prog = b.finish();
+    StaticClassifier classifier(*prog);
+    EXPECT_EQ(memTag(*prog, classifier, 0), HintTag::NonStack);
+}
+
+TEST(StaticClassifier, MallocResultIsNonStack)
+{
+    ProgramBuilder b("mallocd");
+    b.beginFunction("main", 0, {r::S0});
+    b.li(r::A0, 64);
+    b.li(r::V0, 13);              // malloc
+    b.syscall();
+    b.move(r::S0, r::V0);
+    b.sw(r::T0, 0, r::S0);        // mem[3]: after 3 prologue stores
+    b.fnReturn();
+    b.endFunction();
+    auto prog = b.finish();
+    StaticClassifier classifier(*prog);
+    EXPECT_EQ(memTag(*prog, classifier, 3), HintTag::NonStack);
+}
+
+TEST(StaticClassifier, PointerParameterIsUnknown)
+{
+    // Figure 6's is_function_param case: *parm1 cannot be classified.
+    ProgramBuilder b("param");
+    b.beginLeaf("deref");
+    b.lw(r::V0, 0, r::A0);        // mem[0]
+    b.fnReturn();
+    b.endFunction();
+    auto prog = b.finish();
+    StaticClassifier classifier(*prog);
+    EXPECT_EQ(memTag(*prog, classifier, 0), HintTag::Unknown);
+}
+
+TEST(StaticClassifier, LoadedPointerIsUnknown)
+{
+    ProgramBuilder b("loadedptr");
+    b.globalWord("ptr_cell", 0);
+    b.beginLeaf("main");
+    b.lwGlobal(r::T0, "ptr_cell");  // mem[0]: load a pointer
+    b.lw(r::V0, 0, r::T0);          // mem[1]: deref: unknown
+    b.fnReturn();
+    b.endFunction();
+    auto prog = b.finish();
+    StaticClassifier classifier(*prog);
+    EXPECT_EQ(memTag(*prog, classifier, 0), HintTag::NonStack);
+    EXPECT_EQ(memTag(*prog, classifier, 1), HintTag::Unknown);
+}
+
+TEST(StaticClassifier, ConflictingMergeIsUnknown)
+{
+    // T0 is a stack pointer on one path and a data pointer on the
+    // other: the join must give up (Figure 6's flag-conflict case).
+    ProgramBuilder b("merge");
+    b.globalArray("arr", 8);
+    b.beginFunction("main", 2);
+    Label other = b.label();
+    Label join = b.label();
+    b.beq(r::A0, r::Zero, other);
+    b.addi(r::T0, r::Sp, 0);      // stack pointer
+    b.j(join);
+    b.bind(other);
+    b.la(r::T0, "arr");           // data pointer
+    b.bind(join);
+    b.lw(r::V0, 0, r::T0);        // mem[2]
+    b.fnReturn();
+    b.endFunction();
+    auto prog = b.finish();
+    StaticClassifier classifier(*prog);
+    EXPECT_EQ(memTag(*prog, classifier, 2), HintTag::Unknown);
+}
+
+TEST(StaticClassifier, AgreeingMergeKeepsClass)
+{
+    ProgramBuilder b("agree");
+    b.globalArray("a1", 8);
+    b.globalArray("a2", 8);
+    b.beginFunction("main", 2);
+    Label other = b.label();
+    Label join = b.label();
+    b.beq(r::A0, r::Zero, other);
+    b.la(r::T0, "a1");
+    b.j(join);
+    b.bind(other);
+    b.la(r::T0, "a2");
+    b.bind(join);
+    b.lw(r::V0, 0, r::T0);        // mem[2]: data on both paths
+    b.fnReturn();
+    b.endFunction();
+    auto prog = b.finish();
+    StaticClassifier classifier(*prog);
+    EXPECT_EQ(memTag(*prog, classifier, 2), HintTag::NonStack);
+}
+
+TEST(StaticClassifier, CallClobbersTempsButNotSaved)
+{
+    ProgramBuilder b("clobbers");
+    b.globalArray("arr", 8);
+    b.beginLeaf("helper");
+    b.fnReturn();
+    b.endFunction();
+    b.beginFunction("main", 0, {r::S0});
+    b.la(r::S0, "arr");           // callee-saved data pointer
+    b.la(r::T0, "arr");           // caller-saved data pointer
+    b.jal("helper");
+    b.lw(r::V0, 0, r::S0);        // survives the call: NonStack
+    b.lw(r::V1, 0, r::T0);        // clobbered: Unknown
+    b.fnReturn();
+    b.endFunction();
+    auto prog = b.finish();
+    StaticClassifier classifier(*prog);
+    // Memory instructions: 3 prologue stores (0-2), then the loads.
+    EXPECT_EQ(memTag(*prog, classifier, 3), HintTag::NonStack);
+    EXPECT_EQ(memTag(*prog, classifier, 4), HintTag::Unknown);
+}
+
+TEST(StaticClassifier, FrameAccessesAreStack)
+{
+    ProgramBuilder b("frames");
+    b.beginFunction("main", 2, {r::S0});
+    b.sw(r::T0, b.localOffset(0), r::Sp);
+    b.lw(r::T1, b.localOffsetFp(1), r::Fp);
+    b.fnReturn();
+    b.endFunction();
+    auto prog = b.finish();
+    StaticClassifier classifier(*prog);
+    for (unsigned i = 0; i < classifier.memInstructions(); ++i)
+        EXPECT_EQ(memTag(*prog, classifier, i), HintTag::Stack) << i;
+    EXPECT_EQ(classifier.coveragePct(), 100.0);
+}
+
+/**
+ * Soundness over the whole workload suite: any instruction the
+ * static analysis tags conclusively must agree with what profiling
+ * observes at run time.  (The analysis may know *less* than the
+ * profile — never something contradictory.)
+ */
+class StaticClassifierSoundness
+    : public ::testing::TestWithParam<workloads::WorkloadInfo>
+{
+};
+
+TEST_P(StaticClassifierSoundness, NeverContradictsProfile)
+{
+    const auto &info = GetParam();
+    auto prog = info.build(1);
+    StaticClassifier classifier(*prog);
+    EXPECT_GT(classifier.memInstructions(), 0u);
+
+    sim::Simulator simulator(prog);
+    std::uint64_t checked = 0, contradictions = 0;
+    simulator.run(600'000, [&](const sim::StepInfo &step) {
+        if (!step.isMem)
+            return;
+        HintTag tag = classifier.tag(step.pc);
+        if (tag == HintTag::Unknown)
+            return;
+        ++checked;
+        bool actual_stack = (step.region == vm::Region::Stack);
+        bool tagged_stack = (tag == HintTag::Stack);
+        if (actual_stack != tagged_stack)
+            ++contradictions;
+    });
+    EXPECT_EQ(contradictions, 0u)
+        << info.name << ": " << contradictions << " of " << checked
+        << " statically-tagged references contradicted execution";
+    // The analysis should classify a useful share of references.
+    EXPECT_GT(checked, 0u) << info.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, StaticClassifierSoundness,
+    ::testing::ValuesIn(workloads::allWorkloads()),
+    [](const ::testing::TestParamInfo<workloads::WorkloadInfo> &info) {
+        return info.param.name;
+    });

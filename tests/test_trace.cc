@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Trace record/replay tests: record conversion fidelity, file
+ * round-tripping, header validation, and the key methodology
+ * property — a replayed trace drives the §3 profilers and predictors
+ * to bit-identical results versus live simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "profile/region_profiler.hh"
+#include "profile/window_profiler.hh"
+#include "predict/region_predictor.hh"
+#include "sim/simulator.hh"
+#include "trace/trace.hh"
+#include "workloads/workloads.hh"
+
+using namespace arl;
+
+namespace
+{
+
+/** Temp file path helper (removed by the fixture). */
+class TraceFile : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path = ::testing::TempDir() + "arl_trace_test_" +
+               ::testing::UnitTest::GetInstance()
+                   ->current_test_info()
+                   ->name() +
+               ".trace";
+    }
+
+    void TearDown() override { std::remove(path.c_str()); }
+
+    std::string path;
+};
+
+} // namespace
+
+TEST(TraceRecordConversion, RoundTripsAllFields)
+{
+    sim::StepInfo step;
+    step.pc = 0x00400123 & ~3u;
+    step.inst.op = isa::Opcode::Sw;
+    step.inst.rd = 7;
+    step.inst.rs = isa::reg::Sp;
+    step.inst.imm = 16;
+    step.isMem = true;
+    step.isLoad = false;
+    step.effAddr = 0x7fffa000;
+    step.memSize = 4;
+    step.region = vm::Region::Stack;
+    step.gbh = 0xabcd;
+    step.cid = 0x00400200;
+    step.storeValue = 0xdeadbeef;
+    step.dest = isa::NoReg;
+
+    trace::TraceRecord record = trace::toRecord(step);
+    sim::StepInfo back = trace::fromRecord(record, 42);
+    EXPECT_EQ(back.pc, step.pc);
+    EXPECT_EQ(back.seq, 42u);
+    EXPECT_EQ(back.inst, step.inst);
+    EXPECT_TRUE(back.isMem);
+    EXPECT_FALSE(back.isLoad);
+    EXPECT_EQ(back.effAddr, step.effAddr);
+    EXPECT_EQ(back.memSize, step.memSize);
+    EXPECT_EQ(back.region, step.region);
+    EXPECT_EQ(back.gbh, step.gbh);
+    EXPECT_EQ(back.cid, step.cid);
+    EXPECT_EQ(back.storeValue, step.storeValue);
+    EXPECT_EQ(back.dest, isa::NoReg);
+}
+
+TEST_F(TraceFile, RecordAndReadBack)
+{
+    auto prog = workloads::buildWorkload("go_like", 1);
+    InstCount recorded = trace::recordTrace(prog, path, 50000);
+    EXPECT_EQ(recorded, 50000u);
+
+    trace::TraceReader reader(path);
+    EXPECT_EQ(reader.programName(), "go_like");
+
+    // The replayed stream matches a fresh live run step by step.
+    sim::Simulator live(prog);
+    sim::StepInfo live_step, replay_step;
+    InstCount compared = 0;
+    while (reader.next(replay_step)) {
+        ASSERT_TRUE(live.step(live_step));
+        ASSERT_EQ(replay_step.pc, live_step.pc) << compared;
+        ASSERT_EQ(replay_step.inst, live_step.inst) << compared;
+        ASSERT_EQ(replay_step.effAddr, live_step.effAddr) << compared;
+        ASSERT_EQ(replay_step.region, live_step.region) << compared;
+        ASSERT_EQ(replay_step.gbh, live_step.gbh) << compared;
+        ASSERT_EQ(replay_step.cid, live_step.cid) << compared;
+        ASSERT_EQ(replay_step.result, live_step.result) << compared;
+        ++compared;
+    }
+    EXPECT_EQ(compared, recorded);
+}
+
+TEST_F(TraceFile, ReplayDrivesProfilersIdentically)
+{
+    auto prog = workloads::buildWorkload("li_like", 1);
+    trace::recordTrace(prog, path, 300000);
+
+    // Live pass.
+    profile::RegionProfiler live_profiler;
+    profile::WindowProfiler live_window(32);
+    predict::RegionPredictorConfig config;
+    config.arpt.entries = 32 * 1024;
+    config.arpt.context.kind = predict::ContextKind::Hybrid;
+    predict::RegionPredictor live_predictor(config);
+    {
+        sim::Simulator simulator(prog);
+        simulator.run(300000, [&](const sim::StepInfo &step) {
+            live_profiler.observe(step);
+            live_window.observe(step);
+            live_predictor.observe(step);
+        });
+    }
+
+    // Replay pass.
+    profile::RegionProfiler replay_profiler;
+    profile::WindowProfiler replay_window(32);
+    predict::RegionPredictor replay_predictor(config);
+    {
+        trace::TraceReader reader(path);
+        sim::StepInfo step;
+        while (reader.next(step)) {
+            replay_profiler.observe(step);
+            replay_window.observe(step);
+            replay_predictor.observe(step);
+        }
+    }
+
+    auto live_profile = live_profiler.profile();
+    auto replay_profile = replay_profiler.profile();
+    EXPECT_EQ(live_profile.staticCounts, replay_profile.staticCounts);
+    EXPECT_EQ(live_profile.dynamicCounts, replay_profile.dynamicCounts);
+    EXPECT_EQ(live_profile.regionRefs, replay_profile.regionRefs);
+    EXPECT_DOUBLE_EQ(live_window.stats_summary().mean[2],
+                     replay_window.stats_summary().mean[2]);
+    EXPECT_EQ(live_predictor.report().correct,
+              replay_predictor.report().correct);
+    EXPECT_EQ(live_predictor.report().arptOccupancy,
+              replay_predictor.report().arptOccupancy);
+}
+
+TEST_F(TraceFile, DeterministicFiles)
+{
+    auto prog = workloads::buildWorkload("compress_like", 1);
+    std::string path2 = path + ".second";
+    trace::recordTrace(prog, path, 20000);
+    trace::recordTrace(prog, path2, 20000);
+    std::ifstream a(path, std::ios::binary);
+    std::ifstream b(path2, std::ios::binary);
+    std::string content_a((std::istreambuf_iterator<char>(a)),
+                          std::istreambuf_iterator<char>());
+    std::string content_b((std::istreambuf_iterator<char>(b)),
+                          std::istreambuf_iterator<char>());
+    EXPECT_EQ(content_a, content_b);
+    EXPECT_EQ(content_a.size(), 64u + 20000u * 32u);
+    std::remove(path2.c_str());
+}
+
+TEST_F(TraceFile, RejectsGarbageFiles)
+{
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "this is not a trace file at all, not even close....";
+    }
+    EXPECT_DEATH(trace::TraceReader reader(path), "not an ARL trace");
+}
+
+TEST_F(TraceFile, EmptyTraceYieldsNoSteps)
+{
+    {
+        trace::TraceWriter writer(path, "empty");
+        writer.close();
+    }
+    trace::TraceReader reader(path);
+    EXPECT_EQ(reader.programName(), "empty");
+    sim::StepInfo step;
+    EXPECT_FALSE(reader.next(step));
+}

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * VM tests: sparse memory, the heap allocator, the region map, and
+ * the program container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/heap.hh"
+#include "vm/layout.hh"
+#include "vm/memory.hh"
+#include "vm/program.hh"
+
+using namespace arl;
+using namespace arl::vm;
+
+TEST(SparseMemory, ReadsZeroWhenUntouched)
+{
+    SparseMemory memory;
+    EXPECT_EQ(memory.read8(0x10000000), 0u);
+    EXPECT_EQ(memory.read32(0x7fffb000), 0u);
+    EXPECT_EQ(memory.pageCount(), 0u);
+}
+
+TEST(SparseMemory, ReadWriteWidths)
+{
+    SparseMemory memory;
+    memory.write8(0x10000000, 0xab);
+    EXPECT_EQ(memory.read8(0x10000000), 0xabu);
+    memory.write16(0x10000010, 0x1234);
+    EXPECT_EQ(memory.read16(0x10000010), 0x1234u);
+    memory.write32(0x10000020, 0xdeadbeef);
+    EXPECT_EQ(memory.read32(0x10000020), 0xdeadbeefu);
+    // Little-endian byte view of a word.
+    EXPECT_EQ(memory.read8(0x10000020), 0xefu);
+    EXPECT_EQ(memory.read8(0x10000023), 0xdeu);
+}
+
+TEST(SparseMemory, BlockCopyAcrossPageBoundary)
+{
+    SparseMemory memory;
+    std::vector<std::uint8_t> pattern(10000);
+    for (std::size_t i = 0; i < pattern.size(); ++i)
+        pattern[i] = static_cast<std::uint8_t>(i * 7);
+    Addr base = 0x10000f00;  // straddles page boundaries
+    memory.writeBlock(base, pattern.data(), pattern.size());
+    std::vector<std::uint8_t> readback(pattern.size());
+    memory.readBlock(base, readback.data(), readback.size());
+    EXPECT_EQ(pattern, readback);
+    EXPECT_GE(memory.pageCount(), 3u);
+}
+
+TEST(SparseMemory, ReadBlockFromHole)
+{
+    SparseMemory memory;
+    memory.write8(0x10001000, 0x55);
+    std::uint8_t buffer[8] = {0xff, 0xff, 0xff, 0xff,
+                              0xff, 0xff, 0xff, 0xff};
+    memory.readBlock(0x10000ffc, buffer, 8);
+    EXPECT_EQ(buffer[0], 0u);   // hole reads as zero
+    EXPECT_EQ(buffer[4], 0x55u);
+}
+
+TEST(SparseMemoryDeath, MisalignedAccessPanics)
+{
+    SparseMemory memory;
+    EXPECT_DEATH(memory.read32(0x10000001), "misaligned");
+    EXPECT_DEATH(memory.write16(0x10000003, 1), "misaligned");
+}
+
+TEST(HeapAllocator, BumpAndAlignment)
+{
+    HeapAllocator heap(0x20000000, 0x20010000);
+    Addr a = heap.malloc(10);
+    Addr b = heap.malloc(1);
+    EXPECT_EQ(a, 0x20000000u);
+    EXPECT_EQ(a % 8, 0u);
+    EXPECT_EQ(b % 8, 0u);
+    EXPECT_GE(b, a + 16u);  // 10 rounds up to 16
+    EXPECT_EQ(heap.liveBlocks(), 2u);
+}
+
+TEST(HeapAllocator, FreeAndReuse)
+{
+    HeapAllocator heap(0x20000000, 0x20010000);
+    Addr a = heap.malloc(64);
+    heap.malloc(64);
+    heap.free(a);
+    Addr c = heap.malloc(32);
+    EXPECT_EQ(c, a);  // first fit reuses the freed block
+}
+
+TEST(HeapAllocator, CoalescingNeighbours)
+{
+    HeapAllocator heap(0x20000000, 0x20010000);
+    Addr a = heap.malloc(64);
+    Addr b = heap.malloc(64);
+    Addr c = heap.malloc(64);
+    heap.malloc(64);  // guard against break-merging
+    heap.free(a);
+    heap.free(c);
+    heap.free(b);  // merges with both neighbours
+    Addr big = heap.malloc(192);
+    EXPECT_EQ(big, a);
+}
+
+TEST(HeapAllocator, ExhaustionReturnsZero)
+{
+    HeapAllocator heap(0x20000000, 0x20000100);
+    EXPECT_NE(heap.malloc(128), 0u);
+    EXPECT_EQ(heap.malloc(256), 0u);
+    EXPECT_EQ(heap.sbrk(512), 0u);
+}
+
+TEST(HeapAllocator, SbrkAdvances)
+{
+    HeapAllocator heap(0x20000000, 0x20010000);
+    Addr old = heap.sbrk(100);
+    EXPECT_EQ(old, 0x20000000u);
+    EXPECT_EQ(heap.brk(), 0x20000068u);  // 100 -> 104 aligned
+}
+
+TEST(HeapAllocatorDeath, DoubleFreePanics)
+{
+    HeapAllocator heap(0x20000000, 0x20010000);
+    Addr a = heap.malloc(8);
+    heap.free(a);
+    EXPECT_DEATH(heap.free(a), "not allocated");
+}
+
+/** Region boundaries, parameterized over probe points. */
+struct RegionCase
+{
+    Addr addr;
+    Region expected;
+};
+
+class RegionMapTest : public ::testing::TestWithParam<RegionCase>
+{
+  protected:
+    RegionMap map{0x10004000};  // heap starts one page after data
+};
+
+TEST_P(RegionMapTest, Classifies)
+{
+    EXPECT_EQ(map.classify(GetParam().addr), GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, RegionMapTest,
+    ::testing::Values(
+        RegionCase{layout::TextBase, Region::Text},
+        RegionCase{layout::DataBase, Region::Data},
+        RegionCase{0x10003ffc, Region::Data},
+        RegionCase{0x10004000, Region::Heap},
+        RegionCase{layout::HeapCeiling - 4, Region::Heap},
+        RegionCase{layout::HeapCeiling, Region::Unknown},
+        RegionCase{layout::StackFloor, Region::Stack},
+        RegionCase{layout::StackTop, Region::Stack},
+        RegionCase{layout::StackFloor - 4, Region::Unknown},
+        RegionCase{0x00000000, Region::Unknown}));
+
+TEST(RegionMap, StackBitMatchesClassification)
+{
+    RegionMap map(0x10004000);
+    EXPECT_TRUE(map.isStack(layout::StackTop - 64));
+    EXPECT_FALSE(map.isStack(layout::DataBase));
+    EXPECT_FALSE(map.isStack(0x10004000));
+}
+
+TEST(Program, FetchAndBounds)
+{
+    Program prog;
+    prog.name = "t";
+    prog.text = {0x11111111, 0x22222222};
+    EXPECT_TRUE(prog.validPc(layout::TextBase));
+    EXPECT_TRUE(prog.validPc(layout::TextBase + 4));
+    EXPECT_FALSE(prog.validPc(layout::TextBase + 8));
+    EXPECT_FALSE(prog.validPc(layout::TextBase + 2));
+    EXPECT_EQ(prog.fetch(layout::TextBase + 4), 0x22222222u);
+}
+
+TEST(Program, HeapBaseIsPageAlignedPastData)
+{
+    Program prog;
+    prog.data.resize(100);
+    prog.bssBytes = 50;
+    Addr heap_base = prog.heapBase();
+    EXPECT_EQ(heap_base % layout::PageBytes, 0u);
+    EXPECT_GE(heap_base, layout::DataBase + 150);
+}
+
+TEST(Program, SymbolLookup)
+{
+    Program prog;
+    prog.symbols["main"] = 0x00400010;
+    Addr out = 0;
+    EXPECT_TRUE(prog.lookup("main", out));
+    EXPECT_EQ(out, 0x00400010u);
+    EXPECT_FALSE(prog.lookup("absent", out));
+}
+
+TEST(RegionNames, AllDistinct)
+{
+    EXPECT_EQ(regionName(Region::Data), "data");
+    EXPECT_EQ(regionName(Region::Heap), "heap");
+    EXPECT_EQ(regionName(Region::Stack), "stack");
+    EXPECT_EQ(regionName(Region::Text), "text");
+    EXPECT_EQ(regionName(Region::Unknown), "unknown");
+}

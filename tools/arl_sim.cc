@@ -1,0 +1,441 @@
+/**
+ * @file
+ * arl_sim — command-line front end to the arl library, playing the
+ * role SimpleScalar's sim-* binaries played for the paper.
+ *
+ *   arl_sim list
+ *       Show the twelve SPEC95-substitute workloads.
+ *
+ *   arl_sim run <workload|file.s> [--scale N] [--max-insts N]
+ *       Assemble (for .s files) or build, execute functionally,
+ *       print the program output and basic run statistics.
+ *
+ *   arl_sim profile <workload|file.s> [--scale N] [--max-insts N]
+ *       The paper's §3 characterisation: Figure-2 region classes,
+ *       Table-2 window statistics, Figure-4 scheme accuracies.
+ *
+ *   arl_sim predict <workload|file.s> [--entries N] [--context
+ *       none|gbh|cid|hybrid] [--gbh-bits N] [--cid-bits N]
+ *       [--two-bit] [--hints none|profile|static] [--scale N]
+ *       One predictor configuration in detail.
+ *
+ *   arl_sim time <workload> [--config "(N+M)"] [--l1-lat N]
+ *       [--insts N] [--all-configs] [--scale N] [--no-vp] [--no-ff]
+ *       The paper's §4 timing methodology (warmup + timed window).
+ *
+ *   arl_sim disasm <file.s>
+ *       Assemble and disassemble.
+ *
+ * Exit codes: 0 success, 1 usage error, 2 input error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "assembler/assembler.hh"
+#include "core/experiment.hh"
+#include "isa/inst.hh"
+#include "predict/static_classifier.hh"
+#include "sim/simulator.hh"
+#include "trace/trace.hh"
+#include "workloads/workloads.hh"
+
+using namespace arl;
+
+namespace
+{
+
+/** Trivial flag parser: --name value pairs after the positionals. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int first) : argc_(argc), argv_(argv)
+    {
+        for (int i = first; i < argc; ++i)
+            raw_.push_back(argv[i]);
+    }
+
+    std::string
+    flag(const std::string &name, const std::string &fallback) const
+    {
+        for (std::size_t i = 0; i + 1 < raw_.size(); ++i)
+            if (raw_[i] == "--" + name)
+                return raw_[i + 1];
+        return fallback;
+    }
+
+    long
+    flagInt(const std::string &name, long fallback) const
+    {
+        std::string value = flag(name, "");
+        return value.empty() ? fallback : std::atol(value.c_str());
+    }
+
+    bool
+    has(const std::string &name) const
+    {
+        for (const std::string &token : raw_)
+            if (token == "--" + name)
+                return true;
+        return false;
+    }
+
+  private:
+    int argc_;
+    char **argv_;
+    std::vector<std::string> raw_;
+};
+
+/** Load a target: registered workload name or an assembly file. */
+std::shared_ptr<const vm::Program>
+loadTarget(const std::string &target, unsigned scale)
+{
+    if (target.size() > 2 &&
+        target.substr(target.size() - 2) == ".s") {
+        std::ifstream file(target);
+        if (!file) {
+            std::fprintf(stderr, "arl_sim: cannot open %s\n",
+                         target.c_str());
+            std::exit(2);
+        }
+        std::ostringstream buffer;
+        buffer << file.rdbuf();
+        auto result = assembler::assemble(buffer.str(), target);
+        if (!result.ok()) {
+            for (const auto &error : result.errors)
+                std::fprintf(stderr, "%s: %s\n", target.c_str(),
+                             error.format().c_str());
+            std::exit(2);
+        }
+        return result.program;
+    }
+    return workloads::buildWorkload(target, scale);
+}
+
+int
+cmdList()
+{
+    std::printf("%-15s %-13s %-5s %s\n", "workload", "substitute for",
+                "FP", "warmup insts");
+    for (const auto &info : workloads::allWorkloads())
+        std::printf("%-15s %-13s %-5s %llu\n", info.name.c_str(),
+                    info.paperAnalog.c_str(),
+                    info.floatingPoint ? "yes" : "no",
+                    (unsigned long long)info.warmupInsts);
+    return 0;
+}
+
+int
+cmdRun(const std::string &target, const Args &args)
+{
+    auto prog = loadTarget(target,
+                           static_cast<unsigned>(args.flagInt("scale", 1)));
+    sim::Simulator simulator(prog);
+    InstCount executed = simulator.run(
+        static_cast<InstCount>(args.flagInt("max-insts", 0)));
+    std::printf("program   : %s\n", prog->name.c_str());
+    std::printf("executed  : %llu instructions\n",
+                (unsigned long long)executed);
+    std::printf("halted    : %s (exit %u)\n",
+                simulator.halted() ? "yes" : "no (limit reached)",
+                simulator.process().exitCode);
+    std::printf("output    : %s\n",
+                simulator.process().output.c_str());
+    std::printf("heap      : %llu bytes live in %zu blocks\n",
+                (unsigned long long)simulator.process().heap.bytesInUse(),
+                simulator.process().heap.liveBlocks());
+    return 0;
+}
+
+int
+cmdProfile(const std::string &target, const Args &args)
+{
+    auto prog = loadTarget(target,
+                           static_cast<unsigned>(args.flagInt("scale", 1)));
+    core::Experiment experiment(
+        std::const_pointer_cast<const vm::Program>(prog));
+    auto result = experiment.regionStudy(
+        core::figure4Schemes(), false,
+        static_cast<InstCount>(args.flagInt("max-insts", 0)));
+
+    std::printf("== %s: %llu instructions ==\n",
+                result.workload.c_str(),
+                (unsigned long long)result.instructions);
+    std::printf("\nregion classes (Fig 2):\n");
+    for (unsigned c = 0; c < profile::NumRegionClasses; ++c) {
+        if (result.profile.staticCounts[c] == 0)
+            continue;
+        std::printf("  %-6s static %6llu   dynamic %12llu\n",
+                    profile::regionClassName(
+                        static_cast<profile::RegionClass>(c)).c_str(),
+                    (unsigned long long)result.profile.staticCounts[c],
+                    (unsigned long long)result.profile.dynamicCounts[c]);
+    }
+    std::printf("\nwindow statistics (Table 2), mean (sd):\n");
+    const char *names[3] = {"data", "heap", "stack"};
+    for (unsigned r = 0; r < 3; ++r)
+        std::printf("  %-5s W32 %6.2f (%5.2f)   W64 %6.2f (%5.2f)\n",
+                    names[r], result.window32.mean[r],
+                    result.window32.stddev[r], result.window64.mean[r],
+                    result.window64.stddev[r]);
+    std::printf("\nprediction schemes (Fig 4):\n");
+    for (const auto &[name, report] : result.schemes)
+        std::printf("  %-12s %8.4f%%   (ARPT entries %zu)\n",
+                    name.c_str(), report.accuracyPct(),
+                    report.arptOccupancy);
+    return 0;
+}
+
+int
+cmdPredict(const std::string &target, const Args &args)
+{
+    unsigned scale = static_cast<unsigned>(args.flagInt("scale", 1));
+    auto prog = loadTarget(target, scale);
+
+    predict::RegionPredictorConfig config;
+    config.useArpt = true;
+    config.arpt.entries =
+        static_cast<std::uint32_t>(args.flagInt("entries", 32 * 1024));
+    config.arpt.counterBits = args.has("two-bit") ? 2 : 1;
+    std::string context = args.flag("context", "hybrid");
+    if (context == "none")
+        config.arpt.context.kind = predict::ContextKind::None;
+    else if (context == "gbh")
+        config.arpt.context.kind = predict::ContextKind::Gbh;
+    else if (context == "cid")
+        config.arpt.context.kind = predict::ContextKind::Cid;
+    else if (context == "hybrid")
+        config.arpt.context.kind = predict::ContextKind::Hybrid;
+    else {
+        std::fprintf(stderr, "arl_sim: unknown context '%s'\n",
+                     context.c_str());
+        return 1;
+    }
+    config.arpt.context.gbhBits =
+        static_cast<unsigned>(args.flagInt("gbh-bits", 8));
+    config.arpt.context.cidBits =
+        static_cast<unsigned>(args.flagInt("cid-bits", 7));
+
+    std::string hints_kind = args.flag("hints", "none");
+    predict::CompilerHints profile_hints;
+    std::unique_ptr<predict::StaticClassifier> static_hints;
+    const predict::HintSource *hints = nullptr;
+    if (hints_kind == "profile") {
+        sim::Simulator trainer(prog);
+        trainer.run(0, [&](const sim::StepInfo &step) {
+            profile_hints.observe(step);
+        });
+        hints = &profile_hints;
+    } else if (hints_kind == "static") {
+        static_hints =
+            std::make_unique<predict::StaticClassifier>(*prog);
+        hints = static_hints.get();
+        std::printf("static analysis: %zu/%zu memory instructions "
+                    "tagged (%.1f%%)\n",
+                    static_hints->classifiedInstructions(),
+                    static_hints->memInstructions(),
+                    static_hints->coveragePct());
+    } else if (hints_kind != "none") {
+        std::fprintf(stderr, "arl_sim: unknown hints '%s'\n",
+                     hints_kind.c_str());
+        return 1;
+    }
+    config.useCompilerHints = hints != nullptr;
+
+    predict::RegionPredictor predictor(config, hints);
+    sim::Simulator simulator(prog);
+    simulator.run(0, [&](const sim::StepInfo &step) {
+        predictor.observe(step);
+    });
+
+    auto report = predictor.report();
+    std::printf("references   : %llu\n",
+                (unsigned long long)report.total);
+    std::printf("accuracy     : %.4f%%\n", report.accuracyPct());
+    std::printf("by source    : hints %.1f%%  addr-mode %.1f%%  "
+                "ARPT %.1f%%\n", report.hintResolvedPct(),
+                report.addrModeResolvedPct(),
+                100.0 - report.hintResolvedPct() -
+                    report.addrModeResolvedPct());
+    std::printf("ARPT entries : %zu occupied", report.arptOccupancy);
+    if (config.arpt.entries)
+        std::printf(" of %u (%zu bytes of state)",
+                    config.arpt.entries,
+                    predictor.arpt().storageBytes());
+    std::printf("\n");
+    return 0;
+}
+
+int
+cmdTime(const std::string &target, const Args &args)
+{
+    unsigned scale = static_cast<unsigned>(args.flagInt("scale", 1));
+    const auto &info = workloads::workloadByName(target);
+    core::Experiment experiment(info.build(scale));
+    InstCount timed =
+        static_cast<InstCount>(args.flagInt("insts", 400000));
+
+    std::vector<ooo::MachineConfig> configs;
+    if (args.has("all-configs")) {
+        configs = ooo::MachineConfig::figure8Suite();
+    } else {
+        std::string spec = args.flag("config", "(2+0)");
+        unsigned n = 2, m = 0;
+        if (std::sscanf(spec.c_str(), "(%u+%u)", &n, &m) != 2) {
+            std::fprintf(stderr,
+                         "arl_sim: bad --config '%s' (want \"(N+M)\")\n",
+                         spec.c_str());
+            return 1;
+        }
+        configs.push_back(ooo::MachineConfig::nPlusM(
+            n, m, static_cast<unsigned>(args.flagInt("l1-lat", 2))));
+    }
+    for (auto &config : configs) {
+        if (args.has("no-vp"))
+            config.valuePrediction = false;
+        if (args.has("no-ff"))
+            config.fastForwarding = false;
+    }
+
+    auto results =
+        experiment.timingSweep(configs, info.warmupInsts, timed);
+    if (args.has("verbose")) {
+        for (const auto &stats : results)
+            std::printf("%s\n", stats.dump().c_str());
+        return 0;
+    }
+    std::printf("%-12s %10s %6s %8s %8s %8s\n", "config", "cycles",
+                "IPC", "LVAQ%", "regmis", "fwd");
+    for (const auto &stats : results) {
+        double mem_ops =
+            static_cast<double>(stats.loads + stats.stores);
+        std::printf("%-12s %10llu %6.2f %7.1f%% %8llu %8llu\n",
+                    stats.configName.c_str(),
+                    (unsigned long long)stats.cycles, stats.ipc(),
+                    mem_ops ? 100.0 * stats.lvaqSteered / mem_ops : 0.0,
+                    (unsigned long long)stats.regionMispredictions,
+                    (unsigned long long)stats.forwardedLoads);
+    }
+    return 0;
+}
+
+int
+cmdRecord(const std::string &target, const Args &args)
+{
+    std::string out_path = args.flag("out", target + ".trace");
+    auto prog = loadTarget(target,
+                           static_cast<unsigned>(args.flagInt("scale", 1)));
+    InstCount n = trace::recordTrace(
+        prog, out_path,
+        static_cast<InstCount>(args.flagInt("max-insts", 0)));
+    std::printf("recorded %llu instructions of %s to %s (%.1f MB)\n",
+                (unsigned long long)n, prog->name.c_str(),
+                out_path.c_str(), (64.0 + 32.0 * n) / 1e6);
+    return 0;
+}
+
+int
+cmdReplay(const std::string &trace_path)
+{
+    trace::TraceReader reader(trace_path);
+    profile::RegionProfiler profiler;
+    profile::WindowProfiler window32(32);
+    sim::StepInfo step;
+    while (reader.next(step)) {
+        profiler.observe(step);
+        window32.observe(step);
+    }
+    auto profile = profiler.profile();
+    std::printf("trace      : %s (%s)\n", trace_path.c_str(),
+                reader.programName().c_str());
+    std::printf("instructions: %llu (loads %llu, stores %llu)\n",
+                (unsigned long long)profile.totalInstructions,
+                (unsigned long long)profile.dynamicLoads,
+                (unsigned long long)profile.dynamicStores);
+    std::printf("refs by region: data %llu, heap %llu, stack %llu\n",
+                (unsigned long long)profile.regionRefs[0],
+                (unsigned long long)profile.regionRefs[1],
+                (unsigned long long)profile.regionRefs[2]);
+    auto stats = window32.stats_summary();
+    std::printf("window32   : D %.2f (%.2f)  H %.2f (%.2f)  "
+                "S %.2f (%.2f)\n", stats.mean[0], stats.stddev[0],
+                stats.mean[1], stats.stddev[1], stats.mean[2],
+                stats.stddev[2]);
+    return 0;
+}
+
+int
+cmdDisasm(const std::string &target)
+{
+    auto prog = loadTarget(target, 1);
+    for (std::size_t i = 0; i < prog->text.size(); ++i) {
+        Addr pc = prog->textBase + static_cast<Addr>(i * 4);
+        isa::DecodedInst inst;
+        isa::decode(prog->text[i], inst);
+        // Annotate labels from the symbol table.
+        for (const auto &[name, addr] : prog->symbols)
+            if (addr == pc)
+                std::printf("%s:\n", name.c_str());
+        std::printf("  0x%08x  %08x  %s\n", pc, prog->text[i],
+                    isa::disassemble(inst, pc).c_str());
+    }
+    return 0;
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: arl_sim <command> [target] [flags]\n"
+        "  list                         show workloads\n"
+        "  run <target>                 execute functionally\n"
+        "  profile <target>             §3 characterisation\n"
+        "  predict <target> [flags]     one predictor config\n"
+        "  time <workload> [flags]      §4 timing study\n"
+        "  record <target> [--out F]    record a binary trace\n"
+        "  replay <file.trace>          profile from a trace\n"
+        "  disasm <file.s|workload>     disassemble\n"
+        "targets: a registered workload name or an .s assembly file\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    std::string command = argv[1];
+    if (command == "list")
+        return cmdList();
+    if (argc < 3) {
+        usage();
+        return 1;
+    }
+    std::string target = argv[2];
+    Args args(argc, argv, 3);
+    if (command == "run")
+        return cmdRun(target, args);
+    if (command == "profile")
+        return cmdProfile(target, args);
+    if (command == "predict")
+        return cmdPredict(target, args);
+    if (command == "time")
+        return cmdTime(target, args);
+    if (command == "record")
+        return cmdRecord(target, args);
+    if (command == "replay")
+        return cmdReplay(target);
+    if (command == "disasm")
+        return cmdDisasm(target);
+    usage();
+    return 1;
+}
