@@ -7,6 +7,12 @@
  * counts, prints the paper reference it reproduces, and renders its
  * output with common/table.hh so EXPERIMENTS.md can quote it
  * verbatim.
+ *
+ * Machine-readable output: when ARL_BENCH_JSON names a directory (or
+ * `--json <dir>` appears after the positionals), each bench also
+ * writes BENCH_<name>.json there in the obs::Report schema shared
+ * with `arl_sim --stats-json` (schema_version 1, one RunRecord per
+ * workload × configuration).
  */
 
 #ifndef ARL_BENCH_BENCH_UTIL_HH
@@ -14,9 +20,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "common/table.hh"
+#include "obs/report.hh"
 #include "workloads/workloads.hh"
 
 namespace arl::bench
@@ -54,6 +62,73 @@ isFirstFpIndex(std::size_t index)
     return index < all.size() && all[index].floatingPoint &&
            (index == 0 || !all[index - 1].floatingPoint);
 }
+
+/**
+ * Optional machine-readable sink for a bench's headline numbers.
+ *
+ * Disabled by default; enabled when ARL_BENCH_JSON names an output
+ * directory or `--json <dir>` appears on the command line.  Collects
+ * (workload, config) → stat rows and writes BENCH_<name>.json in the
+ * obs::Report schema on write().
+ */
+class JsonSink
+{
+  public:
+    JsonSink(const std::string &bench_name, int argc, char **argv)
+    {
+        report_.tool = "bench";
+        report_.command = bench_name;
+        const char *env = std::getenv("ARL_BENCH_JSON");
+        if (env && env[0])
+            dir_ = env;
+        for (int i = 1; i + 1 < argc; ++i)
+            if (std::strcmp(argv[i], "--json") == 0)
+                dir_ = argv[i + 1];
+    }
+
+    bool enabled() const { return !dir_.empty(); }
+
+    /** Record one stat of the (workload, config) run. */
+    void
+    add(const std::string &workload, const std::string &config,
+        const std::string &stat, double value)
+    {
+        if (!enabled())
+            return;
+        run(workload, config).stats.emplace_back(stat, value);
+    }
+
+    /** Write BENCH_<name>.json; a no-op when disabled. */
+    bool
+    write()
+    {
+        if (!enabled())
+            return true;
+        std::string path =
+            dir_ + "/BENCH_" + report_.command + ".json";
+        bool ok = report_.writeJsonFile(path);
+        if (ok)
+            std::printf("wrote %s\n", path.c_str());
+        return ok;
+    }
+
+  private:
+    obs::RunRecord &
+    run(const std::string &workload, const std::string &config)
+    {
+        for (obs::RunRecord &record : report_.runs)
+            if (record.workload == workload && record.config == config)
+                return record;
+        obs::RunRecord record;
+        record.workload = workload;
+        record.config = config;
+        report_.runs.push_back(std::move(record));
+        return report_.runs.back();
+    }
+
+    std::string dir_;
+    obs::Report report_;
+};
 
 } // namespace arl::bench
 

@@ -23,6 +23,7 @@ main(int argc, char **argv)
     unsigned scale = bench::parseScale(argc, argv);
     bench::banner("Figure 2", "static memory instructions by accessed "
                   "region set", scale);
+    bench::JsonSink json("fig2_region_classes", argc, argv);
 
     TablePrinter table;
     table.header({"Benchmark", "D", "H", "S", "D/H", "D/S", "H/S",
@@ -41,8 +42,18 @@ main(int argc, char **argv)
         auto profile = profiler.profile();
 
         std::vector<std::string> row{info.name};
-        for (unsigned c = 0; c < profile::NumRegionClasses; ++c)
+        for (unsigned c = 0; c < profile::NumRegionClasses; ++c) {
             row.push_back(std::to_string(profile.staticCounts[c]));
+            json.add(info.name, "functional",
+                     "static." +
+                         profile::regionClassName(
+                             static_cast<profile::RegionClass>(c)),
+                     static_cast<double>(profile.staticCounts[c]));
+        }
+        json.add(info.name, "functional", "multi_region_static_pct",
+                 profile.staticMultiRegionPct());
+        json.add(info.name, "functional", "multi_region_dynamic_pct",
+                 profile.dynamicMultiRegionPct());
         row.push_back(TablePrinter::num(profile.staticMultiRegionPct(), 2));
         row.push_back(
             TablePrinter::num(profile.dynamicMultiRegionPct(), 2));
@@ -69,5 +80,5 @@ main(int argc, char **argv)
                 "%.2f%%, FP %.2f%%  (paper: 1.8%% / 1.9%%)\n",
                 int_count ? int_multi_static / int_count : 0.0,
                 fp_count ? fp_multi_static / fp_count : 0.0);
-    return 0;
+    return json.write() ? 0 : 2;
 }

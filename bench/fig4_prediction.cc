@@ -24,6 +24,8 @@ main(int argc, char **argv)
     bench::banner("Figure 4", "dynamic stack/non-stack classification "
                   "accuracy by scheme (unlimited ARPT)", scale);
 
+    bench::JsonSink json("fig4_prediction", argc, argv);
+
     auto schemes = core::figure4Schemes();
     auto two_bit = core::twoBitSchemes();
     schemes.insert(schemes.end(), two_bit.begin(), two_bit.end());
@@ -49,6 +51,11 @@ main(int argc, char **argv)
         for (std::size_t i = 0; i < result.schemes.size(); ++i) {
             double acc = result.schemes[i].second.accuracyPct();
             row.push_back(TablePrinter::num(acc, 3));
+            json.add(info.name, result.schemes[i].first,
+                     "accuracy_pct", acc);
+            json.add(info.name, result.schemes[i].first,
+                     "addr_mode_resolved_pct",
+                     result.schemes[i].second.addrModeResolvedPct());
             if (info.floatingPoint)
                 fp_sum[i] += acc;
             else
@@ -73,5 +80,5 @@ main(int argc, char **argv)
     std::printf("%s\n", table.render().c_str());
     std::printf("paper: 1BIT-HYBRID = 99.89%% (int) / 100%% (FP); "
                 "2-bit schemes consistently below 1-bit.\n");
-    return 0;
+    return json.write() ? 0 : 2;
 }

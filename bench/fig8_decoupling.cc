@@ -36,6 +36,7 @@ main(int argc, char **argv)
                   scale);
     std::printf("timed instructions per run: %llu\n\n",
                 (unsigned long long)timed);
+    bench::JsonSink json("fig8_decoupling", argc, argv);
 
     auto configs = ooo::MachineConfig::figure8Suite();
 
@@ -65,6 +66,12 @@ main(int argc, char **argv)
             double speedup = base_cycles /
                              static_cast<double>(results[i].cycles);
             row.push_back(TablePrinter::num(speedup, 3));
+            json.add(info.name, configs[i].name, "cycles",
+                     static_cast<double>(results[i].cycles));
+            json.add(info.name, configs[i].name, "ipc",
+                     results[i].ipc());
+            json.add(info.name, configs[i].name, "speedup_vs_2p0",
+                     speedup);
             if (info.floatingPoint)
                 fp_sum[i] += speedup;
             else
@@ -105,5 +112,5 @@ main(int argc, char **argv)
                 "(3+0)3cyc 1.18, (4+0)3cyc 1.25, (3+3) ~= (16+0) 1.33; "
                 "FP avg — (3+0) 1.14, (4+0) 1.20, (3+3) close to "
                 "(4+0), (16+0) 1.25.\n");
-    return 0;
+    return json.write() ? 0 : 2;
 }

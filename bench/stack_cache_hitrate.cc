@@ -23,6 +23,8 @@ main(int argc, char **argv)
     bench::banner("§3.3 / LVC sizing", "hit rate of a direct-mapped "
                   "stack (local variable) cache vs capacity", scale);
 
+    bench::JsonSink json("stack_cache_hitrate", argc, argv);
+
     const std::vector<std::uint32_t> sizes = {1024, 2048, 4096, 8192,
                                               16384};
     TablePrinter table;
@@ -58,6 +60,9 @@ main(int argc, char **argv)
         for (std::size_t i = 0; i < caches.size(); ++i) {
             double rate = caches[i].hitRatePct();
             row.push_back(TablePrinter::num(rate, 3));
+            json.add(info.name,
+                     std::to_string(sizes[i] / 1024) + "KB",
+                     "hit_rate_pct", rate);
             if (sizes[i] == 4096) {
                 sum_4k += rate;
                 min_4k = std::min(min_4k, rate);
@@ -70,5 +75,5 @@ main(int argc, char **argv)
     std::printf("4KB stack cache: average %.3f%%, minimum %.3f%% "
                 "(paper: avg ~99.9%%, all >99.5%%)\n",
                 count ? sum_4k / count : 0.0, min_4k);
-    return 0;
+    return json.write() ? 0 : 2;
 }

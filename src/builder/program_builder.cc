@@ -1,0 +1,651 @@
+#include "builder/program_builder.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace arl::builder
+{
+
+namespace r = isa::reg;
+using isa::Opcode;
+
+ProgramBuilder::ProgramBuilder(std::string name)
+    : progName(std::move(name))
+{}
+
+// ---- data segment ----
+
+void
+ProgramBuilder::defineSymbol(const std::string &name, Addr addr)
+{
+    if (symbols.count(name))
+        fatal("ProgramBuilder(%s): duplicate symbol '%s'",
+              progName.c_str(), name.c_str());
+    symbols[name] = addr;
+}
+
+Addr
+ProgramBuilder::globalWord(const std::string &name, Word value)
+{
+    return globalInit(name, {value});
+}
+
+Addr
+ProgramBuilder::globalArray(const std::string &name, std::size_t words)
+{
+    Addr addr = vm::layout::DataBase + static_cast<Addr>(data.size());
+    defineSymbol(name, addr);
+    data.resize(data.size() + words * 4, 0);
+    return addr;
+}
+
+Addr
+ProgramBuilder::globalBytes(const std::string &name, std::size_t bytes)
+{
+    Addr addr = vm::layout::DataBase + static_cast<Addr>(data.size());
+    defineSymbol(name, addr);
+    std::size_t padded = (bytes + 3) & ~std::size_t{3};
+    data.resize(data.size() + padded, 0);
+    return addr;
+}
+
+Addr
+ProgramBuilder::globalInit(const std::string &name,
+                           const std::vector<Word> &values)
+{
+    Addr addr = vm::layout::DataBase + static_cast<Addr>(data.size());
+    defineSymbol(name, addr);
+    for (Word value : values) {
+        std::uint8_t bytes[4];
+        std::memcpy(bytes, &value, 4);  // little-endian host and guest
+        data.insert(data.end(), bytes, bytes + 4);
+    }
+    return addr;
+}
+
+Addr
+ProgramBuilder::dataAddr(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        fatal("ProgramBuilder(%s): unknown data symbol '%s'",
+              progName.c_str(), name.c_str());
+    return it->second;
+}
+
+// ---- labels and symbols ----
+
+Label
+ProgramBuilder::label()
+{
+    Label l;
+    l.id = static_cast<std::uint32_t>(labels.size());
+    labels.push_back(0);
+    bound.push_back(false);
+    return l;
+}
+
+void
+ProgramBuilder::bind(Label l)
+{
+    ARL_ASSERT(l.id < labels.size(), "bind of a foreign label");
+    ARL_ASSERT(!bound[l.id], "label bound twice");
+    labels[l.id] = nextPc();
+    bound[l.id] = true;
+}
+
+Label
+ProgramBuilder::bindHere(const std::string &name)
+{
+    defineSymbol(name, nextPc());
+    Label l = label();
+    bind(l);
+    return l;
+}
+
+bool
+ProgramBuilder::labelBound(Label l) const
+{
+    return l.id < bound.size() && bound[l.id];
+}
+
+Addr
+ProgramBuilder::labelAddr(Label l) const
+{
+    ARL_ASSERT(labelBound(l));
+    return labels[l.id];
+}
+
+// ---- emission helpers ----
+
+Addr
+ProgramBuilder::nextPc() const
+{
+    return vm::layout::TextBase + static_cast<Addr>(text.size() * 4);
+}
+
+void
+ProgramBuilder::emit(const isa::DecodedInst &inst)
+{
+    text.push_back(isa::encode(inst));
+}
+
+void
+ProgramBuilder::checkSigned16(std::int32_t imm, const char *what) const
+{
+    if (imm < -32768 || imm > 32767)
+        fatal("ProgramBuilder(%s): %s immediate %d out of range",
+              progName.c_str(), what, imm);
+}
+
+void
+ProgramBuilder::rformat(Opcode op, RegIndex rd, RegIndex rs, RegIndex rt)
+{
+    isa::DecodedInst inst;
+    inst.op = op;
+    inst.rd = rd;
+    inst.rs = rs;
+    inst.rt = rt;
+    emit(inst);
+}
+
+void
+ProgramBuilder::iformat(Opcode op, RegIndex rd, RegIndex rs,
+                        std::int32_t imm)
+{
+    isa::DecodedInst inst;
+    inst.op = op;
+    inst.rd = rd;
+    inst.rs = rs;
+    inst.imm = imm;
+    emit(inst);
+}
+
+void
+ProgramBuilder::memOp(Opcode op, RegIndex rd, std::int32_t offset,
+                      RegIndex base)
+{
+    checkSigned16(offset, isa::opInfo(op).mnemonic);
+    iformat(op, rd, base, offset);
+}
+
+// ---- integer ALU ----
+
+void ProgramBuilder::add(RegIndex rd, RegIndex rs, RegIndex rt)
+{ rformat(Opcode::Add, rd, rs, rt); }
+void ProgramBuilder::sub(RegIndex rd, RegIndex rs, RegIndex rt)
+{ rformat(Opcode::Sub, rd, rs, rt); }
+void ProgramBuilder::mul(RegIndex rd, RegIndex rs, RegIndex rt)
+{ rformat(Opcode::Mul, rd, rs, rt); }
+void ProgramBuilder::div(RegIndex rd, RegIndex rs, RegIndex rt)
+{ rformat(Opcode::Div, rd, rs, rt); }
+void ProgramBuilder::rem(RegIndex rd, RegIndex rs, RegIndex rt)
+{ rformat(Opcode::Rem, rd, rs, rt); }
+void ProgramBuilder::and_(RegIndex rd, RegIndex rs, RegIndex rt)
+{ rformat(Opcode::And, rd, rs, rt); }
+void ProgramBuilder::or_(RegIndex rd, RegIndex rs, RegIndex rt)
+{ rformat(Opcode::Or, rd, rs, rt); }
+void ProgramBuilder::xor_(RegIndex rd, RegIndex rs, RegIndex rt)
+{ rformat(Opcode::Xor, rd, rs, rt); }
+void ProgramBuilder::nor(RegIndex rd, RegIndex rs, RegIndex rt)
+{ rformat(Opcode::Nor, rd, rs, rt); }
+void ProgramBuilder::slt(RegIndex rd, RegIndex rs, RegIndex rt)
+{ rformat(Opcode::Slt, rd, rs, rt); }
+void ProgramBuilder::sltu(RegIndex rd, RegIndex rs, RegIndex rt)
+{ rformat(Opcode::Sltu, rd, rs, rt); }
+
+void
+ProgramBuilder::addi(RegIndex rd, RegIndex rs, std::int32_t imm)
+{
+    checkSigned16(imm, "addi");
+    iformat(Opcode::Addi, rd, rs, imm);
+}
+
+void
+ProgramBuilder::andi(RegIndex rd, RegIndex rs, std::int32_t imm)
+{
+    if (imm < 0 || imm > 65535)
+        fatal("ProgramBuilder(%s): andi immediate %d out of range",
+              progName.c_str(), imm);
+    iformat(Opcode::Andi, rd, rs, imm);
+}
+
+void
+ProgramBuilder::ori(RegIndex rd, RegIndex rs, std::int32_t imm)
+{
+    if (imm < 0 || imm > 65535)
+        fatal("ProgramBuilder(%s): ori immediate %d out of range",
+              progName.c_str(), imm);
+    iformat(Opcode::Ori, rd, rs, imm);
+}
+
+void
+ProgramBuilder::xori(RegIndex rd, RegIndex rs, std::int32_t imm)
+{
+    if (imm < 0 || imm > 65535)
+        fatal("ProgramBuilder(%s): xori immediate %d out of range",
+              progName.c_str(), imm);
+    iformat(Opcode::Xori, rd, rs, imm);
+}
+
+void
+ProgramBuilder::slti(RegIndex rd, RegIndex rs, std::int32_t imm)
+{
+    checkSigned16(imm, "slti");
+    iformat(Opcode::Slti, rd, rs, imm);
+}
+
+void
+ProgramBuilder::lui(RegIndex rd, std::int32_t imm)
+{
+    if (imm < 0 || imm > 65535)
+        fatal("ProgramBuilder(%s): lui immediate %d out of range",
+              progName.c_str(), imm);
+    iformat(Opcode::Lui, rd, 0, imm);
+}
+
+void
+ProgramBuilder::sll(RegIndex rd, RegIndex rs, unsigned shamt)
+{
+    ARL_ASSERT(shamt < 32, "shift amount %u", shamt);
+    iformat(Opcode::Sll, rd, rs, static_cast<std::int32_t>(shamt));
+}
+
+void
+ProgramBuilder::srl(RegIndex rd, RegIndex rs, unsigned shamt)
+{
+    ARL_ASSERT(shamt < 32, "shift amount %u", shamt);
+    iformat(Opcode::Srl, rd, rs, static_cast<std::int32_t>(shamt));
+}
+
+void
+ProgramBuilder::sra(RegIndex rd, RegIndex rs, unsigned shamt)
+{
+    ARL_ASSERT(shamt < 32, "shift amount %u", shamt);
+    iformat(Opcode::Sra, rd, rs, static_cast<std::int32_t>(shamt));
+}
+
+void
+ProgramBuilder::li(RegIndex rd, std::int32_t value)
+{
+    if (value >= -32768 && value <= 32767) {
+        iformat(Opcode::Addi, rd, r::Zero, value);
+        return;
+    }
+    std::uint32_t uvalue = static_cast<std::uint32_t>(value);
+    lui(rd, static_cast<std::int32_t>((uvalue >> 16) & 0xffff));
+    if (uvalue & 0xffff)
+        ori(rd, rd, static_cast<std::int32_t>(uvalue & 0xffff));
+}
+
+void
+ProgramBuilder::move(RegIndex rd, RegIndex rs)
+{
+    rformat(Opcode::Add, rd, rs, r::Zero);
+}
+
+void
+ProgramBuilder::la(RegIndex rd, const std::string &symbol)
+{
+    auto it = symbols.find(symbol);
+    if (it == symbols.end()) {
+        fixups.push_back({Fixup::Kind::LuiOri, text.size(), ~0u, symbol});
+        lui(rd, 0);
+        ori(rd, rd, 0);
+        return;
+    }
+    Addr addr = it->second;
+    lui(rd, static_cast<std::int32_t>(addr >> 16));
+    ori(rd, rd, static_cast<std::int32_t>(addr & 0xffff));
+}
+
+void
+ProgramBuilder::laFunc(RegIndex rd, const std::string &symbol)
+{
+    la(rd, symbol);
+}
+
+// ---- memory ----
+
+void ProgramBuilder::lw(RegIndex rd, std::int32_t offset, RegIndex base)
+{ memOp(Opcode::Lw, rd, offset, base); }
+void ProgramBuilder::lh(RegIndex rd, std::int32_t offset, RegIndex base)
+{ memOp(Opcode::Lh, rd, offset, base); }
+void ProgramBuilder::lhu(RegIndex rd, std::int32_t offset, RegIndex base)
+{ memOp(Opcode::Lhu, rd, offset, base); }
+void ProgramBuilder::lb(RegIndex rd, std::int32_t offset, RegIndex base)
+{ memOp(Opcode::Lb, rd, offset, base); }
+void ProgramBuilder::lbu(RegIndex rd, std::int32_t offset, RegIndex base)
+{ memOp(Opcode::Lbu, rd, offset, base); }
+void ProgramBuilder::sw(RegIndex rs_value, std::int32_t offset, RegIndex base)
+{ memOp(Opcode::Sw, rs_value, offset, base); }
+void ProgramBuilder::sh(RegIndex rs_value, std::int32_t offset, RegIndex base)
+{ memOp(Opcode::Sh, rs_value, offset, base); }
+void ProgramBuilder::sb(RegIndex rs_value, std::int32_t offset, RegIndex base)
+{ memOp(Opcode::Sb, rs_value, offset, base); }
+void ProgramBuilder::lwc1(RegIndex ft, std::int32_t offset, RegIndex base)
+{ memOp(Opcode::Lwc1, ft, offset, base); }
+void ProgramBuilder::swc1(RegIndex ft, std::int32_t offset, RegIndex base)
+{ memOp(Opcode::Swc1, ft, offset, base); }
+
+void
+ProgramBuilder::lwGlobal(RegIndex rd, const std::string &name)
+{
+    Addr addr = dataAddr(name);
+    std::int32_t offset =
+        static_cast<std::int32_t>(addr - vm::layout::DataBase);
+    memOp(Opcode::Lw, rd, offset, r::Gp);
+}
+
+void
+ProgramBuilder::swGlobal(RegIndex rs_value, const std::string &name)
+{
+    Addr addr = dataAddr(name);
+    std::int32_t offset =
+        static_cast<std::int32_t>(addr - vm::layout::DataBase);
+    memOp(Opcode::Sw, rs_value, offset, r::Gp);
+}
+
+// ---- floating point ----
+
+void ProgramBuilder::fadd(RegIndex fd, RegIndex fs, RegIndex ft)
+{ rformat(Opcode::FaddS, fd, fs, ft); }
+void ProgramBuilder::fsub(RegIndex fd, RegIndex fs, RegIndex ft)
+{ rformat(Opcode::FsubS, fd, fs, ft); }
+void ProgramBuilder::fmul(RegIndex fd, RegIndex fs, RegIndex ft)
+{ rformat(Opcode::FmulS, fd, fs, ft); }
+void ProgramBuilder::fdiv(RegIndex fd, RegIndex fs, RegIndex ft)
+{ rformat(Opcode::FdivS, fd, fs, ft); }
+void ProgramBuilder::fneg(RegIndex fd, RegIndex fs)
+{ rformat(Opcode::FnegS, fd, fs, 0); }
+void ProgramBuilder::fmov(RegIndex fd, RegIndex fs)
+{ rformat(Opcode::FmovS, fd, fs, 0); }
+void ProgramBuilder::cvtsw(RegIndex fd, RegIndex fs)
+{ rformat(Opcode::CvtSW, fd, fs, 0); }
+void ProgramBuilder::cvtws(RegIndex fd, RegIndex fs)
+{ rformat(Opcode::CvtWS, fd, fs, 0); }
+void ProgramBuilder::feq(RegIndex rd, RegIndex fs, RegIndex ft)
+{ rformat(Opcode::FeqS, rd, fs, ft); }
+void ProgramBuilder::flt(RegIndex rd, RegIndex fs, RegIndex ft)
+{ rformat(Opcode::FltS, rd, fs, ft); }
+void ProgramBuilder::fle(RegIndex rd, RegIndex fs, RegIndex ft)
+{ rformat(Opcode::FleS, rd, fs, ft); }
+void ProgramBuilder::mtc1(RegIndex fd, RegIndex rs)
+{ rformat(Opcode::Mtc1, fd, rs, 0); }
+void ProgramBuilder::mfc1(RegIndex rd, RegIndex fs)
+{ rformat(Opcode::Mfc1, rd, fs, 0); }
+
+void
+ProgramBuilder::fli(RegIndex fd, float value)
+{
+    li(r::At, static_cast<std::int32_t>(std::bit_cast<Word>(value)));
+    mtc1(fd, r::At);
+}
+
+// ---- control transfer ----
+
+void
+ProgramBuilder::branchOp(Opcode op, RegIndex rd, RegIndex rs, Label target)
+{
+    ARL_ASSERT(target.id < labels.size(), "branch to a foreign label");
+    std::int32_t imm = 0;
+    if (labelBound(target)) {
+        std::int64_t delta =
+            (static_cast<std::int64_t>(labelAddr(target)) -
+             (static_cast<std::int64_t>(nextPc()) + 4)) >> 2;
+        if (delta < -32768 || delta > 32767)
+            fatal("ProgramBuilder(%s): branch target out of range",
+                  progName.c_str());
+        imm = static_cast<std::int32_t>(delta);
+    } else {
+        fixups.push_back({Fixup::Kind::Branch, text.size(), target.id, {}});
+    }
+    iformat(op, rd, rs, imm);
+}
+
+void ProgramBuilder::beq(RegIndex rd, RegIndex rs, Label target)
+{ branchOp(Opcode::Beq, rd, rs, target); }
+void ProgramBuilder::bne(RegIndex rd, RegIndex rs, Label target)
+{ branchOp(Opcode::Bne, rd, rs, target); }
+void ProgramBuilder::blez(RegIndex rs, Label target)
+{ branchOp(Opcode::Blez, 0, rs, target); }
+void ProgramBuilder::bgtz(RegIndex rs, Label target)
+{ branchOp(Opcode::Bgtz, 0, rs, target); }
+void ProgramBuilder::bltz(RegIndex rs, Label target)
+{ branchOp(Opcode::Bltz, 0, rs, target); }
+void ProgramBuilder::bgez(RegIndex rs, Label target)
+{ branchOp(Opcode::Bgez, 0, rs, target); }
+
+void
+ProgramBuilder::j(Label target)
+{
+    isa::DecodedInst inst;
+    inst.op = Opcode::J;
+    if (labelBound(target))
+        inst.target = (labelAddr(target) >> 2) & 0x03ffffffu;
+    else
+        fixups.push_back({Fixup::Kind::Jump, text.size(), target.id, {}});
+    emit(inst);
+}
+
+void
+ProgramBuilder::jal(const std::string &symbol)
+{
+    isa::DecodedInst inst;
+    inst.op = Opcode::Jal;
+    auto it = symbols.find(symbol);
+    if (it != symbols.end())
+        inst.target = (it->second >> 2) & 0x03ffffffu;
+    else
+        fixups.push_back({Fixup::Kind::Jump, text.size(), ~0u, symbol});
+    emit(inst);
+}
+
+void
+ProgramBuilder::jr(RegIndex rs)
+{
+    isa::DecodedInst inst;
+    inst.op = Opcode::Jr;
+    inst.rs = rs;
+    emit(inst);
+}
+
+void
+ProgramBuilder::jalr(RegIndex rd, RegIndex rs)
+{
+    isa::DecodedInst inst;
+    inst.op = Opcode::Jalr;
+    inst.rd = rd;
+    inst.rs = rs;
+    emit(inst);
+}
+
+void
+ProgramBuilder::syscall()
+{
+    isa::DecodedInst inst;
+    inst.op = Opcode::Syscall;
+    emit(inst);
+}
+
+void
+ProgramBuilder::nop()
+{
+    isa::DecodedInst inst;
+    inst.op = Opcode::Nop;
+    emit(inst);
+}
+
+void
+ProgramBuilder::exit_(std::int32_t code)
+{
+    li(r::A0, code);
+    li(r::V0, 10);  // Syscall::Exit
+    syscall();
+}
+
+// ---- functions ----
+
+void
+ProgramBuilder::beginFunction(const std::string &name, unsigned num_locals,
+                              const std::vector<RegIndex> &saved)
+{
+    ARL_ASSERT(!frame, "beginFunction('%s') inside '%s'", name.c_str(),
+               frame ? frame->name.c_str() : "");
+    bindHere(name);
+    Frame f;
+    f.name = name;
+    f.numLocals = num_locals;
+    f.saved = saved;
+    f.frameBytes = 4 * (num_locals +
+                        static_cast<unsigned>(saved.size()) + 2);
+    frame = f;
+
+    std::int32_t size = static_cast<std::int32_t>(f.frameBytes);
+    addi(r::Sp, r::Sp, -size);
+    sw(r::Ra, size - 4, r::Sp);
+    sw(r::Fp, size - 8, r::Sp);
+    for (std::size_t i = 0; i < f.saved.size(); ++i)
+        sw(f.saved[i], size - 12 - static_cast<std::int32_t>(4 * i),
+           r::Sp);
+    addi(r::Fp, r::Sp, size);  // $fp = caller's $sp
+}
+
+void
+ProgramBuilder::beginLeaf(const std::string &name)
+{
+    ARL_ASSERT(!frame, "beginLeaf('%s') inside '%s'", name.c_str(),
+               frame ? frame->name.c_str() : "");
+    bindHere(name);
+    Frame f;
+    f.name = name;
+    f.leaf = true;
+    frame = f;
+}
+
+void
+ProgramBuilder::fnReturn()
+{
+    ARL_ASSERT(frame, "fnReturn outside a function");
+    if (frame->leaf) {
+        jr(r::Ra);
+        return;
+    }
+    std::int32_t size = static_cast<std::int32_t>(frame->frameBytes);
+    lw(r::Ra, size - 4, r::Sp);
+    lw(r::Fp, size - 8, r::Sp);
+    for (std::size_t i = 0; i < frame->saved.size(); ++i)
+        lw(frame->saved[i],
+           size - 12 - static_cast<std::int32_t>(4 * i), r::Sp);
+    addi(r::Sp, r::Sp, size);
+    jr(r::Ra);
+}
+
+void
+ProgramBuilder::endFunction()
+{
+    ARL_ASSERT(frame, "endFunction outside a function");
+    frame.reset();
+}
+
+std::int32_t
+ProgramBuilder::localOffset(unsigned index) const
+{
+    ARL_ASSERT(frame && !frame->leaf, "local slot outside a frame");
+    ARL_ASSERT(index < frame->numLocals, "local %u of %u", index,
+               frame->numLocals);
+    return static_cast<std::int32_t>(4 * index);
+}
+
+std::int32_t
+ProgramBuilder::localOffsetFp(unsigned index) const
+{
+    return localOffset(index) -
+           static_cast<std::int32_t>(frame->frameBytes);
+}
+
+void
+ProgramBuilder::emitStartStub(const std::string &entry)
+{
+    ARL_ASSERT(!haveStartStub, "second start stub");
+    bindHere("__start");
+    haveStartStub = true;
+    jal(entry);
+    move(r::A0, r::V0);   // main's return value is the exit status
+    li(r::V0, 10);        // Syscall::Exit
+    syscall();
+}
+
+// ---- link ----
+
+std::shared_ptr<vm::Program>
+ProgramBuilder::finish()
+{
+    ARL_ASSERT(!frame, "finish() with function '%s' still open",
+               frame ? frame->name.c_str() : "");
+
+    auto resolve = [&](const Fixup &fixup, Addr &out) {
+        if (fixup.labelId != ~0u) {
+            if (!bound[fixup.labelId])
+                fatal("ProgramBuilder(%s): unbound label",
+                      progName.c_str());
+            out = labels[fixup.labelId];
+            return;
+        }
+        auto it = symbols.find(fixup.symbol);
+        if (it == symbols.end())
+            fatal("ProgramBuilder(%s): unresolved symbol '%s'",
+                  progName.c_str(), fixup.symbol.c_str());
+        out = it->second;
+    };
+
+    for (const Fixup &fixup : fixups) {
+        Addr target = 0;
+        resolve(fixup, target);
+        Addr pc = vm::layout::TextBase +
+                  static_cast<Addr>(fixup.index * 4);
+        switch (fixup.kind) {
+          case Fixup::Kind::Branch: {
+            std::int64_t delta =
+                (static_cast<std::int64_t>(target) -
+                 (static_cast<std::int64_t>(pc) + 4)) >> 2;
+            if (delta < -32768 || delta > 32767)
+                fatal("ProgramBuilder(%s): branch target out of range",
+                      progName.c_str());
+            text[fixup.index] =
+                (text[fixup.index] & 0xffff0000u) |
+                (static_cast<std::uint32_t>(delta) & 0xffffu);
+            break;
+          }
+          case Fixup::Kind::Jump:
+            text[fixup.index] =
+                (text[fixup.index] & 0xfc000000u) |
+                ((target >> 2) & 0x03ffffffu);
+            break;
+          case Fixup::Kind::LuiOri:
+            text[fixup.index] =
+                (text[fixup.index] & 0xffff0000u) | (target >> 16);
+            text[fixup.index + 1] =
+                (text[fixup.index + 1] & 0xffff0000u) |
+                (target & 0xffffu);
+            break;
+        }
+    }
+
+    auto prog = std::make_shared<vm::Program>();
+    prog->name = progName;
+    prog->text = std::move(text);
+    prog->data = std::move(data);
+    prog->symbols = symbols;
+    if (haveStartStub)
+        prog->entry = symbols.at("__start");
+    else if (auto it = symbols.find("main"); it != symbols.end())
+        prog->entry = it->second;
+    else
+        prog->entry = vm::layout::TextBase;
+    return prog;
+}
+
+} // namespace arl::builder

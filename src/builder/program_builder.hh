@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Programmatic ARL-ISA code generator.
+ *
+ * The synthetic SPEC95-substitute workloads are authored directly in
+ * C++ against this builder (no assembly round trip): it emits encoded
+ * instruction words, lays out the data segment, resolves labels and
+ * symbols at finish(), and provides the calling-convention scaffolding
+ * (frames, callee-saved spills, leaf functions) that gives the guest
+ * programs the stack behaviour the paper's region study depends on.
+ *
+ * Addressing-mode discipline matters here: stack slots are always
+ * addressed $sp/$fp-relative (static rule 2), named globals accessed
+ * via lwGlobal/swGlobal are $gp-relative (rule 3), and anything
+ * reached through a pointer in an ordinary register is a rule-4
+ * access that exercises the ARPT.
+ */
+
+#ifndef ARL_BUILDER_PROGRAM_BUILDER_HH
+#define ARL_BUILDER_PROGRAM_BUILDER_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/inst.hh"
+#include "isa/registers.hh"
+#include "vm/program.hh"
+
+namespace arl::builder
+{
+
+/** Opaque handle to a not-necessarily-bound code position. */
+struct Label
+{
+    std::uint32_t id = ~0u;
+};
+
+/** Incremental builder for one linked guest program. */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name);
+
+    // ---- data segment ----
+
+    /** Allocate one initialised word; returns its address. */
+    Addr globalWord(const std::string &name, Word value);
+
+    /** Allocate @p words zero-initialised words. */
+    Addr globalArray(const std::string &name, std::size_t words);
+
+    /** Allocate @p bytes zeroed bytes (rounded up to a word). */
+    Addr globalBytes(const std::string &name, std::size_t bytes);
+
+    /** Allocate and initialise a word array. */
+    Addr globalInit(const std::string &name,
+                    const std::vector<Word> &values);
+
+    /** Address of a previously defined data symbol (fatal if unknown). */
+    Addr dataAddr(const std::string &name) const;
+
+    // ---- labels and symbols ----
+
+    /** Create an unbound local label. */
+    Label label();
+
+    /** Bind @p l to the current text position. */
+    void bind(Label l);
+
+    /**
+     * Define named symbol @p name at the current text position; also
+     * returns a bound label for local branches to the same spot.
+     */
+    Label bindHere(const std::string &name);
+
+    // ---- functions ----
+
+    /**
+     * Open a function with a frame: saves $ra/$fp plus @p saved
+     * callee-saved registers and reserves @p num_locals word slots.
+     * $fp is set to the caller's $sp (MIPS o32 convention).
+     */
+    void beginFunction(const std::string &name, unsigned num_locals,
+                       const std::vector<RegIndex> &saved = {});
+
+    /** Open a frameless leaf function (no memory traffic). */
+    void beginLeaf(const std::string &name);
+
+    /** Emit the epilogue (restore + jr $ra); usable mid-function. */
+    void fnReturn();
+
+    /** Close the open function. */
+    void endFunction();
+
+    /** $sp-relative byte offset of local word slot @p index. */
+    std::int32_t localOffset(unsigned index) const;
+
+    /** Same slot as localOffset(index), as a $fp-relative offset. */
+    std::int32_t localOffsetFp(unsigned index) const;
+
+    /**
+     * Emit the run-time entry stub: call @p entry, pass its return
+     * value to the Exit syscall.  finish() makes the stub the program
+     * entry point.
+     */
+    void emitStartStub(const std::string &entry);
+
+    // ---- position queries ----
+
+    /** PC the next emitted instruction will occupy. */
+    Addr nextPc() const;
+
+    /** Instructions emitted so far. */
+    std::size_t textSize() const { return text.size(); }
+
+    // ---- integer ALU ----
+    void add(RegIndex rd, RegIndex rs, RegIndex rt);
+    void sub(RegIndex rd, RegIndex rs, RegIndex rt);
+    void mul(RegIndex rd, RegIndex rs, RegIndex rt);
+    void div(RegIndex rd, RegIndex rs, RegIndex rt);
+    void rem(RegIndex rd, RegIndex rs, RegIndex rt);
+    void and_(RegIndex rd, RegIndex rs, RegIndex rt);
+    void or_(RegIndex rd, RegIndex rs, RegIndex rt);
+    void xor_(RegIndex rd, RegIndex rs, RegIndex rt);
+    void nor(RegIndex rd, RegIndex rs, RegIndex rt);
+    void slt(RegIndex rd, RegIndex rs, RegIndex rt);
+    void sltu(RegIndex rd, RegIndex rs, RegIndex rt);
+    void addi(RegIndex rd, RegIndex rs, std::int32_t imm);
+    void andi(RegIndex rd, RegIndex rs, std::int32_t imm);
+    void ori(RegIndex rd, RegIndex rs, std::int32_t imm);
+    void xori(RegIndex rd, RegIndex rs, std::int32_t imm);
+    void slti(RegIndex rd, RegIndex rs, std::int32_t imm);
+    void lui(RegIndex rd, std::int32_t imm);
+    void sll(RegIndex rd, RegIndex rs, unsigned shamt);
+    void srl(RegIndex rd, RegIndex rs, unsigned shamt);
+    void sra(RegIndex rd, RegIndex rs, unsigned shamt);
+
+    /** Load a 32-bit constant (addi, lui, or lui+ori as needed). */
+    void li(RegIndex rd, std::int32_t value);
+
+    /** rd = rs (implemented as add rd, rs, $zero). */
+    void move(RegIndex rd, RegIndex rs);
+
+    /** Load the address of any symbol (lui+ori; rule-1 constant). */
+    void la(RegIndex rd, const std::string &symbol);
+
+    /** la for text symbols (function pointers); same mechanism. */
+    void laFunc(RegIndex rd, const std::string &symbol);
+
+    // ---- memory ----
+    void lw(RegIndex rd, std::int32_t offset, RegIndex base);
+    void lh(RegIndex rd, std::int32_t offset, RegIndex base);
+    void lhu(RegIndex rd, std::int32_t offset, RegIndex base);
+    void lb(RegIndex rd, std::int32_t offset, RegIndex base);
+    void lbu(RegIndex rd, std::int32_t offset, RegIndex base);
+    void sw(RegIndex rs_value, std::int32_t offset, RegIndex base);
+    void sh(RegIndex rs_value, std::int32_t offset, RegIndex base);
+    void sb(RegIndex rs_value, std::int32_t offset, RegIndex base);
+    void lwc1(RegIndex ft, std::int32_t offset, RegIndex base);
+    void swc1(RegIndex ft, std::int32_t offset, RegIndex base);
+
+    /** lw/sw a named global, $gp-relative (static rule 3). */
+    void lwGlobal(RegIndex rd, const std::string &name);
+    void swGlobal(RegIndex rs_value, const std::string &name);
+
+    // ---- floating point (single precision) ----
+    void fadd(RegIndex fd, RegIndex fs, RegIndex ft);
+    void fsub(RegIndex fd, RegIndex fs, RegIndex ft);
+    void fmul(RegIndex fd, RegIndex fs, RegIndex ft);
+    void fdiv(RegIndex fd, RegIndex fs, RegIndex ft);
+    void fneg(RegIndex fd, RegIndex fs);
+    void fmov(RegIndex fd, RegIndex fs);
+    void cvtsw(RegIndex fd, RegIndex fs);
+    void cvtws(RegIndex fd, RegIndex fs);
+    void feq(RegIndex rd, RegIndex fs, RegIndex ft);
+    void flt(RegIndex rd, RegIndex fs, RegIndex ft);
+    void fle(RegIndex rd, RegIndex fs, RegIndex ft);
+    void mtc1(RegIndex fd, RegIndex rs);
+    void mfc1(RegIndex rd, RegIndex fs);
+
+    /** Load a float constant into @p fd (li $at + mtc1). */
+    void fli(RegIndex fd, float value);
+
+    // ---- control transfer ----
+    void beq(RegIndex rd, RegIndex rs, Label target);
+    void bne(RegIndex rd, RegIndex rs, Label target);
+    void blez(RegIndex rs, Label target);
+    void bgtz(RegIndex rs, Label target);
+    void bltz(RegIndex rs, Label target);
+    void bgez(RegIndex rs, Label target);
+    void j(Label target);
+    void jal(const std::string &symbol);
+    void jr(RegIndex rs);
+    void jalr(RegIndex rd, RegIndex rs);
+
+    // ---- system ----
+    void syscall();
+    void nop();
+
+    /** Exit syscall with a constant status. */
+    void exit_(std::int32_t code);
+
+    /**
+     * Resolve every pending label/symbol reference and produce the
+     * linked program.  Fatal on unresolved symbols.  The entry point
+     * is the start stub when one was emitted, else "main" when
+     * defined, else the first text word.
+     */
+    std::shared_ptr<vm::Program> finish();
+
+  private:
+    /** Pending patch against an emitted instruction word. */
+    struct Fixup
+    {
+        enum class Kind
+        {
+            Branch,   ///< 16-bit PC-relative word delta (label)
+            Jump,     ///< 26-bit absolute word target (label or symbol)
+            LuiOri    ///< absolute address split across lui+ori pair
+        };
+        Kind kind;
+        std::size_t index;          ///< text index of the (first) word
+        std::uint32_t labelId = ~0u;///< target label (labels)
+        std::string symbol;         ///< target symbol (symbols)
+    };
+
+    /** Frame bookkeeping for the currently open function. */
+    struct Frame
+    {
+        std::string name;
+        bool leaf = false;
+        unsigned numLocals = 0;
+        std::vector<RegIndex> saved;
+        std::uint32_t frameBytes = 0;
+    };
+
+    void emit(const isa::DecodedInst &inst);
+    void defineSymbol(const std::string &name, Addr addr);
+    void rformat(isa::Opcode op, RegIndex rd, RegIndex rs, RegIndex rt);
+    void iformat(isa::Opcode op, RegIndex rd, RegIndex rs,
+                 std::int32_t imm);
+    void memOp(isa::Opcode op, RegIndex rd, std::int32_t offset,
+               RegIndex base);
+    void branchOp(isa::Opcode op, RegIndex rd, RegIndex rs, Label target);
+    void checkSigned16(std::int32_t imm, const char *what) const;
+    Addr labelAddr(Label l) const;
+    bool labelBound(Label l) const;
+
+    std::string progName;
+    std::vector<Word> text;
+    std::vector<std::uint8_t> data;
+    std::map<std::string, Addr> symbols;
+    std::vector<Addr> labels;          ///< bound address per label id
+    std::vector<bool> bound;
+    std::vector<Fixup> fixups;
+    std::optional<Frame> frame;
+    bool haveStartStub = false;
+};
+
+} // namespace arl::builder
+
+#endif // ARL_BUILDER_PROGRAM_BUILDER_HH

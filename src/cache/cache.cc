@@ -2,6 +2,7 @@
 
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "obs/stats_registry.hh"
 
 namespace arl::cache
 {
@@ -90,6 +91,21 @@ Cache::hitRatePct()const
     return total ? 100.0 * static_cast<double>(hits) /
                        static_cast<double>(total)
                  : 100.0;
+}
+
+void
+Cache::registerStats(obs::StatsRegistry &registry,
+                     const std::string &prefix) const
+{
+    registry.addCounter(prefix + ".hits", &hits,
+                        geom.name + " tag hits");
+    registry.addCounter(prefix + ".misses", &misses,
+                        geom.name + " tag misses");
+    registry.addCounter(prefix + ".writebacks", &writebacks,
+                        geom.name + " dirty evictions");
+    registry.addFormula(prefix + ".hit_rate_pct",
+                        [this] { return hitRatePct(); },
+                        geom.name + " hit rate (100 when idle)");
 }
 
 } // namespace arl::cache

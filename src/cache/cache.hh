@@ -19,6 +19,11 @@
 
 #include "common/types.hh"
 
+namespace arl::obs
+{
+class StatsRegistry;
+}
+
 namespace arl::cache
 {
 
@@ -70,6 +75,13 @@ class Cache
 
     /** Hit rate in percent (100 when never accessed). */
     double hitRatePct() const;
+
+    /**
+     * Register hits/misses/writebacks and the hit-rate formula under
+     * "<prefix>.".  The cache must outlive @p registry's consumers.
+     */
+    void registerStats(obs::StatsRegistry &registry,
+                       const std::string &prefix) const;
 
   private:
     struct Line

@@ -1,6 +1,7 @@
 #include "cache/hierarchy.hh"
 
 #include "common/logging.hh"
+#include "obs/stats_registry.hh"
 
 namespace arl::cache
 {
@@ -43,6 +44,16 @@ Hierarchy::access(MemPipe pipe, Addr addr, bool is_write)
 
     result.latency += config.memoryLatency;
     return result;
+}
+
+void
+Hierarchy::registerStats(obs::StatsRegistry &registry,
+                         const std::string &prefix) const
+{
+    l1Cache.registerStats(registry, prefix + ".l1");
+    if (lvc)
+        lvc->registerStats(registry, prefix + ".lvc");
+    l2Cache.registerStats(registry, prefix + ".l2");
 }
 
 } // namespace arl::cache

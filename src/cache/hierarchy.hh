@@ -22,6 +22,11 @@
 #include "cache/cache.hh"
 #include "common/types.hh"
 
+namespace arl::obs
+{
+class StatsRegistry;
+}
+
 namespace arl::cache
 {
 
@@ -77,6 +82,13 @@ class Hierarchy
     bool hasLvc() const { return lvc != nullptr; }
 
     const HierarchyConfig &configuration() const { return config; }
+
+    /**
+     * Register every level's stats under "<prefix>.l1", "<prefix>.lvc"
+     * (when present) and "<prefix>.l2".
+     */
+    void registerStats(obs::StatsRegistry &registry,
+                       const std::string &prefix) const;
 
   private:
     HierarchyConfig config;

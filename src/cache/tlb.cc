@@ -2,6 +2,7 @@
 
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "obs/stats_registry.hh"
 
 namespace arl::cache
 {
@@ -31,6 +32,23 @@ Tlb::translate(Addr addr)
     result.hit = false;
     result.stackPage = entry.stackBit;
     return result;
+}
+
+void
+Tlb::registerStats(obs::StatsRegistry &registry,
+                   const std::string &prefix) const
+{
+    registry.addCounter(prefix + ".hits", &hits, "TLB hits");
+    registry.addCounter(prefix + ".misses", &misses, "TLB misses");
+    registry.addFormula(
+        prefix + ".miss_rate_pct",
+        [this] {
+            std::uint64_t total = hits + misses;
+            return total ? 100.0 * static_cast<double>(misses) /
+                               static_cast<double>(total)
+                         : 0.0;
+        },
+        "TLB miss rate (0 when idle)");
 }
 
 } // namespace arl::cache

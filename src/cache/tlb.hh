@@ -20,6 +20,11 @@
 #include "common/types.hh"
 #include "vm/layout.hh"
 
+namespace arl::obs
+{
+class StatsRegistry;
+}
+
 namespace arl::cache
 {
 
@@ -46,6 +51,10 @@ class Tlb
     // --- statistics ---
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+
+    /** Register hits/misses/miss-rate under "<prefix>.". */
+    void registerStats(obs::StatsRegistry &registry,
+                       const std::string &prefix) const;
 
   private:
     struct Entry

@@ -1,10 +1,71 @@
 #include "common/logging.hh"
 
 #include <cstdio>
+#include <ctime>
 #include <vector>
 
 namespace arl
 {
+
+namespace
+{
+
+/** Read the initial level from ARL_LOG_LEVEL (once, at first use). */
+LogLevel
+initialLogLevel()
+{
+    const char *env = std::getenv("ARL_LOG_LEVEL");
+    LogLevel level = LogLevel::Info;
+    if (env)
+        parseLogLevel(env, level);
+    return level;
+}
+
+bool
+initialTimestamps()
+{
+    const char *env = std::getenv("ARL_LOG_TIMESTAMP");
+    return env && env[0] == '1';
+}
+
+LogLevel currentLevel = initialLogLevel();
+bool timestampsEnabled = initialTimestamps();
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    currentLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return currentLevel;
+}
+
+bool
+parseLogLevel(const std::string &name, LogLevel &out)
+{
+    if (name == "debug")
+        out = LogLevel::Debug;
+    else if (name == "info")
+        out = LogLevel::Info;
+    else if (name == "warn" || name == "warning")
+        out = LogLevel::Warn;
+    else if (name == "error" || name == "quiet")
+        out = LogLevel::Error;
+    else
+        return false;
+    return true;
+}
+
+void
+setLogTimestamps(bool enabled)
+{
+    timestampsEnabled = enabled;
+}
 
 namespace log_detail
 {
@@ -24,9 +85,20 @@ vformat(const char *fmt, std::va_list ap)
 }
 
 void
-emit(const char *severity, const std::string &message)
+emit(LogLevel severity, const char *tag, const std::string &message)
 {
-    std::fprintf(stderr, "%s: %s\n", severity, message.c_str());
+    if (severity < currentLevel)
+        return;
+    if (timestampsEnabled) {
+        std::time_t t = std::time(nullptr);
+        std::tm tm_buf;
+        char stamp[32] = "";
+        if (localtime_r(&t, &tm_buf))
+            std::strftime(stamp, sizeof(stamp), "%H:%M:%S ", &tm_buf);
+        std::fprintf(stderr, "%s%s: %s\n", stamp, tag, message.c_str());
+    } else {
+        std::fprintf(stderr, "%s: %s\n", tag, message.c_str());
+    }
     std::fflush(stderr);
 }
 
@@ -37,7 +109,7 @@ inform(const char *fmt, ...)
 {
     std::va_list ap;
     va_start(ap, fmt);
-    log_detail::emit("info", log_detail::vformat(fmt, ap));
+    log_detail::emit(LogLevel::Info, "info", log_detail::vformat(fmt, ap));
     va_end(ap);
 }
 
@@ -46,7 +118,7 @@ warn(const char *fmt, ...)
 {
     std::va_list ap;
     va_start(ap, fmt);
-    log_detail::emit("warn", log_detail::vformat(fmt, ap));
+    log_detail::emit(LogLevel::Warn, "warn", log_detail::vformat(fmt, ap));
     va_end(ap);
 }
 
@@ -55,7 +127,10 @@ fatal(const char *fmt, ...)
 {
     std::va_list ap;
     va_start(ap, fmt);
-    log_detail::emit("fatal", log_detail::vformat(fmt, ap));
+    // Error is the highest filterable level, so fatal/panic always
+    // clear the threshold regardless of --quiet.
+    log_detail::emit(LogLevel::Error, "fatal",
+                     log_detail::vformat(fmt, ap));
     va_end(ap);
     std::exit(1);
 }
@@ -65,7 +140,8 @@ panic(const char *fmt, ...)
 {
     std::va_list ap;
     va_start(ap, fmt);
-    log_detail::emit("panic", log_detail::vformat(fmt, ap));
+    log_detail::emit(LogLevel::Error, "panic",
+                     log_detail::vformat(fmt, ap));
     va_end(ap);
     std::abort();
 }
@@ -82,7 +158,7 @@ assertFail(const char *condition, const char *file, int line,
                           " (" + file + ":" + std::to_string(line) + ")";
     if (!detail.empty())
         message += " " + detail;
-    log_detail::emit("panic", message);
+    log_detail::emit(LogLevel::Error, "panic", message);
     std::abort();
 }
 

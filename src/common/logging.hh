@@ -15,6 +15,13 @@
  * All helpers accept printf-style formatting via std::format-like
  * variadic templates built on snprintf to keep the dependency
  * footprint minimal.
+ *
+ * Verbosity is controlled by a process-wide level: inform() and
+ * warn() can be filtered (fatal/panic never are).  The initial level
+ * comes from the ARL_LOG_LEVEL environment variable ("debug",
+ * "info", "warn", "error" / "quiet"); setLogLevel() overrides it
+ * (e.g. for a --quiet flag).  ARL_LOG_TIMESTAMP=1 prefixes each line
+ * with wall-clock time.
  */
 
 #ifndef ARL_COMMON_LOGGING_HH
@@ -28,14 +35,48 @@
 namespace arl
 {
 
+/** Log severities, in increasing order of importance. */
+enum class LogLevel : int
+{
+    Debug = 0,   ///< everything
+    Info = 1,    ///< inform() and up (the default)
+    Warn = 2,    ///< warn() and up
+    Error = 3,   ///< only fatal()/panic() (--quiet)
+};
+
+/**
+ * Set the minimum severity that reaches stderr.  Messages below the
+ * level are dropped; fatal() and panic() always print.
+ */
+void setLogLevel(LogLevel level);
+
+/** The current minimum severity. */
+LogLevel logLevel();
+
+/**
+ * Parse a level name ("debug", "info", "warn"/"warning", "error"/
+ * "quiet").  Returns false (leaving @p out untouched) on an unknown
+ * name.
+ */
+bool parseLogLevel(const std::string &name, LogLevel &out);
+
+/** Enable or disable wall-clock timestamps on every log line. */
+void setLogTimestamps(bool enabled);
+
 namespace log_detail
 {
 
 /** Format a printf-style message into a std::string. */
 std::string vformat(const char *fmt, std::va_list ap);
 
-/** Emit one log line to stderr with the given severity prefix. */
-void emit(const char *severity, const std::string &message);
+/**
+ * Emit one log line to stderr with the given severity prefix,
+ * honouring the process log level and timestamp setting.  Every
+ * severity funnels through here so filtering and formatting live in
+ * one place.
+ */
+void emit(LogLevel severity, const char *tag,
+          const std::string &message);
 
 } // namespace log_detail
 

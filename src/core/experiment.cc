@@ -1,6 +1,7 @@
 #include "core/experiment.hh"
 
 #include "common/logging.hh"
+#include "obs/hooks.hh"
 #include "sim/simulator.hh"
 
 namespace arl::core
@@ -114,12 +115,25 @@ Experiment::regionStudy(const std::vector<NamedScheme> &schemes,
 TimingResult
 Experiment::timingStudy(const ooo::MachineConfig &config,
                         InstCount warmup_insts,
-                        InstCount max_insts) const
+                        InstCount max_insts,
+                        obs::Hooks *hooks) const
 {
     ooo::OooCore core(config, prog);
+    if (hooks)
+        core.attachObs(hooks);
     if (warmup_insts)
         core.warmup(warmup_insts);
-    return core.run(max_insts);
+    // Sampling (re)starts here so the baseline reflects the
+    // post-warmup state and the frozen name set includes every stat
+    // the core just registered.
+    if (hooks)
+        hooks->restartSampling();
+    TimingResult result = core.run(max_insts);
+    // The registry's live entries point into `core`, which dies at
+    // return; freeze the values now so reports stay valid.
+    if (hooks)
+        hooks->finalize();
+    return result;
 }
 
 std::vector<TimingResult>

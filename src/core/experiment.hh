@@ -35,6 +35,11 @@
 #include "profile/window_profiler.hh"
 #include "vm/program.hh"
 
+namespace arl::obs
+{
+struct Hooks;
+}
+
 namespace arl::core
 {
 
@@ -97,10 +102,15 @@ class Experiment
      *
      * @param warmup_insts functional fast-forward before timing.
      * @param max_insts timed instruction budget (0 = to completion).
+     * @param hooks optional observability context: the core registers
+     *        its stats into @p hooks->registry, (re)starts interval
+     *        sampling after warmup, and emits pipeline-trace events
+     *        when the hooks carry a tracer.
      */
     TimingResult timingStudy(const ooo::MachineConfig &config,
                              InstCount warmup_insts = 0,
-                             InstCount max_insts = 0) const;
+                             InstCount max_insts = 0,
+                             obs::Hooks *hooks = nullptr) const;
 
     /** timingStudy over a set of configurations. */
     std::vector<TimingResult>

@@ -1,0 +1,38 @@
+#include "obs/hooks.hh"
+
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace arl::obs
+{
+
+void
+Hooks::startSampling()
+{
+    if (intervalEvery == 0 || sampler)
+        return;
+    sampler = std::make_unique<IntervalSampler>(registry, intervalEvery);
+}
+
+void
+Hooks::restartSampling()
+{
+    sampler.reset();
+    startSampling();
+}
+
+bool
+Hooks::openTrace(const std::string &path, std::uint64_t max_events)
+{
+    auto file = std::make_unique<std::ofstream>(path);
+    if (!file->is_open()) {
+        warn("cannot open pipetrace file '%s'", path.c_str());
+        return false;
+    }
+    traceFile = std::move(file);
+    tracer = std::make_unique<PipeTracer>(*traceFile, max_events);
+    return true;
+}
+
+} // namespace arl::obs

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The bundle a simulation run threads through its components: one
+ * stats registry everybody registers into, plus the optional interval
+ * sampler and pipeline tracer the CLI flags enable.
+ *
+ * Lifecycle: construct → components register stats (attachObs /
+ * registerStats) → startSampling() freezes the sampled name set →
+ * run (core calls tick() per commit and tracer events) → serialize
+ * via obs::Report.
+ */
+
+#ifndef ARL_OBS_HOOKS_HH
+#define ARL_OBS_HOOKS_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "obs/pipetrace.hh"
+#include "obs/sampler.hh"
+#include "obs/stats_registry.hh"
+
+namespace arl::obs
+{
+
+/** Per-run observability context. */
+struct Hooks
+{
+    StatsRegistry registry;
+
+    /** Sampling period in committed instructions; 0 = disabled. */
+    std::uint64_t intervalEvery = 0;
+
+    std::unique_ptr<IntervalSampler> sampler;
+    std::unique_ptr<PipeTracer> tracer;
+
+    /**
+     * Freeze the sampled stat set and arm the sampler.  Call after
+     * every component has registered; a no-op when intervalEvery is 0.
+     */
+    void startSampling();
+
+    /** Reset the sampler (new run over the same registrations). */
+    void restartSampling();
+
+    /**
+     * Open @p path and attach a PipeTracer writing to it.
+     * @param max_events event cap (0 = unlimited).
+     * @return false (with a warning) when the file cannot be opened.
+     */
+    bool openTrace(const std::string &path, std::uint64_t max_events = 0);
+
+    /** Progress notification from the core's commit stage. */
+    void
+    tick(std::uint64_t committed)
+    {
+        if (sampler)
+            sampler->tick(committed);
+    }
+
+    /** True when pipeline tracing is active. */
+    bool tracing() const { return tracer != nullptr; }
+
+    /**
+     * Capture the registry's values while the registered components
+     * are still alive.  Live counter/gauge/formula entries point into
+     * the components that registered them, so a snapshot taken after
+     * those objects are destroyed reads freed memory; call this at
+     * the end of the run (Experiment::timingStudy does) and
+     * RunRecord::fromHooks will use the captured values.
+     */
+    void finalize() { finalSnapshot = registry.snapshot(); finalized = true; }
+
+    StatsRegistry::Snapshot finalSnapshot;
+    bool finalized = false;
+
+  private:
+    std::unique_ptr<std::ostream> traceFile;
+};
+
+} // namespace arl::obs
+
+#endif // ARL_OBS_HOOKS_HH

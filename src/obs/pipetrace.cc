@@ -1,0 +1,53 @@
+#include "obs/pipetrace.hh"
+
+#include <cstdio>
+
+namespace arl::obs
+{
+
+const char *
+pipeEventName(PipeEvent ev)
+{
+    switch (ev) {
+      case PipeEvent::Dispatch: return "DIS";
+      case PipeEvent::SteerLsq: return "LSQ";
+      case PipeEvent::SteerLvaq: return "LVQ";
+      case PipeEvent::Issue: return "ISS";
+      case PipeEvent::AddrGen: return "AGN";
+      case PipeEvent::TlbVerify: return "TLB";
+      case PipeEvent::RegionMispredict: return "RMP";
+      case PipeEvent::Forward: return "FWD";
+      case PipeEvent::Writeback: return "WB ";
+      case PipeEvent::Squash: return "SQH";
+      case PipeEvent::Commit: return "CMT";
+    }
+    return "???";
+}
+
+PipeTracer::PipeTracer(std::ostream &out, std::uint64_t max_events)
+    : os(out), limit(max_events)
+{
+    os << "# arl pipetrace: cycle seq pc event detail\n";
+}
+
+void
+PipeTracer::event(std::uint64_t cycle, std::uint64_t seq, std::uint32_t pc,
+                  PipeEvent ev, const std::string &detail)
+{
+    if (limit && count >= limit) {
+        ++droppedCount;
+        return;
+    }
+    ++count;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%10llu %8llu 0x%08x %s",
+                  static_cast<unsigned long long>(cycle),
+                  static_cast<unsigned long long>(seq), pc,
+                  pipeEventName(ev));
+    os << buf;
+    if (!detail.empty())
+        os << ' ' << detail;
+    os << '\n';
+}
+
+} // namespace arl::obs

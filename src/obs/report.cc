@@ -1,0 +1,123 @@
+#include "obs/report.hh"
+
+#include <fstream>
+
+#include "common/logging.hh"
+#include "obs/hooks.hh"
+#include "obs/json.hh"
+
+namespace arl::obs
+{
+
+RunRecord
+RunRecord::fromHooks(const std::string &workload, const std::string &config,
+                     const Hooks &hooks)
+{
+    RunRecord record;
+    record.workload = workload;
+    record.config = config;
+    record.stats =
+        hooks.finalized ? hooks.finalSnapshot : hooks.registry.snapshot();
+    if (hooks.sampler) {
+        record.intervals.every = hooks.sampler->every();
+        record.intervals.names = hooks.sampler->names();
+        record.intervals.samples = hooks.sampler->samples();
+        record.intervals.deltas = hooks.sampler->deltas();
+    }
+    return record;
+}
+
+namespace
+{
+
+void
+writeSamples(JsonWriter &w, const std::vector<IntervalSampler::Sample> &ss)
+{
+    w.beginArray();
+    for (const auto &s : ss) {
+        w.beginObject();
+        w.field("at", s.at);
+        w.key("values").beginArray();
+        for (double v : s.values)
+            w.value(v);
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+}
+
+} // namespace
+
+void
+Report::writeJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema_version", 1);
+    w.field("tool", tool);
+    w.field("command", command);
+    w.key("runs").beginArray();
+    for (const RunRecord &run : runs) {
+        w.beginObject();
+        w.field("workload", run.workload);
+        w.field("config", run.config);
+        w.key("stats").beginObject();
+        for (const auto &[name, value] : run.stats)
+            w.field(name, value);
+        w.endObject();
+        if (run.intervals.every) {
+            w.key("intervals").beginObject();
+            w.field("every", run.intervals.every);
+            w.key("names").beginArray();
+            for (const std::string &name : run.intervals.names)
+                w.value(name);
+            w.endArray();
+            w.key("samples");
+            writeSamples(w, run.intervals.samples);
+            w.key("deltas");
+            writeSamples(w, run.intervals.deltas);
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+void
+Report::writeCsv(std::ostream &os) const
+{
+    os << "workload,config,stat,value\n";
+    for (const RunRecord &run : runs)
+        for (const auto &[name, value] : run.stats)
+            os << csvField(run.workload) << ',' << csvField(run.config)
+               << ',' << csvField(name) << ',' << jsonNumber(value)
+               << '\n';
+}
+
+bool
+Report::writeJsonFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os.is_open()) {
+        warn("cannot write stats file '%s'", path.c_str());
+        return false;
+    }
+    writeJson(os);
+    return true;
+}
+
+bool
+Report::writeCsvFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os.is_open()) {
+        warn("cannot write stats file '%s'", path.c_str());
+        return false;
+    }
+    writeCsv(os);
+    return true;
+}
+
+} // namespace arl::obs

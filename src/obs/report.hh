@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Machine-readable run reports: the one JSON/CSV schema shared by
+ * `arl_sim --stats-json` (every subcommand) and the bench
+ * executables' BENCH_*.json records.
+ *
+ * Schema (schema_version 1):
+ *
+ *   {
+ *     "schema_version": 1,
+ *     "tool": "arl_sim",            // or the bench executable name
+ *     "command": "time",            // subcommand / bench case
+ *     "runs": [
+ *       {
+ *         "workload": "compress_like",
+ *         "config": "(2+0)",
+ *         "stats": { "ooo.cycles": ..., "ooo.ipc": ..., ... },
+ *         "intervals": {            // only when sampling was enabled
+ *           "every": 100000,
+ *           "names": [...],
+ *           "samples": [ {"at": ..., "values": [...]}, ... ],
+ *           "deltas":  [ {"at": ..., "values": [...]}, ... ]
+ *         }
+ *       }
+ *     ]
+ *   }
+ */
+
+#ifndef ARL_OBS_REPORT_HH
+#define ARL_OBS_REPORT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/sampler.hh"
+#include "obs/stats_registry.hh"
+
+namespace arl::obs
+{
+
+struct Hooks;
+
+/** Interval-sampling section of one run. */
+struct IntervalReport
+{
+    std::uint64_t every = 0;  ///< 0 = sampling was disabled
+    std::vector<std::string> names;
+    std::vector<IntervalSampler::Sample> samples;
+    std::vector<IntervalSampler::Sample> deltas;
+};
+
+/** One (workload, config) run. */
+struct RunRecord
+{
+    std::string workload;
+    std::string config;
+    StatsRegistry::Snapshot stats;
+    IntervalReport intervals;
+
+    /** Capture registry snapshot + sampler state from @p hooks. */
+    static RunRecord fromHooks(const std::string &workload,
+                               const std::string &config,
+                               const Hooks &hooks);
+};
+
+/** A full report: tool identity plus one record per run. */
+struct Report
+{
+    std::string tool = "arl_sim";
+    std::string command;
+    std::vector<RunRecord> runs;
+
+    /** Serialize the schema above. */
+    void writeJson(std::ostream &os) const;
+
+    /**
+     * Flat CSV: one "workload,config,stat,value" row per stat of
+     * every run (intervals are JSON-only).
+     */
+    void writeCsv(std::ostream &os) const;
+
+    /**
+     * Write the JSON document to @p path.
+     * @return false (with a warning) when the file cannot be written.
+     */
+    bool writeJsonFile(const std::string &path) const;
+
+    /** Write the CSV rendering to @p path. */
+    bool writeCsvFile(const std::string &path) const;
+};
+
+} // namespace arl::obs
+
+#endif // ARL_OBS_REPORT_HH

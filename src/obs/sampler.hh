@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Interval sampler: periodic snapshots of a StatsRegistry keyed to
+ * committed-instruction count, exposing phase behaviour (region mix,
+ * ARPT accuracy, LVC hit rate over time) instead of end-of-run
+ * aggregates only.
+ */
+
+#ifndef ARL_OBS_SAMPLER_HH
+#define ARL_OBS_SAMPLER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/stats_registry.hh"
+
+namespace arl::obs
+{
+
+/**
+ * Samples a registry every @p every committed instructions.
+ *
+ * The leaf-name list is frozen at construction (stats registered
+ * later are not sampled), as is a baseline snapshot so deltas are
+ * relative to the sampling start (e.g. after cache warmup), not to
+ * zero.  tick() is cheap when no boundary was crossed.
+ */
+class IntervalSampler
+{
+  public:
+    /** One snapshot, values in names() order. */
+    struct Sample
+    {
+        std::uint64_t at = 0;  ///< committed instructions when taken
+        std::vector<double> values;
+    };
+
+    /**
+     * @param registry sampled registry; must outlive the sampler.
+     * @param every    sampling period in committed instructions (>0).
+     */
+    IntervalSampler(const StatsRegistry &registry, std::uint64_t every);
+
+    /**
+     * Notify progress to @p committed instructions; takes one sample
+     * when the next boundary has been reached or passed.
+     */
+    void tick(std::uint64_t committed);
+
+    /** Sampling period. */
+    std::uint64_t every() const { return interval; }
+
+    /** Frozen leaf-stat names (column order of every sample). */
+    const std::vector<std::string> &names() const { return statNames; }
+
+    /** Values captured at construction (the delta baseline). */
+    const std::vector<double> &baseline() const { return base; }
+
+    /** All samples taken so far (cumulative values). */
+    const std::vector<Sample> &samples() const { return taken; }
+
+    /**
+     * Per-interval differences: deltas()[0] is samples()[0] minus the
+     * baseline, deltas()[i] is samples()[i] minus samples()[i-1].
+     * Meaningful for counters; for gauges/formulas it is the change
+     * in level over the interval.
+     */
+    std::vector<Sample> deltas() const;
+
+  private:
+    std::vector<double> sampleValues() const;
+
+    const StatsRegistry &registry;
+    std::uint64_t interval;
+    std::uint64_t nextAt;
+    std::vector<std::string> statNames;
+    std::vector<double> base;
+    std::vector<Sample> taken;
+};
+
+} // namespace arl::obs
+
+#endif // ARL_OBS_SAMPLER_HH

@@ -1,0 +1,241 @@
+#include "obs/stats_registry.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+
+namespace arl::obs
+{
+
+void
+StatsRegistry::insert(const std::string &name, Entry entry)
+{
+    ARL_ASSERT(!name.empty(), "empty stat name");
+    if (entries.count(name))
+        fatal("StatsRegistry: duplicate stat '%s'", name.c_str());
+    entries.emplace(name, std::move(entry));
+}
+
+void
+StatsRegistry::addCounter(const std::string &name,
+                          const std::uint64_t *value,
+                          const std::string &desc)
+{
+    ARL_ASSERT(value, "null counter '%s'", name.c_str());
+    Entry e;
+    e.kind = Kind::Counter;
+    e.desc = desc;
+    e.counter = value;
+    insert(name, std::move(e));
+}
+
+void
+StatsRegistry::addGauge(const std::string &name, const double *value,
+                        const std::string &desc)
+{
+    ARL_ASSERT(value, "null gauge '%s'", name.c_str());
+    Entry e;
+    e.kind = Kind::Gauge;
+    e.desc = desc;
+    e.gauge = value;
+    insert(name, std::move(e));
+}
+
+void
+StatsRegistry::addFormula(const std::string &name,
+                          std::function<double()> formula,
+                          const std::string &desc)
+{
+    ARL_ASSERT(formula, "null formula '%s'", name.c_str());
+    Entry e;
+    e.kind = Kind::Formula;
+    e.desc = desc;
+    e.formula = std::move(formula);
+    insert(name, std::move(e));
+}
+
+void
+StatsRegistry::addDistribution(const std::string &name,
+                               const RunningStat *stat,
+                               const std::string &desc)
+{
+    ARL_ASSERT(stat, "null distribution '%s'", name.c_str());
+    Entry e;
+    e.kind = Kind::Distribution;
+    e.desc = desc;
+    e.dist = stat;
+    insert(name, std::move(e));
+}
+
+void
+StatsRegistry::addHistogram(const std::string &name, const Histogram *hist,
+                            const std::string &desc)
+{
+    ARL_ASSERT(hist, "null histogram '%s'", name.c_str());
+    Entry e;
+    e.kind = Kind::Histogram;
+    e.desc = desc;
+    e.hist = hist;
+    insert(name, std::move(e));
+}
+
+std::uint64_t &
+StatsRegistry::counter(const std::string &name, const std::string &desc)
+{
+    auto it = ownedCounterIndex.find(name);
+    if (it != ownedCounterIndex.end())
+        return *it->second;
+    ownedCounters.push_back(0);
+    std::uint64_t *slot = &ownedCounters.back();
+    ownedCounterIndex[name] = slot;
+    addCounter(name, slot, desc);
+    return *slot;
+}
+
+double &
+StatsRegistry::gauge(const std::string &name, const std::string &desc)
+{
+    auto it = ownedGaugeIndex.find(name);
+    if (it != ownedGaugeIndex.end())
+        return *it->second;
+    ownedGauges.push_back(0.0);
+    double *slot = &ownedGauges.back();
+    ownedGaugeIndex[name] = slot;
+    addGauge(name, slot, desc);
+    return *slot;
+}
+
+void
+StatsRegistry::expand(const std::string &name, const Entry &entry,
+                      Snapshot &out) const
+{
+    switch (entry.kind) {
+      case Kind::Counter:
+        out.emplace_back(name, static_cast<double>(*entry.counter));
+        break;
+      case Kind::Gauge:
+        out.emplace_back(name, *entry.gauge);
+        break;
+      case Kind::Formula:
+        out.emplace_back(name, entry.formula());
+        break;
+      case Kind::Distribution:
+        out.emplace_back(name + ".count",
+                         static_cast<double>(entry.dist->count()));
+        out.emplace_back(name + ".mean", entry.dist->mean());
+        out.emplace_back(name + ".stddev", entry.dist->stddev());
+        break;
+      case Kind::Histogram:
+        out.emplace_back(name + ".count",
+                         static_cast<double>(entry.hist->count()));
+        out.emplace_back(name + ".mean", entry.hist->mean());
+        out.emplace_back(name + ".stddev", entry.hist->stddev());
+        out.emplace_back(
+            name + ".overflow",
+            static_cast<double>(entry.hist->bucket(entry.hist->size() - 1)));
+        break;
+    }
+}
+
+StatsRegistry::Snapshot
+StatsRegistry::snapshot() const
+{
+    Snapshot out;
+    out.reserve(entries.size());
+    // `entries` iterates name-sorted; expansion appends suffixed
+    // leaves in a fixed order, so re-sort to keep the flat view
+    // strictly ordered regardless of how expansions interleave.
+    for (const auto &[name, entry] : entries)
+        expand(name, entry, out);
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    return out;
+}
+
+std::vector<std::string>
+StatsRegistry::names() const
+{
+    std::vector<std::string> out;
+    for (const auto &[name, value] : snapshot())
+        out.push_back(name);
+    return out;
+}
+
+bool
+StatsRegistry::has(const std::string &name) const
+{
+    if (entries.count(name))
+        return true;
+    for (const auto &[leaf, value] : snapshot())
+        if (leaf == name)
+            return true;
+    return false;
+}
+
+double
+StatsRegistry::value(const std::string &name) const
+{
+    auto it = entries.find(name);
+    if (it != entries.end() && it->second.kind != Kind::Distribution &&
+        it->second.kind != Kind::Histogram) {
+        Snapshot one;
+        expand(name, it->second, one);
+        return one.front().second;
+    }
+    for (const auto &[leaf, v] : snapshot())
+        if (leaf == name)
+            return v;
+    fatal("StatsRegistry: unknown stat '%s'", name.c_str());
+}
+
+std::string
+StatsRegistry::description(const std::string &name) const
+{
+    auto it = entries.find(name);
+    return it != entries.end() ? it->second.desc : std::string();
+}
+
+std::string
+StatsRegistry::dump() const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : snapshot())
+        os << name << " = " << jsonNumber(value) << "\n";
+    return os.str();
+}
+
+void
+StatsRegistry::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    for (const auto &[name, value] : snapshot())
+        w.field(name, value);
+    w.endObject();
+}
+
+std::string
+csvField(const std::string &field)
+{
+    if (field.find_first_of(",\"\n\r") == std::string::npos)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+writeCsv(std::ostream &os, const StatsRegistry::Snapshot &snapshot)
+{
+    os << "stat,value\n";
+    for (const auto &[name, value] : snapshot)
+        os << csvField(name) << ',' << jsonNumber(value) << '\n';
+}
+
+} // namespace arl::obs

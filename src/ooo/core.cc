@@ -8,6 +8,7 @@
 #include "common/logging.hh"
 #include "isa/addr_mode.hh"
 #include "isa/operands.hh"
+#include "obs/hooks.hh"
 
 namespace arl::ooo
 {
@@ -46,6 +47,9 @@ OooStats::dump() const
     os << "sim.ipc               " << ipc() << "\n";
     os << "mem.loads             " << loads << "\n";
     os << "mem.stores            " << stores << "\n";
+    os << "mem.refs.data         " << regionRefs[0] << "\n";
+    os << "mem.refs.heap         " << regionRefs[1] << "\n";
+    os << "mem.refs.stack        " << regionRefs[2] << "\n";
     os << "mem.lvaq_steered      " << lvaqSteered << "\n";
     os << "mem.region_mispred    " << regionMispredictions << "\n";
     os << "mem.forwarded_loads   " << forwardedLoads << "\n";
@@ -79,6 +83,89 @@ OooCore::OooCore(const MachineConfig &config_in,
     std::fill(std::begin(regProducerSeq), std::end(regProducerSeq),
               InstCount{0});
     stats.configName = config.name;
+}
+
+void
+OooCore::trace(obs::PipeEvent ev, const Entry &e,
+               const std::string &detail)
+{
+    if (obsHooks && obsHooks->tracer)
+        obsHooks->tracer->event(now, e.seq, e.step.pc, ev, detail);
+}
+
+void
+OooCore::attachObs(obs::Hooks *hooks)
+{
+    obsHooks = hooks;
+    if (!hooks)
+        return;
+    obs::StatsRegistry &reg = hooks->registry;
+
+    reg.addFormula("ooo.cycles",
+                   [this] { return static_cast<double>(now); },
+                   "simulated cycles");
+    reg.addCounter("ooo.instructions", &stats.instructions,
+                   "committed instructions");
+    reg.addFormula(
+        "ooo.ipc",
+        [this] {
+            return now ? static_cast<double>(stats.instructions) /
+                             static_cast<double>(now)
+                       : 0.0;
+        },
+        "committed instructions per cycle");
+
+    reg.addCounter("ooo.loads", &stats.loads, "dispatched loads");
+    reg.addCounter("ooo.stores", &stats.stores, "dispatched stores");
+    reg.addCounter("ooo.refs.data", &stats.regionRefs[0],
+                   "committed refs to the data region");
+    reg.addCounter("ooo.refs.heap", &stats.regionRefs[1],
+                   "committed refs to the heap region");
+    reg.addCounter("ooo.refs.stack", &stats.regionRefs[2],
+                   "committed refs to the stack region");
+
+    reg.addCounter("ooo.lsq.forwarded_loads", &stats.forwardedLoads,
+                   "loads satisfied by in-queue stores");
+    reg.addCounter("ooo.lvaq.steered", &stats.lvaqSteered,
+                   "memory ops steered to the LVAQ");
+    reg.addCounter("ooo.lvaq.fast_forwarded_loads",
+                   &stats.fastForwardedLoads,
+                   "forwarded without waiting on older addresses");
+
+    reg.addCounter("predict.region_mispredictions",
+                   &stats.regionMispredictions,
+                   "steering decisions the TLB verify rejected");
+    reg.addFormula(
+        "predict.region_mispredict_rate_pct",
+        [this] {
+            std::uint64_t refs = stats.loads + stats.stores;
+            return refs ? 100.0 *
+                              static_cast<double>(
+                                  stats.regionMispredictions) /
+                              static_cast<double>(refs)
+                        : 0.0;
+        },
+        "mispredicted share of dispatched refs");
+
+    reg.addCounter("ooo.vp.offered", &stats.vpOffered,
+                   "confident value predictions");
+    reg.addCounter("ooo.vp.wrong", &stats.vpWrong,
+                   "misverified value predictions");
+    reg.addCounter("ooo.vp.squashes", &stats.vpSquashes,
+                   "re-issues after value misprediction");
+    reg.addCounter("ooo.bp.branches", &stats.branches,
+                   "conditional branches dispatched");
+    reg.addCounter("ooo.bp.mispredicts", &stats.branchMispredicts,
+                   "branch mispredictions (realistic front end)");
+    reg.addCounter("ooo.stall.rob_full", &stats.robFullStalls,
+                   "dispatch stalls on a full ROB");
+    reg.addCounter("ooo.stall.queue_full", &stats.queueFullStalls,
+                   "dispatch stalls on a full LSQ/LVAQ");
+
+    hierarchy.registerStats(reg, "cache");
+    tlb.registerStats(reg, "cache.tlb");
+    if (config.decoupled)
+        arpt.registerStats(reg, "predict.arpt");
 }
 
 bool
@@ -152,6 +239,7 @@ OooCore::storeAddrGenStage()
             }
             store.addrGenDone = true;
             store.addrKnownAt = now + 1;
+            trace(obs::PipeEvent::AddrGen, store);
             translateAndVerify(store);
         }
     }
@@ -229,8 +317,13 @@ OooCore::translateAndVerify(Entry &e)
 
     bool predicted_stack = (e.queue == Queue::Lvaq);
     bool actual_stack = translation.stackPage;
+    trace(obs::PipeEvent::TlbVerify, e,
+          std::string(translation.hit ? "hit" : "miss") +
+              (actual_stack ? " stack" : " nonstack"));
     if (predicted_stack != actual_stack) {
         ++stats.regionMispredictions;
+        trace(obs::PipeEvent::RegionMispredict, e,
+              predicted_stack ? "lvaq->lsq" : "lsq->lvaq");
         // Redirect to the correct memory pipeline and charge the
         // selective re-issue penalty.
         e.pipe = actual_stack ? cache::MemPipe::Lvc
@@ -268,6 +361,7 @@ OooCore::squashConsumers(Entry &producer)
         c.usedSpecValue = false;
         c.earliestIssueAt = now + 1;
         ++stats.vpSquashes;
+        trace(obs::PipeEvent::Squash, c, "dependent of wrong value");
         onStoreSquashed(c);
         if (was_completed)
             squashConsumers(c);
@@ -284,6 +378,7 @@ OooCore::completeStage()
         if (e.completeAt > now)
             continue;
         e.completed = true;
+        trace(obs::PipeEvent::Writeback, e);
         // Realistic front end: a resolved mispredicted branch
         // redirects fetch after the refill penalty.
         if (e.seq == blockingBranchSeq) {
@@ -314,6 +409,8 @@ OooCore::completeStage()
                 c.usedSpecValue = false;
                 c.earliestIssueAt = now + 1;
                 ++stats.vpSquashes;
+                trace(obs::PipeEvent::Squash, c,
+                      "issued on mispredicted value");
                 onStoreSquashed(c);
                 if (was_completed)
                     squashConsumers(c);
@@ -340,6 +437,7 @@ OooCore::memoryStage()
                 e.pendingMem = false;
                 e.completeAt = now + 1;  // 1-cycle forwarding delay
                 ++stats.forwardedLoads;
+                trace(obs::PipeEvent::Forward, e);
                 if (e.queue == Queue::Lvaq && config.fastForwarding)
                     ++stats.fastForwardedLoads;
             }
@@ -371,6 +469,7 @@ OooCore::doIssue(Entry &e)
     const isa::OpInfo &info = e.step.inst.info();
     e.issued = true;
     ++issuedThisCycle;
+    trace(obs::PipeEvent::Issue, e);
     if (info.fu != isa::FuClass::None &&
         info.fu != isa::FuClass::Mem)
         ++fuUsed[static_cast<unsigned>(info.fu)];
@@ -474,6 +573,12 @@ OooCore::commitStage()
             if (store_queue.knownPrefix > 0)
                 --store_queue.knownPrefix;
         }
+        if (e.step.isMem) {
+            auto region = static_cast<unsigned>(e.step.region);
+            if (region < vm::NumDataRegions)
+                ++stats.regionRefs[region];
+        }
+        trace(obs::PipeEvent::Commit, e);
         e.valid = false;
         e.consumers.clear();
         ++stats.instructions;
@@ -518,6 +623,7 @@ OooCore::dispatchStage()
         // Steering and queue admission.
         Queue queue = Queue::None;
         cache::MemPipe pipe = cache::MemPipe::DCache;
+        const char *steer_source = "unified";
         if (info.isLoad || info.isStore) {
             bool steer_stack = false;
             if (config.decoupled) {
@@ -525,9 +631,11 @@ OooCore::dispatchStage()
                     isa::classifyAddrMode(step.inst);
                 if (isa::isConclusive(hint)) {
                     steer_stack = isa::hintSaysStack(hint);
+                    steer_source = "addr_mode";
                 } else {
                     steer_stack =
                         arpt.predictStack(step.pc, step.gbh, step.cid);
+                    steer_source = "arpt";
                 }
             }
             if (steer_stack) {
@@ -567,6 +675,11 @@ OooCore::dispatchStage()
         e.queue = queue;
         e.pipe = pipe;
         e.earliestIssueAt = now + 1;
+        trace(obs::PipeEvent::Dispatch, e);
+        if (queue == Queue::Lvaq)
+            trace(obs::PipeEvent::SteerLvaq, e, steer_source);
+        else if (queue == Queue::Lsq)
+            trace(obs::PipeEvent::SteerLsq, e, steer_source);
 
         // Register dependences.
         isa::SourceList sources = isa::instSources(step.inst);
@@ -710,6 +823,8 @@ OooCore::run(InstCount max_insts)
         issueStage();
         dispatchStage();
         commitStage();
+        if (obsHooks)
+            obsHooks->tick(stats.instructions);
 
         if (std::getenv("ARL_OOO_TRACE") && now < 60) {
             unsigned pending = 0, inflight = 0;

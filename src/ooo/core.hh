@@ -43,6 +43,12 @@
 #include "predict/arpt.hh"
 #include "sim/simulator.hh"
 
+namespace arl::obs
+{
+struct Hooks;
+enum class PipeEvent : std::uint8_t;
+}
+
 namespace arl::ooo
 {
 
@@ -55,6 +61,8 @@ struct OooStats
 
     std::uint64_t loads = 0;
     std::uint64_t stores = 0;
+    /** Committed references by actual region (Data/Heap/Stack). */
+    std::uint64_t regionRefs[vm::NumDataRegions] = {0, 0, 0};
     std::uint64_t lvaqSteered = 0;         ///< mem ops sent to the LVAQ
     std::uint64_t regionMispredictions = 0;
     std::uint64_t forwardedLoads = 0;
@@ -107,6 +115,16 @@ class OooCore
      * have been dispatched (0 = unlimited), then drain the pipeline.
      */
     OooStats run(InstCount max_insts = 0);
+
+    /**
+     * Attach an observability context: registers every stat of this
+     * core (and its caches, TLB, and ARPT) into @p hooks->registry
+     * under the ooo. / cache. / predict. hierarchies, and enables
+     * interval sampling ticks plus pipeline-trace events when the
+     * hooks carry a sampler/tracer.  Call before run(); @p hooks must
+     * outlive the core.  Pass nullptr to detach.
+     */
+    void attachObs(obs::Hooks *hooks);
 
   private:
     /** Which memory queue an entry sits in. */
@@ -194,6 +212,10 @@ class OooCore
     /** True when two accesses overlap in memory. */
     static bool overlaps(const sim::StepInfo &a, const sim::StepInfo &b);
 
+    /** Emit one pipeline-trace event when tracing is enabled. */
+    void trace(obs::PipeEvent ev, const Entry &e,
+               const std::string &detail = "");
+
     MachineConfig config;
     sim::Simulator funcSim;
     cache::Hierarchy hierarchy;
@@ -271,6 +293,7 @@ class OooCore
 
     Cycle now = 0;
     OooStats stats;
+    obs::Hooks *obsHooks = nullptr;
 };
 
 } // namespace arl::ooo

@@ -2,6 +2,7 @@
 
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "obs/stats_registry.hh"
 
 namespace arl::predict
 {
@@ -72,6 +73,24 @@ Arpt::reset()
     } else {
         map.clear();
     }
+}
+
+void
+Arpt::registerStats(obs::StatsRegistry &registry,
+                    const std::string &prefix) const
+{
+    registry.addFormula(
+        prefix + ".capacity",
+        [this] { return static_cast<double>(capacity()); },
+        "table entries (0 = unlimited)");
+    registry.addFormula(
+        prefix + ".occupancy",
+        [this] { return static_cast<double>(occupiedEntries()); },
+        "entries ever touched");
+    registry.addFormula(
+        prefix + ".storage_bytes",
+        [this] { return static_cast<double>(storageBytes()); },
+        "prediction state size");
 }
 
 } // namespace arl::predict

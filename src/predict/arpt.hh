@@ -26,6 +26,11 @@
 #include "common/types.hh"
 #include "predict/context.hh"
 
+namespace arl::obs
+{
+class StatsRegistry;
+}
+
 namespace arl::predict
 {
 
@@ -73,6 +78,13 @@ class Arpt
 
     /** The configuration in force. */
     const ArptConfig &configuration() const { return config; }
+
+    /**
+     * Register capacity/occupancy/storage under "<prefix>."
+     * (occupancy is a formula so it tracks later training).
+     */
+    void registerStats(obs::StatsRegistry &registry,
+                       const std::string &prefix) const;
 
   private:
     /** Flat index for limited mode. */

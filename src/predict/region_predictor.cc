@@ -1,10 +1,23 @@
 #include "predict/region_predictor.hh"
 
 #include "common/logging.hh"
+#include "obs/stats_registry.hh"
 #include "vm/layout.hh"
 
 namespace arl::predict
 {
+
+const char *
+predictionSourceName(PredictionSource source)
+{
+    switch (source) {
+      case PredictionSource::CompilerHint: return "hint";
+      case PredictionSource::AddrMode: return "addr_mode";
+      case PredictionSource::Arpt: return "arpt";
+      case PredictionSource::NumSources: break;
+    }
+    return "unknown";
+}
 
 RegionPredictor::RegionPredictor(const RegionPredictorConfig &config_in,
                                  const HintSource *hints_in)
@@ -90,6 +103,29 @@ RegionPredictor::report() const
     out.correctBySource = correctBySource;
     out.arptOccupancy = config.useArpt ? table->occupiedEntries() : 0;
     return out;
+}
+
+void
+RegionPredictor::registerStats(obs::StatsRegistry &registry,
+                               const std::string &prefix) const
+{
+    registry.addCounter(prefix + ".total", &total,
+                        "dynamic references predicted");
+    registry.addCounter(prefix + ".correct", &correct,
+                        "correctly classified references");
+    registry.addFormula(prefix + ".accuracy_pct",
+                        [this] { return report().accuracyPct(); },
+                        "overall classification accuracy");
+    for (unsigned i = 0; i < NumPredictionSources; ++i) {
+        std::string source = std::string(".by_source.") +
+            predictionSourceName(static_cast<PredictionSource>(i));
+        registry.addCounter(prefix + source + ".total",
+                            &totalBySource[i]);
+        registry.addCounter(prefix + source + ".correct",
+                            &correctBySource[i]);
+    }
+    if (config.useArpt)
+        table->registerStats(registry, prefix + ".arpt");
 }
 
 } // namespace arl::predict

@@ -31,6 +31,11 @@
 #include "predict/compiler_hints.hh"
 #include "sim/step_info.hh"
 
+namespace arl::obs
+{
+class StatsRegistry;
+}
+
 namespace arl::predict
 {
 
@@ -45,6 +50,9 @@ enum class PredictionSource : std::uint8_t
 
 constexpr unsigned NumPredictionSources =
     static_cast<unsigned>(PredictionSource::NumSources);
+
+/** Lower-case source name ("hint", "addr_mode", "arpt"). */
+const char *predictionSourceName(PredictionSource source);
 
 /** One resolved prediction. */
 struct Prediction
@@ -100,6 +108,21 @@ struct PredictorReport
                            static_cast<double>(total)
                      : 0.0;
     }
+
+    /**
+     * Share of dynamic refs that fell through to the ARPT (rule 4).
+     * Computed from the ARPT's own per-source tally — NOT as
+     * 100 − hints − addr-mode, which would fold the rounding error
+     * of the other shares into this one.
+     */
+    double
+    arptResolvedPct() const
+    {
+        auto index = static_cast<unsigned>(PredictionSource::Arpt);
+        return total ? 100.0 * static_cast<double>(totalBySource[index]) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
 };
 
 /** Combined hint + addressing-mode + ARPT predictor. */
@@ -141,6 +164,16 @@ class RegionPredictor
 
     /** The configuration in force. */
     const RegionPredictorConfig &configuration() const { return config; }
+
+    /**
+     * Register accuracy accounting under "<prefix>.": totals,
+     * correct counts, per-source tallies
+     * ("<prefix>.by_source.arpt.total", ...), accuracy/resolved
+     * formulas, and (when enabled) the ARPT's own stats under
+     * "<prefix>.arpt".
+     */
+    void registerStats(obs::StatsRegistry &registry,
+                       const std::string &prefix) const;
 
   private:
     /** Stage that resolves the instruction, before the ARPT. */

@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "isa/registers.hh"
+#include "obs/stats_registry.hh"
 #include "sim/syscalls.hh"
 
 namespace arl::sim
@@ -419,6 +420,17 @@ Simulator::run(InstCount max_insts, const StepHook &hook)
             hook(info);
     }
     return executed;
+}
+
+void
+Simulator::registerStats(obs::StatsRegistry &registry,
+                         const std::string &prefix) const
+{
+    registry.addCounter(prefix + ".instructions", &icount,
+                        "instructions executed functionally");
+    registry.addFormula(prefix + ".halted",
+                        [this] { return proc.halted ? 1.0 : 0.0; },
+                        "1 once the guest exited");
 }
 
 } // namespace arl::sim

@@ -22,6 +22,11 @@
 #include "sim/process.hh"
 #include "sim/step_info.hh"
 
+namespace arl::obs
+{
+class StatsRegistry;
+}
+
 namespace arl::sim
 {
 
@@ -62,6 +67,13 @@ class Simulator
 
     /** True when the process has halted. */
     bool halted() const { return proc.halted; }
+
+    /**
+     * Register functional-execution stats (instruction count, halt
+     * state, exit status) under "<prefix>.".
+     */
+    void registerStats(obs::StatsRegistry &registry,
+                       const std::string &prefix) const;
 
   private:
     /** Execute the syscall selected by $v0. */

@@ -26,6 +26,17 @@
  *   arl_sim disasm <file.s>
  *       Assemble and disassemble.
  *
+ * Observability flags, accepted by every simulating subcommand:
+ *
+ *   --stats-json <file>   write an obs::Report JSON document
+ *   --stats-csv <file>    flat workload,config,stat,value CSV
+ *   --interval <N>        sample all stats every N instructions
+ *                         (recorded in the JSON "intervals" section)
+ *   --pipetrace <file>    pipeline event trace (time only)
+ *   --pipetrace-max <N>   cap trace at N events (0 = unlimited)
+ *   --quiet               suppress info/warn output
+ *   --log-level <name>    debug | info | warn | quiet
+ *
  * Exit codes: 0 success, 1 usage error, 2 input error.
  */
 
@@ -38,8 +49,11 @@
 #include <vector>
 
 #include "assembler/assembler.hh"
+#include "common/logging.hh"
 #include "core/experiment.hh"
 #include "isa/inst.hh"
+#include "obs/hooks.hh"
+#include "obs/report.hh"
 #include "predict/static_classifier.hh"
 #include "sim/simulator.hh"
 #include "trace/trace.hh"
@@ -54,7 +68,7 @@ namespace
 class Args
 {
   public:
-    Args(int argc, char **argv, int first) : argc_(argc), argv_(argv)
+    Args(int argc, char **argv, int first)
     {
         for (int i = first; i < argc; ++i)
             raw_.push_back(argv[i]);
@@ -86,10 +100,49 @@ class Args
     }
 
   private:
-    int argc_;
-    char **argv_;
     std::vector<std::string> raw_;
 };
+
+/** The observability flags shared by every simulating subcommand. */
+struct ObsOptions
+{
+    std::string jsonPath;
+    std::string csvPath;
+    std::string tracePath;
+    std::uint64_t interval = 0;
+    std::uint64_t traceMax = 0;
+
+    static ObsOptions
+    parse(const Args &args)
+    {
+        ObsOptions opts;
+        opts.jsonPath = args.flag("stats-json", "");
+        opts.csvPath = args.flag("stats-csv", "");
+        opts.tracePath = args.flag("pipetrace", "");
+        opts.interval =
+            static_cast<std::uint64_t>(args.flagInt("interval", 0));
+        opts.traceMax =
+            static_cast<std::uint64_t>(args.flagInt("pipetrace-max", 0));
+        return opts;
+    }
+
+    bool wantsReport() const
+    {
+        return !jsonPath.empty() || !csvPath.empty();
+    }
+};
+
+/** Write the report to every requested sink; 0 on success, 2 on I/O. */
+int
+emitReport(const obs::Report &report, const ObsOptions &opts)
+{
+    bool ok = true;
+    if (!opts.jsonPath.empty())
+        ok = report.writeJsonFile(opts.jsonPath) && ok;
+    if (!opts.csvPath.empty())
+        ok = report.writeCsvFile(opts.csvPath) && ok;
+    return ok ? 0 : 2;
+}
 
 /** Load a target: registered workload name or an assembly file. */
 std::shared_ptr<const vm::Program>
@@ -133,11 +186,26 @@ cmdList()
 int
 cmdRun(const std::string &target, const Args &args)
 {
+    ObsOptions opts = ObsOptions::parse(args);
     auto prog = loadTarget(target,
                            static_cast<unsigned>(args.flagInt("scale", 1)));
     sim::Simulator simulator(prog);
-    InstCount executed = simulator.run(
-        static_cast<InstCount>(args.flagInt("max-insts", 0)));
+
+    obs::Hooks hooks;
+    hooks.intervalEvery = opts.interval;
+    simulator.registerStats(hooks.registry, "sim");
+    hooks.startSampling();
+
+    InstCount max_insts =
+        static_cast<InstCount>(args.flagInt("max-insts", 0));
+    InstCount executed;
+    if (hooks.sampler) {
+        executed = simulator.run(max_insts, [&](const sim::StepInfo &) {
+            hooks.tick(simulator.instCount());
+        });
+    } else {
+        executed = simulator.run(max_insts);
+    }
     std::printf("program   : %s\n", prog->name.c_str());
     std::printf("executed  : %llu instructions\n",
                 (unsigned long long)executed);
@@ -149,12 +217,20 @@ cmdRun(const std::string &target, const Args &args)
     std::printf("heap      : %llu bytes live in %zu blocks\n",
                 (unsigned long long)simulator.process().heap.bytesInUse(),
                 simulator.process().heap.liveBlocks());
-    return 0;
+
+    if (!opts.wantsReport())
+        return 0;
+    obs::Report report;
+    report.command = "run";
+    report.runs.push_back(
+        obs::RunRecord::fromHooks(prog->name, "functional", hooks));
+    return emitReport(report, opts);
 }
 
 int
 cmdProfile(const std::string &target, const Args &args)
 {
+    ObsOptions opts = ObsOptions::parse(args);
     auto prog = loadTarget(target,
                            static_cast<unsigned>(args.flagInt("scale", 1)));
     core::Experiment experiment(
@@ -188,12 +264,38 @@ cmdProfile(const std::string &target, const Args &args)
         std::printf("  %-12s %8.4f%%   (ARPT entries %zu)\n",
                     name.c_str(), report.accuracyPct(),
                     report.arptOccupancy);
-    return 0;
+
+    if (!opts.wantsReport())
+        return 0;
+    // The study ran to completion already; expose its results through
+    // registry-owned stats so the report shares the common schema.
+    obs::Hooks hooks;
+    auto &reg = hooks.registry;
+    reg.counter("profile.instructions") = result.instructions;
+    reg.counter("profile.loads") = result.profile.dynamicLoads;
+    reg.counter("profile.stores") = result.profile.dynamicStores;
+    for (unsigned r = 0; r < 3; ++r) {
+        std::string base = std::string("profile.refs.") + names[r];
+        reg.counter(base) = result.profile.regionRefs[r];
+        reg.gauge("profile.window32." + std::string(names[r]) +
+                  ".mean") = result.window32.mean[r];
+        reg.gauge("profile.window64." + std::string(names[r]) +
+                  ".mean") = result.window64.mean[r];
+    }
+    for (const auto &[name, scheme_report] : result.schemes)
+        reg.gauge("profile.scheme." + name + ".accuracy_pct") =
+            scheme_report.accuracyPct();
+    obs::Report report;
+    report.command = "profile";
+    report.runs.push_back(
+        obs::RunRecord::fromHooks(result.workload, "figure4", hooks));
+    return emitReport(report, opts);
 }
 
 int
 cmdPredict(const std::string &target, const Args &args)
 {
+    ObsOptions opts = ObsOptions::parse(args);
     unsigned scale = static_cast<unsigned>(args.flagInt("scale", 1));
     auto prog = loadTarget(target, scale);
 
@@ -249,8 +351,16 @@ cmdPredict(const std::string &target, const Args &args)
 
     predict::RegionPredictor predictor(config, hints);
     sim::Simulator simulator(prog);
+
+    obs::Hooks hooks;
+    hooks.intervalEvery = opts.interval;
+    predictor.registerStats(hooks.registry, "predict");
+    simulator.registerStats(hooks.registry, "sim");
+    hooks.startSampling();
+
     simulator.run(0, [&](const sim::StepInfo &step) {
         predictor.observe(step);
+        hooks.tick(simulator.instCount());
     });
 
     auto report = predictor.report();
@@ -260,20 +370,27 @@ cmdPredict(const std::string &target, const Args &args)
     std::printf("by source    : hints %.1f%%  addr-mode %.1f%%  "
                 "ARPT %.1f%%\n", report.hintResolvedPct(),
                 report.addrModeResolvedPct(),
-                100.0 - report.hintResolvedPct() -
-                    report.addrModeResolvedPct());
+                report.arptResolvedPct());
     std::printf("ARPT entries : %zu occupied", report.arptOccupancy);
     if (config.arpt.entries)
         std::printf(" of %u (%zu bytes of state)",
                     config.arpt.entries,
                     predictor.arpt().storageBytes());
     std::printf("\n");
-    return 0;
+
+    if (!opts.wantsReport())
+        return 0;
+    obs::Report out;
+    out.command = "predict";
+    out.runs.push_back(obs::RunRecord::fromHooks(
+        prog->name, context + (hints ? "+" + hints_kind : ""), hooks));
+    return emitReport(out, opts);
 }
 
 int
 cmdTime(const std::string &target, const Args &args)
 {
+    ObsOptions opts = ObsOptions::parse(args);
     unsigned scale = static_cast<unsigned>(args.flagInt("scale", 1));
     const auto &info = workloads::workloadByName(target);
     core::Experiment experiment(info.build(scale));
@@ -302,12 +419,32 @@ cmdTime(const std::string &target, const Args &args)
             config.fastForwarding = false;
     }
 
-    auto results =
-        experiment.timingSweep(configs, info.warmupInsts, timed);
+    if (!opts.tracePath.empty() && configs.size() > 1)
+        warn("--pipetrace with multiple configs: tracing only '%s'",
+             configs.front().name.c_str());
+
+    // Each configuration gets a fresh Hooks: the core re-registers
+    // the same stat names on every run.
+    obs::Report report;
+    report.command = "time";
+    std::vector<ooo::OooStats> results;
+    results.reserve(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        obs::Hooks hooks;
+        hooks.intervalEvery = opts.interval;
+        if (i == 0 && !opts.tracePath.empty())
+            hooks.openTrace(opts.tracePath, opts.traceMax);
+        results.push_back(experiment.timingStudy(
+            configs[i], info.warmupInsts, timed, &hooks));
+        if (opts.wantsReport())
+            report.runs.push_back(obs::RunRecord::fromHooks(
+                target, configs[i].name, hooks));
+    }
+
     if (args.has("verbose")) {
         for (const auto &stats : results)
             std::printf("%s\n", stats.dump().c_str());
-        return 0;
+        return emitReport(report, opts);
     }
     std::printf("%-12s %10s %6s %8s %8s %8s\n", "config", "cycles",
                 "IPC", "LVAQ%", "regmis", "fwd");
@@ -321,12 +458,13 @@ cmdTime(const std::string &target, const Args &args)
                     (unsigned long long)stats.regionMispredictions,
                     (unsigned long long)stats.forwardedLoads);
     }
-    return 0;
+    return emitReport(report, opts);
 }
 
 int
 cmdRecord(const std::string &target, const Args &args)
 {
+    ObsOptions opts = ObsOptions::parse(args);
     std::string out_path = args.flag("out", target + ".trace");
     auto prog = loadTarget(target,
                            static_cast<unsigned>(args.flagInt("scale", 1)));
@@ -336,12 +474,24 @@ cmdRecord(const std::string &target, const Args &args)
     std::printf("recorded %llu instructions of %s to %s (%.1f MB)\n",
                 (unsigned long long)n, prog->name.c_str(),
                 out_path.c_str(), (64.0 + 32.0 * n) / 1e6);
-    return 0;
+
+    if (!opts.wantsReport())
+        return 0;
+    obs::Hooks hooks;
+    hooks.registry.counter("trace.instructions") = n;
+    hooks.registry.counter("trace.bytes") =
+        64 + 32 * static_cast<std::uint64_t>(n);
+    obs::Report report;
+    report.command = "record";
+    report.runs.push_back(
+        obs::RunRecord::fromHooks(prog->name, "record", hooks));
+    return emitReport(report, opts);
 }
 
 int
-cmdReplay(const std::string &trace_path)
+cmdReplay(const std::string &trace_path, const Args &args)
 {
+    ObsOptions opts = ObsOptions::parse(args);
     trace::TraceReader reader(trace_path);
     profile::RegionProfiler profiler;
     profile::WindowProfiler window32(32);
@@ -366,7 +516,23 @@ cmdReplay(const std::string &trace_path)
                 "S %.2f (%.2f)\n", stats.mean[0], stats.stddev[0],
                 stats.mean[1], stats.stddev[1], stats.mean[2],
                 stats.stddev[2]);
-    return 0;
+
+    if (!opts.wantsReport())
+        return 0;
+    obs::Hooks hooks;
+    auto &reg = hooks.registry;
+    reg.counter("profile.instructions") = profile.totalInstructions;
+    reg.counter("profile.loads") = profile.dynamicLoads;
+    reg.counter("profile.stores") = profile.dynamicStores;
+    const char *names[3] = {"data", "heap", "stack"};
+    for (unsigned r = 0; r < 3; ++r)
+        reg.counter(std::string("profile.refs.") + names[r]) =
+            profile.regionRefs[r];
+    obs::Report report;
+    report.command = "replay";
+    report.runs.push_back(obs::RunRecord::fromHooks(
+        reader.programName(), "replay", hooks));
+    return emitReport(report, opts);
 }
 
 int
@@ -401,7 +567,32 @@ usage()
         "  record <target> [--out F]    record a binary trace\n"
         "  replay <file.trace>          profile from a trace\n"
         "  disasm <file.s|workload>     disassemble\n"
-        "targets: a registered workload name or an .s assembly file\n");
+        "targets: a registered workload name or an .s assembly file\n"
+        "observability (any simulating command):\n"
+        "  --stats-json F   --stats-csv F   --interval N\n"
+        "  --pipetrace F [--pipetrace-max N]   (time only)\n"
+        "  --quiet   --log-level debug|info|warn|quiet\n");
+}
+
+/** Apply --quiet / --log-level before dispatching the subcommand. */
+void
+applyLogFlags(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quiet") == 0) {
+            setLogLevel(LogLevel::Error);
+        } else if (std::strcmp(argv[i], "--log-level") == 0 &&
+                   i + 1 < argc) {
+            LogLevel level = LogLevel::Info;
+            if (!parseLogLevel(argv[i + 1], level)) {
+                std::fprintf(stderr,
+                             "arl_sim: unknown log level '%s'\n",
+                             argv[i + 1]);
+                std::exit(1);
+            }
+            setLogLevel(level);
+        }
+    }
 }
 
 } // namespace
@@ -413,6 +604,7 @@ main(int argc, char **argv)
         usage();
         return 1;
     }
+    applyLogFlags(argc, argv);
     std::string command = argv[1];
     if (command == "list")
         return cmdList();
@@ -433,7 +625,7 @@ main(int argc, char **argv)
     if (command == "record")
         return cmdRecord(target, args);
     if (command == "replay")
-        return cmdReplay(target);
+        return cmdReplay(target, args);
     if (command == "disasm")
         return cmdDisasm(target);
     usage();
