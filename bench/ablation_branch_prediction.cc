@@ -42,23 +42,27 @@ main(int argc, char **argv)
 
     double sum_perfect = 0.0, sum_gshare = 0.0;
     unsigned count = 0;
-    for (const auto &info : workloads::allWorkloads()) {
-        core::Experiment experiment(info.build(scale));
-        auto results =
-            experiment.timingSweep(configs, info.warmupInsts, timed);
-        double gain_perfect = static_cast<double>(results[0].cycles) /
-                              static_cast<double>(results[2].cycles);
-        double gain_gshare = static_cast<double>(results[1].cycles) /
-                             static_cast<double>(results[3].cycles);
+    auto sweep_result =
+        bench::timingGrid(configs, scale, timed, argc, argv);
+    const auto &all = workloads::allWorkloads();
+    for (std::size_t wi = 0; wi < all.size(); ++wi) {
+        const auto &info = all[wi];
+        auto stats = [&](std::size_t ci) -> const ooo::OooStats & {
+            return sweep_result.at(wi, ci).stats;
+        };
+        double gain_perfect = static_cast<double>(stats(0).cycles) /
+                              static_cast<double>(stats(2).cycles);
+        double gain_gshare = static_cast<double>(stats(1).cycles) /
+                             static_cast<double>(stats(3).cycles);
         double miss_per_k =
-            results[1].instructions
-                ? 1000.0 * results[1].branchMispredicts /
-                      results[1].instructions
+            stats(1).instructions
+                ? 1000.0 * stats(1).branchMispredicts /
+                      stats(1).instructions
                 : 0.0;
-        table.row({info.name, TablePrinter::num(results[0].ipc()),
-                   TablePrinter::num(results[1].ipc()),
-                   TablePrinter::num(results[2].ipc()),
-                   TablePrinter::num(results[3].ipc()),
+        table.row({info.name, TablePrinter::num(stats(0).ipc()),
+                   TablePrinter::num(stats(1).ipc()),
+                   TablePrinter::num(stats(2).ipc()),
+                   TablePrinter::num(stats(3).ipc()),
                    TablePrinter::num(gain_perfect, 3),
                    TablePrinter::num(gain_gshare, 3),
                    TablePrinter::num(miss_per_k, 2)});
@@ -70,5 +74,6 @@ main(int argc, char **argv)
     std::printf("average decoupling speedup: %.3fx perfect front end, "
                 "%.3fx gshare front end\n", sum_perfect / count,
                 sum_gshare / count);
+    bench::printSweepMeter(sweep_result);
     return 0;
 }

@@ -29,28 +29,32 @@ main(int argc, char **argv)
 
     double sum = 0.0;
     unsigned count = 0;
-    for (const auto &info : workloads::allWorkloads()) {
-        core::Experiment experiment(info.build(scale));
-        auto results = experiment.timingSweep({small, big},
-                                              info.warmupInsts, timed);
-        double speedup = 100.0 * (static_cast<double>(results[0].cycles) /
-                                      static_cast<double>(
-                                          results[1].cycles) -
-                                  1.0);
+    auto sweep_result =
+        bench::timingGrid({small, big}, scale, timed, argc, argv);
+    const auto &all = workloads::allWorkloads();
+    for (std::size_t wi = 0; wi < all.size(); ++wi) {
+        const auto &info = all[wi];
+        const ooo::OooStats &s0 = sweep_result.at(wi, 0).stats;
+        const ooo::OooStats &s1 = sweep_result.at(wi, 1).stats;
+        double speedup =
+            100.0 * (static_cast<double>(s0.cycles) /
+                         static_cast<double>(s1.cycles) -
+                     1.0);
         auto hit_pct = [](const ooo::OooStats &stats) {
             std::uint64_t total = stats.l1Hits + stats.l1Misses;
             return total ? 100.0 * stats.l1Hits / total : 0.0;
         };
-        table.row({info.name, TablePrinter::num(results[0].ipc()),
-                   TablePrinter::num(results[1].ipc()),
+        table.row({info.name, TablePrinter::num(s0.ipc()),
+                   TablePrinter::num(s1.ipc()),
                    TablePrinter::num(speedup, 2),
-                   TablePrinter::num(hit_pct(results[0]), 2),
-                   TablePrinter::num(hit_pct(results[1]), 2)});
+                   TablePrinter::num(hit_pct(s0), 2),
+                   TablePrinter::num(hit_pct(s1), 2)});
         sum += speedup;
         ++count;
     }
     std::printf("%s\n", table.render().c_str());
     std::printf("average speedup from doubling the cache: %.2f%% "
                 "(paper: <1%%)\n", sum / count);
+    bench::printSweepMeter(sweep_result);
     return 0;
 }

@@ -60,12 +60,12 @@ main(int argc, char **argv)
 
     std::vector<double> sums(schemes.size(), 0.0);
     unsigned count = 0;
-    for (const auto &info : workloads::allWorkloads()) {
-        core::Experiment experiment(info.build(scale));
-        auto result = experiment.regionStudy(schemes);
-        std::vector<std::string> row{info.name};
-        for (std::size_t i = 0; i < result.schemes.size(); ++i) {
-            double acc = result.schemes[i].second.accuracyPct();
+    auto sweep_result = bench::regionGrid(
+        core::toSweepSchemes(schemes), scale, argc, argv);
+    for (const auto &point : sweep_result.region) {
+        std::vector<std::string> row{point.workload};
+        for (std::size_t i = 0; i < point.schemes.size(); ++i) {
+            double acc = point.schemes[i].second.accuracyPct();
             row.push_back(TablePrinter::num(acc, 3));
             sums[i] += acc;
         }
@@ -78,5 +78,6 @@ main(int argc, char **argv)
     table.row(avg);
     std::printf("%s\n", table.render().c_str());
     std::printf("the pipeline of §4.3 uses 8 GBH + 7 CID bits.\n");
+    bench::printSweepMeter(sweep_result);
     return 0;
 }

@@ -32,19 +32,23 @@ main(int argc, char **argv)
     table.header({"Benchmark", "FF IPC", "noFF IPC", "FF speedup%",
                   "fast-forwarded loads"});
 
-    for (const auto &info : workloads::allWorkloads()) {
-        core::Experiment experiment(info.build(scale));
-        auto results = experiment.timingSweep({with_ff, without_ff},
-                                              info.warmupInsts, timed);
+    auto sweep_result = bench::timingGrid({with_ff, without_ff}, scale,
+                                          timed, argc, argv);
+    const auto &all = workloads::allWorkloads();
+    for (std::size_t wi = 0; wi < all.size(); ++wi) {
+        const auto &info = all[wi];
+        const ooo::OooStats &s0 = sweep_result.at(wi, 0).stats;
+        const ooo::OooStats &s1 = sweep_result.at(wi, 1).stats;
         double speedup =
-            100.0 * (static_cast<double>(results[1].cycles) /
-                         static_cast<double>(results[0].cycles) -
+            100.0 * (static_cast<double>(s1.cycles) /
+                         static_cast<double>(s0.cycles) -
                      1.0);
-        table.row({info.name, TablePrinter::num(results[0].ipc()),
-                   TablePrinter::num(results[1].ipc()),
+        table.row({info.name, TablePrinter::num(s0.ipc()),
+                   TablePrinter::num(s1.ipc()),
                    TablePrinter::num(speedup, 2),
-                   std::to_string(results[0].fastForwardedLoads)});
+                   std::to_string(s0.fastForwardedLoads)});
     }
     std::printf("%s\n", table.render().c_str());
+    bench::printSweepMeter(sweep_result);
     return 0;
 }

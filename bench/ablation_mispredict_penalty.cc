@@ -38,22 +38,27 @@ main(int argc, char **argv)
         table.header(head);
     }
 
-    for (const auto &info : workloads::allWorkloads()) {
-        core::Experiment experiment(info.build(scale));
-        auto results =
-            experiment.timingSweep(configs, info.warmupInsts, timed);
+    auto sweep_result =
+        bench::timingGrid(configs, scale, timed, argc, argv);
+    const auto &all = workloads::allWorkloads();
+    for (std::size_t wi = 0; wi < all.size(); ++wi) {
+        const auto &info = all[wi];
+        const ooo::OooStats &first = sweep_result.at(wi, 0).stats;
         double regmis_per_k =
             1000.0 *
-            static_cast<double>(results[0].regionMispredictions) /
-            static_cast<double>(results[0].instructions);
+            static_cast<double>(first.regionMispredictions) /
+            static_cast<double>(first.instructions);
         std::vector<std::string> row{
             info.name, TablePrinter::num(regmis_per_k, 2)};
-        double base = static_cast<double>(results[0].cycles);
-        for (const auto &result : results)
+        double base = static_cast<double>(first.cycles);
+        for (std::size_t ci = 0; ci < configs.size(); ++ci)
             row.push_back(TablePrinter::num(
-                base / static_cast<double>(result.cycles), 4));
+                base / static_cast<double>(
+                           sweep_result.at(wi, ci).stats.cycles),
+                4));
         table.row(row);
     }
     std::printf("%s\n", table.render().c_str());
+    bench::printSweepMeter(sweep_result);
     return 0;
 }

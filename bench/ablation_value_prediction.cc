@@ -37,23 +37,27 @@ main(int argc, char **argv)
 
     double sum_base = 0.0, sum_dec = 0.0;
     unsigned count = 0;
-    for (const auto &info : workloads::allWorkloads()) {
-        core::Experiment experiment(info.build(scale));
-        auto results =
-            experiment.timingSweep(configs, info.warmupInsts, timed);
+    auto sweep_result =
+        bench::timingGrid(configs, scale, timed, argc, argv);
+    const auto &all = workloads::allWorkloads();
+    for (std::size_t wi = 0; wi < all.size(); ++wi) {
+        const auto &info = all[wi];
+        auto stats = [&](std::size_t ci) -> const ooo::OooStats & {
+            return sweep_result.at(wi, ci).stats;
+        };
         auto gain = [](const ooo::OooStats &with,
                        const ooo::OooStats &without) {
             return 100.0 * (static_cast<double>(without.cycles) /
                                 static_cast<double>(with.cycles) -
                             1.0);
         };
-        double g0 = gain(results[0], results[1]);
-        double g1 = gain(results[2], results[3]);
-        table.row({info.name, TablePrinter::num(results[0].ipc()),
-                   TablePrinter::num(results[1].ipc()),
+        double g0 = gain(stats(0), stats(1));
+        double g1 = gain(stats(2), stats(3));
+        table.row({info.name, TablePrinter::num(stats(0).ipc()),
+                   TablePrinter::num(stats(1).ipc()),
                    TablePrinter::num(g0, 2),
-                   TablePrinter::num(results[2].ipc()),
-                   TablePrinter::num(results[3].ipc()),
+                   TablePrinter::num(stats(2).ipc()),
+                   TablePrinter::num(stats(3).ipc()),
                    TablePrinter::num(g1, 2)});
         sum_base += g0;
         sum_dec += g1;
@@ -63,5 +67,6 @@ main(int argc, char **argv)
     std::printf("average VP gain: %.2f%% at (2+0), %.2f%% at (3+3) "
                 "(Lipasti et al.: 3-6%% on comparable models)\n",
                 sum_base / count, sum_dec / count);
+    bench::printSweepMeter(sweep_result);
     return 0;
 }

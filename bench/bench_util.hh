@@ -25,6 +25,7 @@
 
 #include "common/table.hh"
 #include "obs/report.hh"
+#include "sweep/sweep.hh"
 #include "workloads/workloads.hh"
 
 namespace arl::bench
@@ -40,6 +41,74 @@ parseScale(int argc, char **argv)
             return static_cast<unsigned>(value);
     }
     return 1;
+}
+
+/**
+ * Worker threads for the sweep engine: `--jobs N` after the
+ * positionals, else ARL_BENCH_JOBS, else every core.  Thread count
+ * never changes bench output (the engine merges deterministically).
+ */
+inline unsigned
+parseJobs(int argc, char **argv)
+{
+    const char *env = std::getenv("ARL_BENCH_JOBS");
+    unsigned jobs = env && env[0]
+                        ? static_cast<unsigned>(std::atoi(env))
+                        : 0;
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], "--jobs") == 0)
+            jobs = static_cast<unsigned>(std::atoi(argv[i + 1]));
+    return jobs;
+}
+
+/** Trace-cache directory: `--trace-cache D` or ARL_BENCH_TRACE_CACHE. */
+inline std::string
+parseTraceCache(int argc, char **argv)
+{
+    std::string dir;
+    const char *env = std::getenv("ARL_BENCH_TRACE_CACHE");
+    if (env && env[0])
+        dir = env;
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], "--trace-cache") == 0)
+            dir = argv[i + 1];
+    return dir;
+}
+
+/** All workloads × @p configs through the sweep engine. */
+inline sweep::SweepResult
+timingGrid(std::vector<ooo::MachineConfig> configs, unsigned scale,
+           InstCount timed, int argc, char **argv)
+{
+    sweep::SweepSpec spec;
+    spec.workloads = sweep::allWorkloadSpecs(scale, timed);
+    spec.configs = std::move(configs);
+    spec.jobs = parseJobs(argc, argv);
+    spec.traceCacheDir = parseTraceCache(argc, argv);
+    return sweep::runSweep(spec);
+}
+
+/** All workloads × @p schemes (region study) through the engine. */
+inline sweep::SweepResult
+regionGrid(std::vector<sweep::SchemeSpec> schemes, unsigned scale,
+           int argc, char **argv)
+{
+    sweep::SweepSpec spec;
+    spec.workloads = sweep::allWorkloadSpecs(scale, 0);
+    spec.schemes = std::move(schemes);
+    spec.jobs = parseJobs(argc, argv);
+    spec.traceCacheDir = parseTraceCache(argc, argv);
+    return sweep::runSweep(spec);
+}
+
+/** One-line engine metering (stdout only; never in JSON sinks). */
+inline void
+printSweepMeter(const sweep::SweepResult &result)
+{
+    std::printf("sweep engine: jobs %u, wall %.2fs, est. serial "
+                "%.2fs, speedup %.2fx\n", result.jobs,
+                result.wallSeconds, result.serialSecondsEstimate,
+                result.speedup());
 }
 
 /** Print the standard bench banner. */

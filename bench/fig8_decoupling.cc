@@ -54,22 +54,24 @@ main(int argc, char **argv)
     std::vector<double> fp_sum(configs.size(), 0.0);
     unsigned int_count = 0, fp_count = 0;
 
-    for (const auto &info : workloads::allWorkloads()) {
-        core::Experiment experiment(info.build(scale));
-        auto results =
-            experiment.timingSweep(configs, info.warmupInsts, timed);
-        double base_cycles = static_cast<double>(results[0].cycles);
+    auto sweep_result = bench::timingGrid(configs, scale, timed,
+                                          argc, argv);
+    const auto &all = workloads::allWorkloads();
+    for (std::size_t wi = 0; wi < all.size(); ++wi) {
+        const auto &info = all[wi];
+        double base_cycles =
+            static_cast<double>(sweep_result.at(wi, 0).stats.cycles);
         std::vector<std::string> row{info.name};
         double lvc_hit = 0.0;
         double regmis_per_k = 0.0;
-        for (std::size_t i = 0; i < results.size(); ++i) {
-            double speedup = base_cycles /
-                             static_cast<double>(results[i].cycles);
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            const ooo::OooStats &stats = sweep_result.at(wi, i).stats;
+            double speedup =
+                base_cycles / static_cast<double>(stats.cycles);
             row.push_back(TablePrinter::num(speedup, 3));
             json.add(info.name, configs[i].name, "cycles",
-                     static_cast<double>(results[i].cycles));
-            json.add(info.name, configs[i].name, "ipc",
-                     results[i].ipc());
+                     static_cast<double>(stats.cycles));
+            json.add(info.name, configs[i].name, "ipc", stats.ipc());
             json.add(info.name, configs[i].name, "speedup_vs_2p0",
                      speedup);
             if (info.floatingPoint)
@@ -78,15 +80,14 @@ main(int argc, char **argv)
                 int_sum[i] += speedup;
             if (configs[i].name == "(3+3)") {
                 std::uint64_t lvc_total =
-                    results[i].lvcHits + results[i].lvcMisses;
-                lvc_hit = lvc_total ? 100.0 * results[i].lvcHits /
-                                          lvc_total
-                                    : 0.0;
-                regmis_per_k = 1000.0 *
-                               static_cast<double>(
-                                   results[i].regionMispredictions) /
-                               static_cast<double>(
-                                   results[i].instructions);
+                    stats.lvcHits + stats.lvcMisses;
+                lvc_hit = lvc_total
+                              ? 100.0 * stats.lvcHits / lvc_total
+                              : 0.0;
+                regmis_per_k =
+                    1000.0 *
+                    static_cast<double>(stats.regionMispredictions) /
+                    static_cast<double>(stats.instructions);
             }
         }
         row.push_back(TablePrinter::num(lvc_hit, 2));
@@ -112,5 +113,6 @@ main(int argc, char **argv)
                 "(3+0)3cyc 1.18, (4+0)3cyc 1.25, (3+3) ~= (16+0) 1.33; "
                 "FP avg — (3+0) 1.14, (4+0) 1.20, (3+3) close to "
                 "(4+0), (16+0) 1.25.\n");
+    bench::printSweepMeter(sweep_result);
     return json.write() ? 0 : 2;
 }

@@ -38,6 +38,16 @@ figure4Schemes()
     };
 }
 
+std::vector<sweep::SchemeSpec>
+toSweepSchemes(const std::vector<NamedScheme> &schemes)
+{
+    std::vector<sweep::SchemeSpec> specs;
+    specs.reserve(schemes.size());
+    for (const NamedScheme &scheme : schemes)
+        specs.push_back({scheme.name, scheme.config});
+    return specs;
+}
+
 std::vector<NamedScheme>
 twoBitSchemes()
 {
@@ -116,9 +126,10 @@ TimingResult
 Experiment::timingStudy(const ooo::MachineConfig &config,
                         InstCount warmup_insts,
                         InstCount max_insts,
-                        obs::Hooks *hooks) const
+                        obs::Hooks *hooks,
+                        std::shared_ptr<sim::StepSource> step_source) const
 {
-    ooo::OooCore core(config, prog);
+    ooo::OooCore core(config, prog, std::move(step_source));
     if (hooks)
         core.attachObs(hooks);
     if (warmup_insts)
@@ -134,6 +145,12 @@ Experiment::timingStudy(const ooo::MachineConfig &config,
     if (hooks)
         hooks->finalize();
     return result;
+}
+
+arl::sweep::SweepResult
+Experiment::sweep(const arl::sweep::SweepSpec &spec)
+{
+    return arl::sweep::runSweep(spec);
 }
 
 std::vector<TimingResult>

@@ -33,6 +33,7 @@
 #include "predict/region_predictor.hh"
 #include "profile/region_profiler.hh"
 #include "profile/window_profiler.hh"
+#include "sweep/sweep.hh"
 #include "vm/program.hh"
 
 namespace arl::obs
@@ -55,6 +56,10 @@ struct NamedScheme
  * 1BIT-CID, and 1BIT-HYBRID, all with an unlimited ARPT.
  */
 std::vector<NamedScheme> figure4Schemes();
+
+/** NamedSchemes as a sweep-engine scheme grid. */
+std::vector<sweep::SchemeSpec>
+toSweepSchemes(const std::vector<NamedScheme> &schemes);
 
 /** The 2-bit variants (§3.4.1 footnote: consistently inferior). */
 std::vector<NamedScheme> twoBitSchemes();
@@ -106,11 +111,14 @@ class Experiment
      *        its stats into @p hooks->registry, (re)starts interval
      *        sampling after warmup, and emits pipeline-trace events
      *        when the hooks carry a tracer.
+     * @param step_source optional committed-stream source (e.g. a
+     *        trace::ReplaySource); null embeds a live functional
+     *        simulator.  Timing is bit-identical either way.
      */
-    TimingResult timingStudy(const ooo::MachineConfig &config,
-                             InstCount warmup_insts = 0,
-                             InstCount max_insts = 0,
-                             obs::Hooks *hooks = nullptr) const;
+    TimingResult timingStudy(
+        const ooo::MachineConfig &config, InstCount warmup_insts = 0,
+        InstCount max_insts = 0, obs::Hooks *hooks = nullptr,
+        std::shared_ptr<sim::StepSource> step_source = nullptr) const;
 
     /** timingStudy over a set of configurations. */
     std::vector<TimingResult>
@@ -120,6 +128,15 @@ class Experiment
 
     /** Build profile-based compiler hints (one functional pass). */
     predict::CompilerHints buildHints(InstCount max_insts = 0) const;
+
+    /**
+     * Run a declarative workload × config × scheme grid through the
+     * parallel sweep engine (src/sweep): each workload is traced
+     * once, the grid points replay concurrently, and results merge
+     * deterministically — spec.jobs never changes the numbers.
+     */
+    static arl::sweep::SweepResult
+    sweep(const arl::sweep::SweepSpec &spec);
 
     /** The program under study. */
     const vm::Program &program() const { return *prog; }

@@ -69,9 +69,11 @@ OooStats::dump() const
 }
 
 OooCore::OooCore(const MachineConfig &config_in,
-                 std::shared_ptr<const vm::Program> program)
+                 std::shared_ptr<const vm::Program> program,
+                 std::shared_ptr<sim::StepSource> step_source)
     : config(config_in),
       funcSim(std::move(program)),
+      stepSrc(std::move(step_source)),
       hierarchy(config.hierarchy),
       tlb(64, funcSim.process().regions),
       arpt(config.arpt),
@@ -79,6 +81,8 @@ OooCore::OooCore(const MachineConfig &config_in,
       branchPred(config.bpEntries),
       rob(config.robSize)
 {
+    if (!stepSrc)
+        stepSrc = std::make_shared<sim::SimulatorSource>(funcSim);
     std::fill(std::begin(regProducer), std::end(regProducer), -1);
     std::fill(std::begin(regProducerSeq), std::end(regProducerSeq),
               InstCount{0});
@@ -606,12 +610,12 @@ OooCore::dispatchStage()
         if (!pendingStep) {
             if (traceExhausted)
                 return;
-            if (dispatchBudget && funcSim.instCount() >= dispatchBudget) {
+            if (dispatchBudget && stepSrc->delivered() >= dispatchBudget) {
                 traceExhausted = true;
                 return;
             }
             sim::StepInfo step;
-            if (!funcSim.step(step)) {
+            if (!stepSrc->next(step)) {
                 traceExhausted = true;
                 return;
             }
@@ -772,7 +776,7 @@ OooCore::warmup(InstCount insts)
 {
     sim::StepInfo step;
     for (InstCount i = 0; i < insts; ++i) {
-        if (!funcSim.step(step))
+        if (!stepSrc->next(step))
             break;
         if (step.isMem) {
             bool is_stack = (step.region == vm::Region::Stack);
@@ -807,7 +811,7 @@ OooStats
 OooCore::run(InstCount max_insts)
 {
     dispatchBudget =
-        max_insts ? max_insts + funcSim.instCount() : 0;
+        max_insts ? max_insts + stepSrc->delivered() : 0;
     Cycle deadlock_guard = 0;
     InstCount last_committed = 0;
 
@@ -859,7 +863,7 @@ OooCore::run(InstCount max_insts)
         }
 
         if (headSeq == tailSeq && !pendingStep &&
-            (traceExhausted || funcSim.halted())) {
+            (traceExhausted || stepSrc->exhausted())) {
             break;
         }
     }

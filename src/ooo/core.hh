@@ -42,6 +42,7 @@
 #include "ooo/value_predictor.hh"
 #include "predict/arpt.hh"
 #include "sim/simulator.hh"
+#include "sim/step_source.hh"
 
 namespace arl::obs
 {
@@ -98,8 +99,20 @@ struct OooStats
 class OooCore
 {
   public:
+    /**
+     * @param program the program under study (loads the address
+     *        space; the TLB's region map comes from here).
+     * @param step_source where the committed instruction stream comes
+     *        from.  Null (the default) embeds a live functional
+     *        simulator of @p program — the co-simulation the paper's
+     *        methodology used.  Passing a trace::ReplaySource instead
+     *        feeds the core from a recorded trace; timing is
+     *        bit-identical either way (tests/test_differential.cc),
+     *        and replay is what makes concurrent sweeps cheap.
+     */
     OooCore(const MachineConfig &config,
-            std::shared_ptr<const vm::Program> program);
+            std::shared_ptr<const vm::Program> program,
+            std::shared_ptr<sim::StepSource> step_source = nullptr);
 
     /**
      * Fast-forward @p insts instructions functionally before timed
@@ -218,6 +231,8 @@ class OooCore
 
     MachineConfig config;
     sim::Simulator funcSim;
+    /** Front-end stream; wraps funcSim unless a source was injected. */
+    std::shared_ptr<sim::StepSource> stepSrc;
     cache::Hierarchy hierarchy;
     cache::Tlb tlb;
     predict::Arpt arpt;

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Abstraction over "where the committed instruction stream comes
+ * from".
+ *
+ * The §4 timing model's perfect front end dispatches the
+ * architectural instruction stream; historically that stream always
+ * came from an embedded live functional simulator.  A StepSource
+ * decouples the consumer from the producer so the same core can be
+ * fed by
+ *
+ *  - a live sim::Simulator (SimulatorSource, the default), or
+ *  - a recorded instruction trace (trace::ReplaySource), which is
+ *    what the parallel sweep engine uses: record once, replay into
+ *    any number of concurrently simulated machine configurations.
+ *
+ * The contract mirrors Simulator::step(): next() produces the next
+ * retired instruction or returns false, delivered() counts the
+ * instructions handed out so far, and exhausted() reports that no
+ * further instruction will ever be produced.
+ */
+
+#ifndef ARL_SIM_STEP_SOURCE_HH
+#define ARL_SIM_STEP_SOURCE_HH
+
+#include "common/types.hh"
+#include "sim/simulator.hh"
+#include "sim/step_info.hh"
+
+namespace arl::sim
+{
+
+/** A pull-based stream of retired instructions. */
+class StepSource
+{
+  public:
+    virtual ~StepSource() = default;
+
+    /**
+     * Produce the next instruction.
+     * @return false when the stream has ended (no step produced).
+     */
+    virtual bool next(StepInfo &out) = 0;
+
+    /** Instructions delivered so far. */
+    virtual InstCount delivered() const = 0;
+
+    /** True once the stream can produce no further instruction. */
+    virtual bool exhausted() const = 0;
+};
+
+/** StepSource over a live functional simulator (not owned). */
+class SimulatorSource final : public StepSource
+{
+  public:
+    /** @param sim simulator to pull from; must outlive the source. */
+    explicit SimulatorSource(Simulator &sim) : sim(sim) {}
+
+    bool next(StepInfo &out) override { return sim.step(out); }
+    InstCount delivered() const override { return sim.instCount(); }
+    bool exhausted() const override { return sim.halted(); }
+
+  private:
+    Simulator &sim;
+};
+
+} // namespace arl::sim
+
+#endif // ARL_SIM_STEP_SOURCE_HH

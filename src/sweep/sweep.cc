@@ -1,0 +1,362 @@
+#include "sweep/sweep.hh"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <thread>
+
+#include "common/logging.hh"
+#include "obs/hooks.hh"
+#include "trace/replay.hh"
+#include "workloads/workloads.hh"
+
+namespace arl::sweep
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/**
+ * Run fn(0..count) on up to @p jobs worker threads.  Work items are
+ * claimed from an atomic cursor, so scheduling is dynamic, but every
+ * item writes only its own result slot — output order never depends
+ * on the interleaving.  jobs <= 1 runs inline on the caller.
+ */
+void
+runJobs(std::size_t count, unsigned jobs,
+        const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(jobs, count));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+    std::atomic<std::size_t> cursor{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t) {
+        pool.emplace_back([&] {
+            for (std::size_t i = cursor.fetch_add(1); i < count;
+                 i = cursor.fetch_add(1))
+                fn(i);
+        });
+    }
+    for (std::thread &worker : pool)
+        worker.join();
+}
+
+/** Records to capture for @p w: 0 = full execution. */
+InstCount
+traceNeed(const WorkloadSpec &w, bool timing_grid, bool region_grid)
+{
+    bool full = false;
+    InstCount need = 0;
+    if (timing_grid) {
+        if (w.timed == 0)
+            full = true;
+        else
+            need = w.warmup + w.timed;
+    }
+    if (region_grid) {
+        if (w.studyInsts == 0)
+            full = true;
+        else
+            need = std::max(need, w.studyInsts);
+    }
+    return full ? 0 : need;
+}
+
+std::string
+traceCacheKey(const WorkloadSpec &w, InstCount need)
+{
+    std::string key = w.name + "-s" + std::to_string(w.scale) + "-";
+    key += need ? "n" + std::to_string(need) : "full";
+    return key + ".arlt";
+}
+
+/** Per-workload artifacts shared (read-only) by its grid jobs. */
+struct Prepared
+{
+    std::shared_ptr<const vm::Program> program;
+    std::shared_ptr<const trace::InMemoryTrace> trace;
+    double seconds = 0.0;
+    bool cacheHit = false;
+};
+
+} // namespace
+
+std::vector<WorkloadSpec>
+allWorkloadSpecs(unsigned scale, InstCount timed)
+{
+    std::vector<WorkloadSpec> specs;
+    for (const auto &info : workloads::allWorkloads()) {
+        WorkloadSpec spec;
+        spec.name = info.name;
+        spec.scale = scale;
+        spec.warmup = info.warmupInsts;
+        spec.timed = timed;
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+SweepResult
+runSweep(const SweepSpec &spec)
+{
+    if (spec.workloads.empty())
+        fatal("sweep: no workloads in the grid");
+    if (spec.configs.empty() && spec.schemes.empty())
+        fatal("sweep: neither machine configs nor predictor schemes "
+              "in the grid");
+
+    const std::size_t nw = spec.workloads.size();
+    const std::size_t nc = spec.configs.size();
+    const bool region_grid = !spec.schemes.empty();
+    unsigned jobs = spec.jobs;
+    if (jobs == 0)
+        jobs = std::max(1u, std::thread::hardware_concurrency());
+
+    // A missing cache directory is a usability trap, not an error:
+    // create it (one level) before the workers race to fill it, and
+    // fall back to uncached recording if that is impossible.
+    std::string cache_dir = spec.traceCacheDir;
+    if (!cache_dir.empty() &&
+        mkdir(cache_dir.c_str(), 0777) != 0 && errno != EEXIST) {
+        warn("sweep: cannot create trace cache dir '%s'; caching "
+             "disabled for this run", cache_dir.c_str());
+        cache_dir.clear();
+    }
+
+    SweepResult result;
+    result.numConfigs = nc;
+    result.jobs = jobs;
+    Clock::time_point wall_start = Clock::now();
+
+    // ---- Phase 1: build each program once, trace each stream once.
+    std::vector<Prepared> prep(nw);
+    runJobs(nw, jobs, [&](std::size_t wi) {
+        Clock::time_point start = Clock::now();
+        const WorkloadSpec &w = spec.workloads[wi];
+        Prepared p;
+        p.program = workloads::buildWorkload(w.name, w.scale);
+        InstCount need = traceNeed(w, nc != 0, region_grid);
+        std::string cache_path;
+        if (!cache_dir.empty()) {
+            cache_path = cache_dir + "/" + traceCacheKey(w, need);
+            auto cached = trace::loadTrace(cache_path);
+            if (cached && cached->program == p.program->name) {
+                p.trace = std::move(cached);
+                p.cacheHit = true;
+            }
+        }
+        if (!p.trace) {
+            p.trace = trace::recordToMemory(p.program, need);
+            if (!cache_path.empty()) {
+                // Write-then-rename keeps a concurrently reading
+                // sweep from seeing a half-written cache entry.
+                std::string tmp =
+                    cache_path + ".tmp" + std::to_string(getpid());
+                trace::saveTrace(tmp, *p.trace);
+                if (std::rename(tmp.c_str(), cache_path.c_str()) != 0)
+                    warn("sweep: cannot move trace into cache '%s'",
+                         cache_path.c_str());
+            }
+        }
+        p.seconds = secondsSince(start);
+        prep[wi] = std::move(p);
+    });
+
+    for (const Prepared &p : prep) {
+        result.traceInstructions += p.trace->size();
+        result.serialSecondsEstimate += p.seconds;
+        if (p.cacheHit)
+            ++result.traceCacheHits;
+        else
+            ++result.traceCacheMisses;
+    }
+
+    // ---- Phase 2: shard the grid.  Job i < nw*nc is a timing
+    // point; the rest are one region-study pass per workload.
+    const std::size_t timing_jobs = nw * nc;
+    const std::size_t total_jobs =
+        timing_jobs + (region_grid ? nw : 0);
+    result.timing.resize(timing_jobs);
+    if (region_grid)
+        result.region.resize(nw);
+    std::vector<double> job_seconds(total_jobs, 0.0);
+
+    // Traces are dropped as soon as every job of their workload is
+    // done, bounding peak memory below "all traces live at once"
+    // while the grid drains.
+    std::vector<std::atomic<std::size_t>> remaining(nw);
+    for (std::size_t wi = 0; wi < nw; ++wi)
+        remaining[wi] = nc + (region_grid ? 1 : 0);
+
+    runJobs(total_jobs, jobs, [&](std::size_t job) {
+        Clock::time_point start = Clock::now();
+        std::size_t wi = job < timing_jobs ? job / nc : job - timing_jobs;
+        const WorkloadSpec &w = spec.workloads[wi];
+        auto trace_handle = prep[wi].trace;
+
+        if (job < timing_jobs) {
+            const ooo::MachineConfig &config = spec.configs[job % nc];
+            ooo::OooCore core(
+                config, prep[wi].program,
+                std::make_shared<trace::ReplaySource>(trace_handle));
+            obs::Hooks hooks;
+            core.attachObs(&hooks);
+            if (w.warmup)
+                core.warmup(w.warmup);
+            TimingPoint point;
+            point.workload = w.name;
+            point.config = config.name;
+            point.stats = core.run(w.timed);
+            hooks.finalize();
+            point.snapshot = std::move(hooks.finalSnapshot);
+            result.timing[job] = std::move(point);
+        } else {
+            // One replay pass feeds the profilers and every scheme,
+            // mirroring Experiment::regionStudy.
+            RegionPoint point;
+            point.workload = w.name;
+            profile::RegionProfiler region_profiler;
+            profile::WindowProfiler win32(32);
+            profile::WindowProfiler win64(64);
+            std::vector<std::unique_ptr<predict::RegionPredictor>>
+                predictors;
+            predictors.reserve(spec.schemes.size());
+            for (const SchemeSpec &scheme : spec.schemes)
+                predictors.push_back(
+                    std::make_unique<predict::RegionPredictor>(
+                        scheme.config, nullptr));
+            trace::ReplaySource source(trace_handle);
+            sim::StepInfo step;
+            while ((!w.studyInsts ||
+                    point.instructions < w.studyInsts) &&
+                   source.next(step)) {
+                region_profiler.observe(step);
+                win32.observe(step);
+                win64.observe(step);
+                for (auto &predictor : predictors)
+                    predictor->observe(step);
+                ++point.instructions;
+            }
+            point.profile = region_profiler.profile();
+            point.window32 = win32.stats_summary();
+            point.window64 = win64.stats_summary();
+            for (std::size_t i = 0; i < spec.schemes.size(); ++i)
+                point.schemes.emplace_back(spec.schemes[i].name,
+                                           predictors[i]->report());
+
+            // Registry-owned mirror of the numbers, in the same
+            // shape `arl_sim profile --stats-json` uses.
+            obs::StatsRegistry registry;
+            registry.counter("profile.instructions") =
+                point.instructions;
+            registry.counter("profile.loads") =
+                point.profile.dynamicLoads;
+            registry.counter("profile.stores") =
+                point.profile.dynamicStores;
+            const char *names[3] = {"data", "heap", "stack"};
+            for (unsigned r = 0; r < 3; ++r) {
+                registry.counter(std::string("profile.refs.") +
+                                 names[r]) = point.profile.regionRefs[r];
+                registry.gauge("profile.window32." +
+                               std::string(names[r]) + ".mean") =
+                    point.window32.mean[r];
+                registry.gauge("profile.window64." +
+                               std::string(names[r]) + ".mean") =
+                    point.window64.mean[r];
+            }
+            for (const auto &[name, report] : point.schemes) {
+                registry.gauge("profile.scheme." + name +
+                               ".accuracy_pct") = report.accuracyPct();
+                registry.counter("profile.scheme." + name +
+                                 ".arpt_entries") = report.arptOccupancy;
+            }
+            point.snapshot = registry.snapshot();
+            result.region[wi] = std::move(point);
+        }
+
+        job_seconds[job] = secondsSince(start);
+        trace_handle.reset();
+        if (remaining[wi].fetch_sub(1, std::memory_order_acq_rel) == 1)
+            prep[wi].trace.reset();
+    });
+
+    for (double s : job_seconds)
+        result.serialSecondsEstimate += s;
+    result.wallSeconds = secondsSince(wall_start);
+    return result;
+}
+
+obs::Report
+SweepResult::toReport(const std::string &command) const
+{
+    obs::Report report;
+    report.command = command;
+    for (const TimingPoint &point : timing) {
+        obs::RunRecord record;
+        record.workload = point.workload;
+        record.config = point.config;
+        record.stats = point.snapshot;
+        report.runs.push_back(std::move(record));
+    }
+    for (const RegionPoint &point : region) {
+        obs::RunRecord record;
+        record.workload = point.workload;
+        record.config = "regionstudy";
+        record.stats = point.snapshot;
+        report.runs.push_back(std::move(record));
+    }
+    // Grid-shape summary.  Only deterministic quantities belong
+    // here: wall-clock metering lives in addTimingStats() so this
+    // report stays byte-identical across --jobs values.
+    obs::StatsRegistry summary;
+    summary.counter("sweep.grid.workloads") =
+        timing.empty() ? region.size()
+                       : (numConfigs ? timing.size() / numConfigs : 0);
+    summary.counter("sweep.grid.configs") = numConfigs;
+    summary.counter("sweep.grid.timing_points") = timing.size();
+    summary.counter("sweep.grid.region_points") = region.size();
+    summary.counter("sweep.trace.instructions") = traceInstructions;
+    obs::RunRecord record;
+    record.workload = "sweep";
+    record.config = "summary";
+    record.stats = summary.snapshot();
+    report.runs.push_back(std::move(record));
+    return report;
+}
+
+void
+SweepResult::addTimingStats(obs::StatsRegistry &registry) const
+{
+    registry.counter("sweep.jobs") = jobs;
+    registry.gauge("sweep.wall_seconds") = wallSeconds;
+    registry.gauge("sweep.serial_seconds_estimate") =
+        serialSecondsEstimate;
+    registry.gauge("sweep.speedup") = speedup();
+    registry.counter("sweep.trace.instructions") = traceInstructions;
+    registry.counter("sweep.trace.cache_hits") = traceCacheHits;
+    registry.counter("sweep.trace.cache_misses") = traceCacheMisses;
+}
+
+} // namespace arl::sweep

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Parallel experiment sweep engine.
+ *
+ * Every §3/§4 reproduction is a grid walk: workloads × machine
+ * configurations (timing, Fig 8 and the ablations) or workloads ×
+ * predictor schemes (region studies, Figs 4/5).  Run serially, each
+ * grid point re-builds and re-simulates its workload from scratch;
+ * this engine instead
+ *
+ *  1. builds each workload's Program once and records its dynamic
+ *     instruction trace once (optionally persisted in an on-disk
+ *     trace cache), then
+ *  2. shards the grid across a thread pool, replaying the shared
+ *     immutable trace into per-job OooCores / predictors, each with
+ *     its own obs::StatsRegistry, and
+ *  3. merges results in declaration (workload-major, config-minor)
+ *     order, so the output is byte-identical no matter how many
+ *     worker threads ran — `--jobs 1` and `--jobs N` produce the
+ *     same report (tests/test_differential.cc asserts this, and
+ *     tests/golden/ pins the numbers).
+ *
+ * Determinism rests on two facts: trace recording is
+ * bit-reproducible, and trace replay into an OooCore is
+ * bit-identical to live co-simulation (the differential tests cover
+ * both).  Wall-clock figures (which legitimately vary run to run)
+ * are kept out of toReport() and exposed separately via
+ * addTimingStats() under the sweep.* prefix.
+ */
+
+#ifndef ARL_SWEEP_SWEEP_HH
+#define ARL_SWEEP_SWEEP_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+#include "obs/report.hh"
+#include "obs/stats_registry.hh"
+#include "ooo/config.hh"
+#include "ooo/core.hh"
+#include "predict/region_predictor.hh"
+#include "profile/region_profiler.hh"
+#include "profile/window_profiler.hh"
+
+namespace arl::sweep
+{
+
+/** One workload row of the grid. */
+struct WorkloadSpec
+{
+    /** Registered workload name (workloads::buildWorkload). */
+    std::string name;
+    unsigned scale = 1;
+    /** Functional fast-forward before the timed window (§4). */
+    InstCount warmup = 0;
+    /** Timed instruction budget (0 = to completion). */
+    InstCount timed = 0;
+    /** Region-study instruction cap (0 = full execution). */
+    InstCount studyInsts = 0;
+};
+
+/** One named predictor scheme column of a region-study grid. */
+struct SchemeSpec
+{
+    std::string name;
+    predict::RegionPredictorConfig config;
+};
+
+/** The declarative grid. */
+struct SweepSpec
+{
+    std::vector<WorkloadSpec> workloads;
+    /** Timing grid: one OoO run per workload × config. */
+    std::vector<ooo::MachineConfig> configs;
+    /**
+     * Region-study grid: one replay pass per workload feeds every
+     * scheme (the §3 methodology evaluates all schemes in one pass).
+     */
+    std::vector<SchemeSpec> schemes;
+    /** Worker threads; 0 = hardware concurrency, 1 = serial. */
+    unsigned jobs = 1;
+    /**
+     * Directory for the on-disk trace cache ("" = in-memory only).
+     * Entries are keyed by workload, scale, and window length;
+     * recording is bit-reproducible, so hits are byte-equivalent to
+     * fresh recordings.
+     */
+    std::string traceCacheDir;
+};
+
+/** Result of one timing grid point. */
+struct TimingPoint
+{
+    std::string workload;
+    std::string config;
+    ooo::OooStats stats;
+    /** Frozen per-job registry (the --stats-json record body). */
+    obs::StatsRegistry::Snapshot snapshot;
+};
+
+/** Result of one workload's region-study pass. */
+struct RegionPoint
+{
+    std::string workload;
+    InstCount instructions = 0;
+    profile::RegionProfile profile;
+    profile::WindowStats window32;
+    profile::WindowStats window64;
+    /** Per-scheme accuracy reports, in SweepSpec::schemes order. */
+    std::vector<std::pair<std::string, predict::PredictorReport>>
+        schemes;
+    obs::StatsRegistry::Snapshot snapshot;
+};
+
+/** Merged sweep output plus engine-level metering. */
+struct SweepResult
+{
+    /** Timing points, workload-major then config order. */
+    std::vector<TimingPoint> timing;
+    /** Region points, workload order. */
+    std::vector<RegionPoint> region;
+    /** Configs per workload row (timing stride). */
+    std::size_t numConfigs = 0;
+
+    // --- engine metering (varies run to run; never in toReport) ---
+    unsigned jobs = 1;
+    double wallSeconds = 0.0;
+    /** Sum of per-job times: what a serial run would have cost. */
+    double serialSecondsEstimate = 0.0;
+    std::uint64_t traceInstructions = 0;
+    std::uint64_t traceCacheHits = 0;
+    std::uint64_t traceCacheMisses = 0;
+
+    /** Timing point (wi, ci). */
+    const TimingPoint &
+    at(std::size_t wi, std::size_t ci) const
+    {
+        return timing[wi * numConfigs + ci];
+    }
+
+    /** Parallel speedup vs the serial estimate. */
+    double
+    speedup() const
+    {
+        return wallSeconds > 0.0 ? serialSecondsEstimate / wallSeconds
+                                 : 0.0;
+    }
+
+    /**
+     * One RunRecord per grid point plus a "sweep"/"summary" record of
+     * grid-shape stats.  Fully deterministic: byte-identical across
+     * --jobs values, cache hits vs misses, and repeated runs.
+     */
+    obs::Report toReport(const std::string &command = "sweep") const;
+
+    /**
+     * Register the run-to-run metering (sweep.wall_seconds,
+     * sweep.speedup, sweep.jobs, trace-cache hit counts) into @p
+     * registry.  Kept out of toReport() so determinism checks stay
+     * byte-exact.
+     */
+    void addTimingStats(obs::StatsRegistry &registry) const;
+};
+
+/**
+ * Run the grid.  Deterministic: the returned points depend only on
+ * the spec, never on jobs/threads/cache state.
+ */
+SweepResult runSweep(const SweepSpec &spec);
+
+/**
+ * Convenience: all registered workloads as WorkloadSpecs at @p scale
+ * with their registry warmups and a @p timed budget per point.
+ */
+std::vector<WorkloadSpec> allWorkloadSpecs(unsigned scale,
+                                           InstCount timed);
+
+} // namespace arl::sweep
+
+#endif // ARL_SWEEP_SWEEP_HH

@@ -1,0 +1,76 @@
+#include "trace/replay.hh"
+
+#include <fstream>
+
+#include "common/logging.hh"
+#include "sim/simulator.hh"
+
+namespace arl::trace
+{
+
+std::shared_ptr<const InMemoryTrace>
+recordToMemory(std::shared_ptr<const vm::Program> program,
+               InstCount max_insts)
+{
+    auto trace = std::make_shared<InMemoryTrace>();
+    trace->program = program->name;
+    if (max_insts)
+        trace->records.reserve(max_insts);
+    sim::Simulator simulator(std::move(program));
+    simulator.run(max_insts, [&trace](const sim::StepInfo &step) {
+        trace->records.push_back(toRecord(step));
+    });
+    trace->complete = simulator.halted();
+    return trace;
+}
+
+void
+saveTrace(const std::string &path, const InMemoryTrace &t)
+{
+    TraceWriter writer(path, t.program);
+    for (const TraceRecord &record : t.records)
+        writer.appendRecord(record);
+    writer.close();
+}
+
+std::shared_ptr<const InMemoryTrace>
+loadTrace(const std::string &path)
+{
+    // Preflight the header and size by hand: TraceReader is fatal on
+    // malformed input, but a stale/corrupt cache entry must only
+    // cause a re-record.
+    {
+        std::ifstream probe(path, std::ios::binary | std::ios::ate);
+        if (!probe)
+            return nullptr;
+        auto bytes = static_cast<std::uint64_t>(probe.tellg());
+        // 64-byte header + whole 32-byte records.
+        if (bytes < 64 || (bytes - 64) % sizeof(TraceRecord) != 0) {
+            warn("trace cache: '%s' has a bad size; re-recording",
+                 path.c_str());
+            return nullptr;
+        }
+        probe.seekg(0);
+        std::uint32_t magic = 0, version = 0;
+        probe.read(reinterpret_cast<char *>(&magic), sizeof(magic));
+        probe.read(reinterpret_cast<char *>(&version), sizeof(version));
+        if (!probe || magic != TraceMagic || version != TraceVersion) {
+            warn("trace cache: '%s' is not an ARL trace; re-recording",
+                 path.c_str());
+            return nullptr;
+        }
+    }
+    TraceReader reader(path);
+    auto trace = std::make_shared<InMemoryTrace>();
+    trace->program = reader.programName();
+    TraceRecord record{};
+    while (reader.nextRecord(record))
+        trace->records.push_back(record);
+    // A cached trace records the window the sweep asked for; whether
+    // the program halted inside it is not persisted, so stay
+    // conservative.  Consumers gate only on record count.
+    trace->complete = false;
+    return trace;
+}
+
+} // namespace arl::trace

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * In-memory instruction traces and concurrent trace replay.
+ *
+ * The parallel sweep engine records each workload's dynamic
+ * instruction stream once and replays it into many timing/profiling
+ * jobs at once.  An InMemoryTrace is the shareable artifact: an
+ * immutable vector of on-disk-format TraceRecords that any number of
+ * ReplaySources can walk concurrently, each with its own cursor
+ * (readers never mutate the trace, so no synchronisation is needed).
+ *
+ * Traces can round-trip through the ARLT file format of trace.hh:
+ * saveTrace()/loadTrace() implement the sweep engine's on-disk trace
+ * cache (--trace-cache), keyed by file name; recording is
+ * bit-reproducible, so a cache hit is byte-equivalent to a fresh
+ * recording.
+ */
+
+#ifndef ARL_TRACE_REPLAY_HH
+#define ARL_TRACE_REPLAY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/step_source.hh"
+#include "trace/trace.hh"
+#include "vm/program.hh"
+
+namespace arl::trace
+{
+
+/** An immutable recorded instruction stream, shareable across threads. */
+struct InMemoryTrace
+{
+    /** Name of the traced program (TraceHeader::program). */
+    std::string program;
+    /** One record per retired instruction, in program order. */
+    std::vector<TraceRecord> records;
+    /**
+     * True when the program halted within the recorded window (the
+     * trace covers the complete execution, not a truncated prefix).
+     */
+    bool complete = false;
+
+    InstCount size() const { return records.size(); }
+};
+
+/**
+ * Run @p program functionally and record the stream into memory.
+ * @param max_insts instruction cap (0 = to completion).
+ */
+std::shared_ptr<const InMemoryTrace>
+recordToMemory(std::shared_ptr<const vm::Program> program,
+               InstCount max_insts = 0);
+
+/** Write @p t to @p path in the ARLT format (fatal on I/O errors). */
+void saveTrace(const std::string &path, const InMemoryTrace &t);
+
+/**
+ * Load an ARLT file recorded by saveTrace()/`arl_sim record`.
+ * @return null when @p path does not exist or is not a valid trace
+ *         (corrupt caches fall back to re-recording, they never
+ *         abort the run).
+ */
+std::shared_ptr<const InMemoryTrace> loadTrace(const std::string &path);
+
+/**
+ * StepSource that replays an InMemoryTrace.
+ *
+ * Thread-safe by construction: the trace is shared and immutable,
+ * the cursor is per-source.  Replaying a trace into an OooCore
+ * yields bit-identical timing to feeding the core from a live
+ * functional simulator (asserted by tests/test_differential.cc).
+ */
+class ReplaySource final : public sim::StepSource
+{
+  public:
+    explicit ReplaySource(std::shared_ptr<const InMemoryTrace> trace)
+        : trace(std::move(trace))
+    {
+    }
+
+    bool
+    next(sim::StepInfo &out) override
+    {
+        if (pos >= trace->records.size())
+            return false;
+        out = fromRecord(trace->records[pos], pos);
+        ++pos;
+        return true;
+    }
+
+    InstCount delivered() const override { return pos; }
+
+    bool
+    exhausted() const override
+    {
+        return pos >= trace->records.size();
+    }
+
+  private:
+    std::shared_ptr<const InMemoryTrace> trace;
+    std::size_t pos = 0;
+};
+
+} // namespace arl::trace
+
+#endif // ARL_TRACE_REPLAY_HH

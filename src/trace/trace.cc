@@ -93,7 +93,12 @@ TraceWriter::TraceWriter(const std::string &path_in,
 void
 TraceWriter::append(const sim::StepInfo &step)
 {
-    TraceRecord record = toRecord(step);
+    appendRecord(toRecord(step));
+}
+
+void
+TraceWriter::appendRecord(const TraceRecord &record)
+{
     out.write(reinterpret_cast<const char *>(&record), sizeof(record));
     ++written;
 }
@@ -134,13 +139,21 @@ bool
 TraceReader::next(sim::StepInfo &out_step)
 {
     TraceRecord record{};
-    in.read(reinterpret_cast<char *>(&record), sizeof(record));
+    if (!nextRecord(record))
+        return false;
+    out_step = fromRecord(record, consumed - 1);
+    return true;
+}
+
+bool
+TraceReader::nextRecord(TraceRecord &out_record)
+{
+    in.read(reinterpret_cast<char *>(&out_record), sizeof(out_record));
     if (in.gcount() == 0)
         return false;
-    if (in.gcount() != sizeof(record))
+    if (in.gcount() != sizeof(out_record))
         fatal("trace: truncated record (offset %llu)",
               (unsigned long long)consumed);
-    out_step = fromRecord(record, consumed);
     ++consumed;
     return true;
 }

@@ -80,6 +80,9 @@ class TraceWriter
     /** Append one instruction. */
     void append(const sim::StepInfo &step);
 
+    /** Append one already-converted record (bulk/cached writers). */
+    void appendRecord(const TraceRecord &record);
+
     /** Flush and close (also done by the destructor). */
     void close();
 
@@ -106,6 +109,13 @@ class TraceReader
      * @return false at end of trace.
      */
     bool next(sim::StepInfo &out);
+
+    /**
+     * Read the next raw record without decoding it into a StepInfo
+     * (bulk loaders that keep the on-disk representation).
+     * @return false at end of trace.
+     */
+    bool nextRecord(TraceRecord &out);
 
     /** Program name recorded in the header. */
     const std::string &programName() const { return name; }

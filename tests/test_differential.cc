@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Differential tests locking down the sweep engine's determinism
+ * claims (src/sweep/sweep.hh):
+ *
+ *  1. a recorded trace replayed through trace::ReplaySource is a
+ *     field-for-field substitute for the live functional stream;
+ *  2. OoO timing from a replayed trace is bit-identical to timing
+ *     from a live embedded functional simulator (every OooStats
+ *     counter, not just cycles);
+ *  3. functional simulation reaches the same architectural state
+ *     whether or not a recording hook observes it;
+ *  4. runSweep with jobs=1 and jobs=8 produces byte-identical
+ *     stats-JSON reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/experiment.hh"
+#include "obs/report.hh"
+#include "ooo/config.hh"
+#include "ooo/core.hh"
+#include "sim/simulator.hh"
+#include "trace/replay.hh"
+#include "trace/trace.hh"
+#include "workloads/workloads.hh"
+
+using namespace arl;
+
+namespace
+{
+
+/** Three workloads spanning int/FP and heap/stack behaviours. */
+const char *kWorkloads[] = {"compress_like", "li_like", "tomcatv_like"};
+
+constexpr InstCount kStreamInsts = 100000;
+constexpr InstCount kTimedInsts = 30000;
+
+void
+expectStepsEqual(const sim::StepInfo &live, const sim::StepInfo &replayed,
+                 InstCount index)
+{
+    ASSERT_EQ(live.pc, replayed.pc) << "at instruction " << index;
+    ASSERT_EQ(live.seq, replayed.seq) << "at instruction " << index;
+    ASSERT_EQ(live.isMem, replayed.isMem) << "at instruction " << index;
+    ASSERT_EQ(live.isLoad, replayed.isLoad) << "at instruction " << index;
+    ASSERT_EQ(live.effAddr, replayed.effAddr)
+        << "at instruction " << index;
+    ASSERT_EQ(live.memSize, replayed.memSize)
+        << "at instruction " << index;
+    ASSERT_EQ(live.region, replayed.region) << "at instruction " << index;
+    ASSERT_EQ(live.isBranch, replayed.isBranch)
+        << "at instruction " << index;
+    ASSERT_EQ(live.branchTaken, replayed.branchTaken)
+        << "at instruction " << index;
+    ASSERT_EQ(live.isCall, replayed.isCall) << "at instruction " << index;
+    ASSERT_EQ(live.isReturn, replayed.isReturn)
+        << "at instruction " << index;
+    ASSERT_EQ(live.gbh, replayed.gbh) << "at instruction " << index;
+    ASSERT_EQ(live.cid, replayed.cid) << "at instruction " << index;
+    ASSERT_EQ(live.dest, replayed.dest) << "at instruction " << index;
+    ASSERT_EQ(live.result, replayed.result) << "at instruction " << index;
+    ASSERT_EQ(live.storeValue, replayed.storeValue)
+        << "at instruction " << index;
+}
+
+void
+expectStatsEqual(const ooo::OooStats &live, const ooo::OooStats &replay)
+{
+    EXPECT_EQ(live.cycles, replay.cycles);
+    EXPECT_EQ(live.instructions, replay.instructions);
+    EXPECT_EQ(live.loads, replay.loads);
+    EXPECT_EQ(live.stores, replay.stores);
+    for (unsigned r = 0; r < vm::NumDataRegions; ++r)
+        EXPECT_EQ(live.regionRefs[r], replay.regionRefs[r]);
+    EXPECT_EQ(live.lvaqSteered, replay.lvaqSteered);
+    EXPECT_EQ(live.regionMispredictions, replay.regionMispredictions);
+    EXPECT_EQ(live.forwardedLoads, replay.forwardedLoads);
+    EXPECT_EQ(live.fastForwardedLoads, replay.fastForwardedLoads);
+    EXPECT_EQ(live.vpOffered, replay.vpOffered);
+    EXPECT_EQ(live.vpWrong, replay.vpWrong);
+    EXPECT_EQ(live.vpSquashes, replay.vpSquashes);
+    EXPECT_EQ(live.branches, replay.branches);
+    EXPECT_EQ(live.branchMispredicts, replay.branchMispredicts);
+    EXPECT_EQ(live.l1Hits, replay.l1Hits);
+    EXPECT_EQ(live.l1Misses, replay.l1Misses);
+    EXPECT_EQ(live.lvcHits, replay.lvcHits);
+    EXPECT_EQ(live.lvcMisses, replay.lvcMisses);
+    EXPECT_EQ(live.l2Hits, replay.l2Hits);
+    EXPECT_EQ(live.l2Misses, replay.l2Misses);
+    EXPECT_EQ(live.tlbMisses, replay.tlbMisses);
+    EXPECT_EQ(live.robFullStalls, replay.robFullStalls);
+    EXPECT_EQ(live.queueFullStalls, replay.queueFullStalls);
+}
+
+std::string
+reportJson(const sweep::SweepResult &result)
+{
+    std::ostringstream os;
+    result.toReport().writeJson(os);
+    return os.str();
+}
+
+} // namespace
+
+TEST(Differential, ReplayStreamMatchesLiveSimulation)
+{
+    for (const char *name : kWorkloads) {
+        SCOPED_TRACE(name);
+        auto program = workloads::buildWorkload(name, 1);
+        auto trace = trace::recordToMemory(program, kStreamInsts);
+        ASSERT_GT(trace->size(), 0u);
+
+        sim::Simulator live(program);
+        trace::ReplaySource replay(trace);
+        sim::StepInfo live_step, replayed_step;
+        InstCount compared = 0;
+        while (replay.next(replayed_step)) {
+            ASSERT_TRUE(live.step(live_step));
+            expectStepsEqual(live_step, replayed_step, compared);
+            ++compared;
+        }
+        EXPECT_EQ(compared, trace->size());
+        EXPECT_TRUE(replay.exhausted());
+    }
+}
+
+TEST(Differential, OooTimingIdenticalLiveVsReplay)
+{
+    std::vector<ooo::MachineConfig> configs = {
+        ooo::MachineConfig::nPlusM(2, 0), ooo::MachineConfig::nPlusM(3, 3)};
+    for (const char *name : kWorkloads) {
+        const auto &info = workloads::workloadByName(name);
+        auto program = workloads::buildWorkload(name, 1);
+        auto trace = trace::recordToMemory(
+            program, info.warmupInsts + kTimedInsts);
+        for (const auto &config : configs) {
+            SCOPED_TRACE(std::string(name) + " " + config.name);
+
+            ooo::OooCore live_core(config, program);
+            if (info.warmupInsts)
+                live_core.warmup(info.warmupInsts);
+            ooo::OooStats live_stats = live_core.run(kTimedInsts);
+
+            ooo::OooCore replay_core(
+                config, program,
+                std::make_shared<trace::ReplaySource>(trace));
+            if (info.warmupInsts)
+                replay_core.warmup(info.warmupInsts);
+            ooo::OooStats replay_stats = replay_core.run(kTimedInsts);
+
+            expectStatsEqual(live_stats, replay_stats);
+        }
+    }
+}
+
+TEST(Differential, RecordingDoesNotPerturbArchitecturalState)
+{
+    for (const char *name : kWorkloads) {
+        SCOPED_TRACE(name);
+        auto program = workloads::buildWorkload(name, 1);
+
+        sim::Simulator plain(program);
+        plain.run(kStreamInsts);
+
+        // Same budget, but every step observed by a recording hook.
+        sim::Simulator recorded(program);
+        auto trace = std::make_shared<trace::InMemoryTrace>();
+        recorded.run(kStreamInsts, [&](const sim::StepInfo &step) {
+            trace->records.push_back(trace::toRecord(step));
+        });
+
+        EXPECT_EQ(plain.instCount(), recorded.instCount());
+        EXPECT_EQ(plain.process().pc, recorded.process().pc);
+        EXPECT_EQ(plain.process().gpr, recorded.process().gpr);
+        EXPECT_EQ(plain.process().fpr, recorded.process().fpr);
+        EXPECT_EQ(plain.process().halted, recorded.process().halted);
+        EXPECT_EQ(plain.process().exitCode,
+                  recorded.process().exitCode);
+        EXPECT_EQ(plain.process().output, recorded.process().output);
+        EXPECT_EQ(plain.process().heap.bytesInUse(),
+                  recorded.process().heap.bytesInUse());
+    }
+}
+
+TEST(Differential, SweepReportByteIdenticalAcrossJobs)
+{
+    sweep::SweepSpec spec;
+    for (const char *name : kWorkloads) {
+        const auto &info = workloads::workloadByName(name);
+        sweep::WorkloadSpec w;
+        w.name = info.name;
+        w.warmup = info.warmupInsts;
+        w.timed = kTimedInsts;
+        w.studyInsts = kStreamInsts;
+        spec.workloads.push_back(std::move(w));
+    }
+    spec.configs = {ooo::MachineConfig::nPlusM(2, 0),
+                    ooo::MachineConfig::nPlusM(3, 3)};
+    spec.schemes = core::toSweepSchemes(core::figure4Schemes());
+
+    spec.jobs = 1;
+    std::string serial = reportJson(sweep::runSweep(spec));
+    // More workers than grid rows, so several land on shared traces
+    // concurrently no matter how the pool schedules them.
+    spec.jobs = 8;
+    std::string parallel = reportJson(sweep::runSweep(spec));
+
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Golden-report regression test: a small fixed-scale Figure-8 sweep
+ * must serialize to exactly the committed JSON in tests/golden/.
+ *
+ * Catches silent drift anywhere in the stack — workload builders,
+ * the functional simulator, trace record/replay, the OoO timing
+ * model, the stats registry, and the JSON serializer all feed into
+ * the compared bytes.
+ *
+ * When a behaviour change is intentional, regenerate the file and
+ * commit it alongside the change:
+ *
+ *     ARL_UPDATE_GOLDEN=1 ./tests/test_golden
+ *
+ * (writes into the source tree's tests/golden/, then still fails so
+ * the refreshed file is reviewed before the suite goes green).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/experiment.hh"
+#include "ooo/config.hh"
+#include "sweep/sweep.hh"
+#include "workloads/workloads.hh"
+
+using namespace arl;
+
+namespace
+{
+
+constexpr const char *kGoldenFile = "sweep_fig8_small.json";
+
+/** The pinned grid: two int workloads × three Fig-8 configs. */
+sweep::SweepSpec
+goldenSpec()
+{
+    sweep::SweepSpec spec;
+    for (const char *name : {"go_like", "li_like"}) {
+        const auto &info = workloads::workloadByName(name);
+        sweep::WorkloadSpec w;
+        w.name = info.name;
+        w.scale = 1;
+        w.warmup = info.warmupInsts;
+        w.timed = 20000;
+        spec.workloads.push_back(std::move(w));
+    }
+    spec.configs = {ooo::MachineConfig::nPlusM(2, 0),
+                    ooo::MachineConfig::nPlusM(3, 3),
+                    ooo::MachineConfig::nPlusM(16, 0)};
+    spec.jobs = 2;
+    return spec;
+}
+
+std::string
+goldenPath()
+{
+    return std::string(ARL_GOLDEN_DIR) + "/" + kGoldenFile;
+}
+
+} // namespace
+
+TEST(Golden, Fig8SmallSweepReport)
+{
+    std::ostringstream actual;
+    sweep::runSweep(goldenSpec()).toReport().writeJson(actual);
+    ASSERT_FALSE(actual.str().empty());
+
+    if (std::getenv("ARL_UPDATE_GOLDEN")) {
+        std::ofstream out(goldenPath(), std::ios::binary);
+        ASSERT_TRUE(out) << "cannot write " << goldenPath();
+        out << actual.str();
+        out.close();
+        FAIL() << "golden file regenerated at " << goldenPath()
+               << "; rerun without ARL_UPDATE_GOLDEN and commit it";
+    }
+
+    std::ifstream in(goldenPath(), std::ios::binary);
+    ASSERT_TRUE(in) << "missing " << goldenPath()
+                    << " — generate it with ARL_UPDATE_GOLDEN=1";
+    std::ostringstream expected;
+    expected << in.rdbuf();
+
+    // Byte-for-byte: the report schema is deterministic by contract.
+    EXPECT_EQ(expected.str(), actual.str())
+        << "sweep output drifted from the committed golden report; "
+           "if intentional, regenerate with ARL_UPDATE_GOLDEN=1";
+}

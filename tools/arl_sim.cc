@@ -23,6 +23,16 @@
  *       [--insts N] [--all-configs] [--scale N] [--no-vp] [--no-ff]
  *       The paper's §4 timing methodology (warmup + timed window).
  *
+ *   arl_sim sweep <workload[,workload...]|all> [--jobs N]
+ *       [--trace-cache DIR] [--configs fig8|"(N+M),..."|none]
+ *       [--schemes fig4|none] [--insts N] [--study-insts N] [--scale N]
+ *       [--timing-json F]
+ *       The parallel sweep engine: trace each workload once, replay
+ *       the workload × config (and × scheme) grid across N worker
+ *       threads.  --stats-json output is byte-identical for every
+ *       --jobs value; wall-clock/speedup metering goes to stdout and
+ *       (optionally) the separate --timing-json file.
+ *
  *   arl_sim disasm <file.s>
  *       Assemble and disassemble.
  *
@@ -462,6 +472,122 @@ cmdTime(const std::string &target, const Args &args)
 }
 
 int
+cmdSweep(const std::string &target, const Args &args)
+{
+    ObsOptions opts = ObsOptions::parse(args);
+    unsigned scale = static_cast<unsigned>(args.flagInt("scale", 1));
+    InstCount timed =
+        static_cast<InstCount>(args.flagInt("insts", 400000));
+
+    sweep::SweepSpec spec;
+    spec.jobs = static_cast<unsigned>(args.flagInt("jobs", 1));
+    spec.traceCacheDir = args.flag("trace-cache", "");
+
+    std::string configs_spec = args.flag("configs", "fig8");
+    if (configs_spec == "fig8") {
+        spec.configs = ooo::MachineConfig::figure8Suite();
+    } else if (configs_spec != "none") {
+        std::stringstream stream(configs_spec);
+        std::string item;
+        while (std::getline(stream, item, ',')) {
+            unsigned n = 0, m = 0;
+            if (std::sscanf(item.c_str(), "(%u+%u)", &n, &m) != 2) {
+                std::fprintf(stderr,
+                             "arl_sim: bad --configs entry '%s' "
+                             "(want \"(N+M)\")\n", item.c_str());
+                return 1;
+            }
+            spec.configs.push_back(ooo::MachineConfig::nPlusM(n, m));
+        }
+    }
+    std::string schemes_spec = args.flag("schemes", "none");
+    if (schemes_spec == "fig4") {
+        spec.schemes = core::toSweepSchemes(core::figure4Schemes());
+    } else if (schemes_spec != "none") {
+        std::fprintf(stderr, "arl_sim: unknown --schemes '%s' "
+                     "(want fig4 or none)\n", schemes_spec.c_str());
+        return 1;
+    }
+    if (spec.configs.empty() && spec.schemes.empty()) {
+        std::fprintf(stderr, "arl_sim: sweep needs --configs and/or "
+                     "--schemes\n");
+        return 1;
+    }
+
+    InstCount study =
+        static_cast<InstCount>(args.flagInt("study-insts", 0));
+    if (target == "all") {
+        spec.workloads = sweep::allWorkloadSpecs(scale, timed);
+        for (auto &w : spec.workloads)
+            w.studyInsts = study;
+    } else {
+        std::stringstream stream(target);
+        std::string name;
+        while (std::getline(stream, name, ',')) {
+            const auto &info = workloads::workloadByName(name);
+            sweep::WorkloadSpec w;
+            w.name = info.name;
+            w.scale = scale;
+            w.warmup = info.warmupInsts;
+            w.timed = timed;
+            w.studyInsts = study;
+            spec.workloads.push_back(std::move(w));
+        }
+    }
+
+    sweep::SweepResult result = core::Experiment::sweep(spec);
+
+    if (!result.timing.empty()) {
+        std::printf("%-15s %-12s %10s %6s\n", "workload", "config",
+                    "cycles", "IPC");
+        for (const auto &point : result.timing)
+            std::printf("%-15s %-12s %10llu %6.2f\n",
+                        point.workload.c_str(), point.config.c_str(),
+                        (unsigned long long)point.stats.cycles,
+                        point.stats.ipc());
+    }
+    for (const auto &point : result.region) {
+        std::printf("%-15s %-12s %10llu insts", point.workload.c_str(),
+                    "regionstudy",
+                    (unsigned long long)point.instructions);
+        for (const auto &[name, report] : point.schemes)
+            std::printf("  %s %.2f%%", name.c_str(),
+                        report.accuracyPct());
+        std::printf("\n");
+    }
+    std::printf("sweep: %zu grid points, %llu traced insts, "
+                "jobs %u, wall %.2fs, est. serial %.2fs, "
+                "speedup %.2fx, cache %llu hit / %llu miss\n",
+                result.timing.size() + result.region.size(),
+                (unsigned long long)result.traceInstructions,
+                result.jobs, result.wallSeconds,
+                result.serialSecondsEstimate, result.speedup(),
+                (unsigned long long)result.traceCacheHits,
+                (unsigned long long)result.traceCacheMisses);
+
+    // Run-varying metering goes to its own file so the --stats-json
+    // document stays byte-identical across --jobs values.
+    std::string timing_path = args.flag("timing-json", "");
+    if (!timing_path.empty()) {
+        obs::StatsRegistry registry;
+        result.addTimingStats(registry);
+        obs::Report timing_report;
+        timing_report.command = "sweep-timing";
+        obs::RunRecord record;
+        record.workload = "sweep";
+        record.config = "timing";
+        record.stats = registry.snapshot();
+        timing_report.runs.push_back(std::move(record));
+        if (!timing_report.writeJsonFile(timing_path))
+            return 2;
+    }
+
+    if (!opts.wantsReport())
+        return 0;
+    return emitReport(result.toReport("sweep"), opts);
+}
+
+int
 cmdRecord(const std::string &target, const Args &args)
 {
     ObsOptions opts = ObsOptions::parse(args);
@@ -564,6 +690,10 @@ usage()
         "  profile <target>             §3 characterisation\n"
         "  predict <target> [flags]     one predictor config\n"
         "  time <workload> [flags]      §4 timing study\n"
+        "  sweep <w[,w...]|all> [flags] parallel experiment sweep\n"
+        "    [--jobs N] [--trace-cache DIR] [--configs fig8|\"(N+M),..\"]\n"
+        "    [--schemes fig4] [--insts N] [--study-insts N]\n"
+        "    [--timing-json F]\n"
         "  record <target> [--out F]    record a binary trace\n"
         "  replay <file.trace>          profile from a trace\n"
         "  disasm <file.s|workload>     disassemble\n"
@@ -622,6 +752,8 @@ main(int argc, char **argv)
         return cmdPredict(target, args);
     if (command == "time")
         return cmdTime(target, args);
+    if (command == "sweep")
+        return cmdSweep(target, args);
     if (command == "record")
         return cmdRecord(target, args);
     if (command == "replay")
