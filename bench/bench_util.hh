@@ -75,6 +75,47 @@ parseTraceCache(int argc, char **argv)
     return dir;
 }
 
+/**
+ * Trace/fast-forward knobs shared by every bench: none of them change
+ * bench numbers (v2 decodes to the identical record stream, and
+ * seek-ff is bit-identical given the same warmup window), so they are
+ * safe to flip for wall-clock comparisons.
+ *
+ *   --trace-format v1|v2 / ARL_BENCH_TRACE_FORMAT   cache encoding
+ *   --seek-ff            / ARL_BENCH_SEEK_FF=1      checkpointed ff
+ *   --warmup-window N    / ARL_BENCH_WARMUP_WINDOW  bounded warming
+ */
+inline void
+parseTraceOptions(sweep::SweepSpec &spec, int argc, char **argv)
+{
+    auto env_or_flag = [&](const char *env_name,
+                           const char *flag) -> const char * {
+        const char *value = std::getenv(env_name);
+        if (value && !value[0])
+            value = nullptr;
+        for (int i = 1; i + 1 < argc; ++i)
+            if (std::strcmp(argv[i], flag) == 0)
+                value = argv[i + 1];
+        return value;
+    };
+    if (const char *fmt =
+            env_or_flag("ARL_BENCH_TRACE_FORMAT", "--trace-format"))
+        trace::parseFormat(fmt, spec.traceFormat);
+    const char *seek = std::getenv("ARL_BENCH_SEEK_FF");
+    spec.seekFastForward = seek && seek[0] && seek[0] != '0';
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--seek-ff") == 0)
+            spec.seekFastForward = true;
+    InstCount window = 0;
+    if (const char *w =
+            env_or_flag("ARL_BENCH_WARMUP_WINDOW", "--warmup-window"))
+        window = static_cast<InstCount>(std::atoll(w));
+    if (spec.seekFastForward && window == 0)
+        window = trace::DefaultBlockRecords;
+    for (auto &workload : spec.workloads)
+        workload.warmupWindow = window;
+}
+
 /** All workloads × @p configs through the sweep engine. */
 inline sweep::SweepResult
 timingGrid(std::vector<ooo::MachineConfig> configs, unsigned scale,
@@ -85,6 +126,7 @@ timingGrid(std::vector<ooo::MachineConfig> configs, unsigned scale,
     spec.configs = std::move(configs);
     spec.jobs = parseJobs(argc, argv);
     spec.traceCacheDir = parseTraceCache(argc, argv);
+    parseTraceOptions(spec, argc, argv);
     return sweep::runSweep(spec);
 }
 
@@ -98,6 +140,7 @@ regionGrid(std::vector<sweep::SchemeSpec> schemes, unsigned scale,
     spec.schemes = std::move(schemes);
     spec.jobs = parseJobs(argc, argv);
     spec.traceCacheDir = parseTraceCache(argc, argv);
+    parseTraceOptions(spec, argc, argv);
     return sweep::runSweep(spec);
 }
 
@@ -109,6 +152,14 @@ printSweepMeter(const sweep::SweepResult &result)
                 "%.2fs, speedup %.2fx\n", result.jobs,
                 result.wallSeconds, result.serialSecondsEstimate,
                 result.speedup());
+    if (result.traceDiskBytes)
+        std::printf("trace cache: %.2f MB on disk, %.2fx vs v1%s\n",
+                    result.traceDiskBytes / 1e6,
+                    static_cast<double>(result.traceV1EquivBytes) /
+                        result.traceDiskBytes,
+                    result.seekSkippedRecords
+                        ? ", seek-ff active"
+                        : "");
 }
 
 /** Print the standard bench banner. */

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over byte buffers.
+ *
+ * Used by the v2 trace format to detect corruption in block payloads
+ * and the footer index before any decoded byte reaches a consumer.
+ * Table-driven; the table is built once on first use.
+ */
+
+#ifndef ARL_COMMON_CRC32_HH
+#define ARL_COMMON_CRC32_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace arl
+{
+
+namespace detail
+{
+
+inline const std::array<std::uint32_t, 256> &
+crc32Table()
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int bit = 0; bit < 8; ++bit)
+                c = (c >> 1) ^ ((c & 1) ? 0xedb88320u : 0u);
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // namespace detail
+
+/**
+ * CRC-32 of @p size bytes at @p data.
+ * @param seed chain value from a previous call (0 for a fresh sum).
+ */
+inline std::uint32_t
+crc32(const void *data, std::size_t size, std::uint32_t seed = 0)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    const auto &table = detail::crc32Table();
+    std::uint32_t crc = seed ^ 0xffffffffu;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xffu];
+    return crc ^ 0xffffffffu;
+}
+
+} // namespace arl
+
+#endif // ARL_COMMON_CRC32_HH

@@ -127,13 +127,14 @@ Experiment::timingStudy(const ooo::MachineConfig &config,
                         InstCount warmup_insts,
                         InstCount max_insts,
                         obs::Hooks *hooks,
-                        std::shared_ptr<sim::StepSource> step_source) const
+                        std::shared_ptr<sim::StepSource> step_source,
+                        InstCount warmup_window) const
 {
     ooo::OooCore core(config, prog, std::move(step_source));
     if (hooks)
         core.attachObs(hooks);
     if (warmup_insts)
-        core.warmup(warmup_insts);
+        core.warmup(warmup_insts, warmup_window);
     // Sampling (re)starts here so the baseline reflects the
     // post-warmup state and the frozen name set includes every stat
     // the core just registered.

@@ -114,11 +114,16 @@ class Experiment
      * @param step_source optional committed-stream source (e.g. a
      *        trace::ReplaySource); null embeds a live functional
      *        simulator.  Timing is bit-identical either way.
+     * @param warmup_window warm microarchitectural state only from
+     *        the last N fast-forward instructions (0 = all; see
+     *        OooCore::warmup).  The sweep engine combines this with
+     *        trace checkpoints for seek-based fast-forward.
      */
     TimingResult timingStudy(
         const ooo::MachineConfig &config, InstCount warmup_insts = 0,
         InstCount max_insts = 0, obs::Hooks *hooks = nullptr,
-        std::shared_ptr<sim::StepSource> step_source = nullptr) const;
+        std::shared_ptr<sim::StepSource> step_source = nullptr,
+        InstCount warmup_window = 0) const;
 
     /** timingStudy over a set of configurations. */
     std::vector<TimingResult>

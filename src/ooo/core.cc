@@ -772,12 +772,17 @@ OooCore::dispatchStage()
 }
 
 void
-OooCore::warmup(InstCount insts)
+OooCore::warmup(InstCount insts, InstCount warm_last)
 {
+    if (warm_last == 0 || warm_last > insts)
+        warm_last = insts;
+    const InstCount skip = insts - warm_last;
     sim::StepInfo step;
     for (InstCount i = 0; i < insts; ++i) {
         if (!stepSrc->next(step))
             break;
+        if (i < skip)
+            continue;
         if (step.isMem) {
             bool is_stack = (step.region == vm::Region::Stack);
             cache::MemPipe pipe =

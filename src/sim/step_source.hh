@@ -47,6 +47,20 @@ class StepSource
 
     /** True once the stream can produce no further instruction. */
     virtual bool exhausted() const = 0;
+
+    /**
+     * Reposition the stream so the next instruction produced is
+     * dynamic instruction @p n, counting the skipped prefix as
+     * delivered.  Only seekable sources (a recorded trace) support
+     * this; a live simulator cannot jump without executing.
+     * @return false when the source is not seekable (the default).
+     */
+    virtual bool
+    seekTo(InstCount n)
+    {
+        (void)n;
+        return false;
+    }
 };
 
 /** StepSource over a live functional simulator (not owned). */

@@ -84,11 +84,19 @@ traceNeed(const WorkloadSpec &w, bool timing_grid, bool region_grid)
     return full ? 0 : need;
 }
 
+/**
+ * Cache file name.  v1 keeps the historical key so pre-existing
+ * caches still hit; v2 entries are tagged (a format is part of the
+ * bytes being cached, so the two never alias).
+ */
 std::string
-traceCacheKey(const WorkloadSpec &w, InstCount need)
+traceCacheKey(const WorkloadSpec &w, InstCount need,
+              trace::TraceFormat format)
 {
     std::string key = w.name + "-s" + std::to_string(w.scale) + "-";
     key += need ? "n" + std::to_string(need) : "full";
+    if (format != trace::TraceFormat::V1)
+        key += std::string("-") + trace::formatName(format);
     return key + ".arlt";
 }
 
@@ -99,6 +107,8 @@ struct Prepared
     std::shared_ptr<const trace::InMemoryTrace> trace;
     double seconds = 0.0;
     bool cacheHit = false;
+    std::uint64_t diskBytes = 0;
+    double decodeSeconds = 0.0;
 };
 
 } // namespace
@@ -160,21 +170,29 @@ runSweep(const SweepSpec &spec)
         InstCount need = traceNeed(w, nc != 0, region_grid);
         std::string cache_path;
         if (!cache_dir.empty()) {
-            cache_path = cache_dir + "/" + traceCacheKey(w, need);
-            auto cached = trace::loadTrace(cache_path);
+            cache_path = cache_dir + "/" +
+                         traceCacheKey(w, need, spec.traceFormat);
+            trace::TraceLoadStats load_stats;
+            auto cached = trace::loadTrace(cache_path, &load_stats);
             if (cached && cached->program == p.program->name) {
                 p.trace = std::move(cached);
                 p.cacheHit = true;
+                p.diskBytes = load_stats.fileBytes;
+                p.decodeSeconds = load_stats.seconds;
             }
         }
         if (!p.trace) {
-            p.trace = trace::recordToMemory(p.program, need);
+            p.trace = trace::recordToMemory(
+                p.program, need,
+                spec.checkpointEvery ? spec.checkpointEvery
+                                     : trace::DefaultBlockRecords);
             if (!cache_path.empty()) {
                 // Write-then-rename keeps a concurrently reading
                 // sweep from seeing a half-written cache entry.
                 std::string tmp =
                     cache_path + ".tmp" + std::to_string(getpid());
-                trace::saveTrace(tmp, *p.trace);
+                p.diskBytes =
+                    trace::saveTrace(tmp, *p.trace, spec.traceFormat);
                 if (std::rename(tmp.c_str(), cache_path.c_str()) != 0)
                     warn("sweep: cannot move trace into cache '%s'",
                          cache_path.c_str());
@@ -187,6 +205,11 @@ runSweep(const SweepSpec &spec)
     for (const Prepared &p : prep) {
         result.traceInstructions += p.trace->size();
         result.serialSecondsEstimate += p.seconds;
+        result.traceDiskBytes += p.diskBytes;
+        if (p.diskBytes)
+            result.traceV1EquivBytes +=
+                64 + sizeof(trace::TraceRecord) * p.trace->size();
+        result.traceDecodeSeconds += p.decodeSeconds;
         if (p.cacheHit)
             ++result.traceCacheHits;
         else
@@ -209,6 +232,7 @@ runSweep(const SweepSpec &spec)
     std::vector<std::atomic<std::size_t>> remaining(nw);
     for (std::size_t wi = 0; wi < nw; ++wi)
         remaining[wi] = nc + (region_grid ? 1 : 0);
+    std::atomic<std::uint64_t> seek_skipped{0};
 
     runJobs(total_jobs, jobs, [&](std::size_t job) {
         Clock::time_point start = Clock::now();
@@ -218,13 +242,31 @@ runSweep(const SweepSpec &spec)
 
         if (job < timing_jobs) {
             const ooo::MachineConfig &config = spec.configs[job % nc];
-            ooo::OooCore core(
-                config, prep[wi].program,
-                std::make_shared<trace::ReplaySource>(trace_handle));
+            auto source =
+                std::make_shared<trace::ReplaySource>(trace_handle);
+            // Checkpointed fast-forward: skip decoding the prefix up
+            // to the nearest checkpoint that still leaves the full
+            // warming window to consume.  Functional and seeked
+            // paths warm the identical final records, so the timed
+            // window (and the report) is bit-identical either way.
+            InstCount window = w.warmup;
+            if (w.warmupWindow && w.warmupWindow < window)
+                window = w.warmupWindow;
+            InstCount ff_skip = 0;
+            if (spec.seekFastForward && w.warmup > window) {
+                ff_skip = trace_handle->checkpointAtOrBelow(w.warmup -
+                                                            window);
+                if (ff_skip) {
+                    source->seekTo(ff_skip);
+                    seek_skipped.fetch_add(
+                        ff_skip, std::memory_order_relaxed);
+                }
+            }
+            ooo::OooCore core(config, prep[wi].program, source);
             obs::Hooks hooks;
             core.attachObs(&hooks);
             if (w.warmup)
-                core.warmup(w.warmup);
+                core.warmup(w.warmup - ff_skip, window);
             TimingPoint point;
             point.workload = w.name;
             point.config = config.name;
@@ -304,6 +346,8 @@ runSweep(const SweepSpec &spec)
 
     for (double s : job_seconds)
         result.serialSecondsEstimate += s;
+    result.seekSkippedRecords =
+        seek_skipped.load(std::memory_order_relaxed);
     result.wallSeconds = secondsSince(wall_start);
     return result;
 }
@@ -357,6 +401,18 @@ SweepResult::addTimingStats(obs::StatsRegistry &registry) const
     registry.counter("sweep.trace.instructions") = traceInstructions;
     registry.counter("sweep.trace.cache_hits") = traceCacheHits;
     registry.counter("sweep.trace.cache_misses") = traceCacheMisses;
+    registry.counter("sweep.trace.disk_bytes") = traceDiskBytes;
+    registry.counter("sweep.trace.v1_equiv_bytes") = traceV1EquivBytes;
+    registry.gauge("sweep.trace.compression_ratio") =
+        traceDiskBytes
+            ? static_cast<double>(traceV1EquivBytes) / traceDiskBytes
+            : 0.0;
+    registry.gauge("sweep.trace.decode_mbps") =
+        traceDecodeSeconds > 0.0
+            ? traceDiskBytes / 1e6 / traceDecodeSeconds
+            : 0.0;
+    registry.counter("sweep.trace.seek_ff_skipped") =
+        seekSkippedRecords;
 }
 
 } // namespace arl::sweep

@@ -44,6 +44,7 @@
 #include "predict/region_predictor.hh"
 #include "profile/region_profiler.hh"
 #include "profile/window_profiler.hh"
+#include "trace/trace.hh"
 
 namespace arl::sweep
 {
@@ -60,6 +61,14 @@ struct WorkloadSpec
     InstCount timed = 0;
     /** Region-study instruction cap (0 = full execution). */
     InstCount studyInsts = 0;
+    /**
+     * Warm microarchitectural state only from the last N fast-forward
+     * instructions (0 = all of them, the classic methodology).  A
+     * bounded window is what makes checkpointed fast-forward
+     * (SweepSpec::seekFastForward) bit-identical to functional
+     * fast-forward: both paths warm the same final window.
+     */
+    InstCount warmupWindow = 0;
 };
 
 /** One named predictor scheme column of a region-study grid. */
@@ -84,11 +93,34 @@ struct SweepSpec
     unsigned jobs = 1;
     /**
      * Directory for the on-disk trace cache ("" = in-memory only).
-     * Entries are keyed by workload, scale, and window length;
-     * recording is bit-reproducible, so hits are byte-equivalent to
-     * fresh recordings.
+     * Entries are keyed by workload, scale, window length, and
+     * format; recording is bit-reproducible, so hits are
+     * byte-equivalent to fresh recordings.
      */
     std::string traceCacheDir;
+    /**
+     * On-disk encoding for new cache entries.  V2 (the default) is
+     * delta+varint blocks with a seekable index — typically >=4x
+     * smaller and the prerequisite for seekFastForward benefiting
+     * from cached traces.  Existing v1 entries stay readable either
+     * way (they are keyed separately).
+     */
+    trace::TraceFormat traceFormat = trace::TraceFormat::V2;
+    /**
+     * Resolve each timing point's fast-forward to the nearest
+     * recorded checkpoint at or below (warmup - warmupWindow) and
+     * seek the trace there instead of replaying the prefix.  Results
+     * are bit-identical to functional fast-forward with the same
+     * warmupWindow; only wall-clock changes.  Workloads without
+     * checkpoints (v1 cache entries) silently fall back to
+     * functional fast-forward.
+     */
+    bool seekFastForward = false;
+    /**
+     * Checkpoint cadence while recording (0 = DefaultBlockRecords).
+     * Also the v2 block size of cache entries written by this sweep.
+     */
+    InstCount checkpointEvery = 0;
 };
 
 /** Result of one timing grid point. */
@@ -133,6 +165,14 @@ struct SweepResult
     std::uint64_t traceInstructions = 0;
     std::uint64_t traceCacheHits = 0;
     std::uint64_t traceCacheMisses = 0;
+    /** On-disk bytes of cache entries read or written this run. */
+    std::uint64_t traceDiskBytes = 0;
+    /** What the same records cost in v1 (64 + 32 N per workload). */
+    std::uint64_t traceV1EquivBytes = 0;
+    /** Wall time spent loading + decoding cache hits. */
+    double traceDecodeSeconds = 0.0;
+    /** Records skipped by checkpointed fast-forward across all jobs. */
+    std::uint64_t seekSkippedRecords = 0;
 
     /** Timing point (wi, ci). */
     const TimingPoint &

@@ -19,6 +19,7 @@
 #ifndef ARL_TRACE_REPLAY_HH
 #define ARL_TRACE_REPLAY_HH
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -38,32 +39,78 @@ struct InMemoryTrace
     /** One record per retired instruction, in program order. */
     std::vector<TraceRecord> records;
     /**
+     * Architectural checkpoints captured every checkpointEvery
+     * records while recording (none on v1-loaded or hand-built
+     * traces).  Sorted by index; checkpointed fast-forward seeks to
+     * the nearest one at or below its target.
+     */
+    std::vector<ArchCheckpoint> checkpoints;
+    /** Checkpoint cadence (also the v2 block size when saved). */
+    InstCount checkpointEvery = 0;
+    /**
      * True when the program halted within the recorded window (the
      * trace covers the complete execution, not a truncated prefix).
      */
     bool complete = false;
 
     InstCount size() const { return records.size(); }
+
+    /**
+     * Largest checkpoint index at or below @p n (0 when there is no
+     * such checkpoint — replay then starts from the beginning).
+     */
+    InstCount
+    checkpointAtOrBelow(InstCount n) const
+    {
+        InstCount best = 0;
+        for (const ArchCheckpoint &cp : checkpoints) {
+            if (cp.index > n)
+                break;
+            best = cp.index;
+        }
+        return best;
+    }
 };
 
 /**
- * Run @p program functionally and record the stream into memory.
+ * Run @p program functionally and record the stream into memory,
+ * capturing an architectural checkpoint every @p checkpoint_every
+ * records (0 disables capture).
  * @param max_insts instruction cap (0 = to completion).
  */
 std::shared_ptr<const InMemoryTrace>
 recordToMemory(std::shared_ptr<const vm::Program> program,
-               InstCount max_insts = 0);
-
-/** Write @p t to @p path in the ARLT format (fatal on I/O errors). */
-void saveTrace(const std::string &path, const InMemoryTrace &t);
+               InstCount max_insts = 0,
+               InstCount checkpoint_every = DefaultBlockRecords);
 
 /**
- * Load an ARLT file recorded by saveTrace()/`arl_sim record`.
+ * Write @p t to @p path in the ARLT format (fatal on I/O errors).
+ * V2 persists t.checkpoints in the footer index, using
+ * t.checkpointEvery as the block size so boundaries coincide.
+ * @return bytes written.
+ */
+std::uint64_t saveTrace(const std::string &path, const InMemoryTrace &t,
+                        TraceFormat format = TraceFormat::V1);
+
+/** Optional observability for loadTrace(). */
+struct TraceLoadStats
+{
+    std::uint64_t fileBytes = 0;  ///< on-disk size
+    double seconds = 0.0;         ///< wall time spent loading
+    std::uint32_t version = 0;    ///< header version (1 or 2)
+};
+
+/**
+ * Load an ARLT file (v1 or v2) recorded by saveTrace() /
+ * `arl_sim record`.  V2 checkpoints are validated against the
+ * decoded stream (PC and memory-touch digest) before they are
+ * trusted.
  * @return null when @p path does not exist or is not a valid trace
  *         (corrupt caches fall back to re-recording, they never
  *         abort the run).
  */
-std::shared_ptr<const InMemoryTrace> loadTrace(const std::string &path);
+std::shared_ptr<const InMemoryTrace>
+loadTrace(const std::string &path, TraceLoadStats *stats = nullptr);
 
 /**
  * StepSource that replays an InMemoryTrace.
@@ -97,6 +144,20 @@ class ReplaySource final : public sim::StepSource
     exhausted() const override
     {
         return pos >= trace->records.size();
+    }
+
+    /**
+     * Reposition so the next record delivered is record @p n — the
+     * checkpointed fast-forward: records before @p n are never
+     * decoded into StepInfos.  delivered() counts the skipped
+     * prefix, exactly as if it had been consumed.
+     */
+    bool
+    seekTo(InstCount n) override
+    {
+        pos = static_cast<std::size_t>(
+            std::min<InstCount>(n, trace->records.size()));
+        return true;
     }
 
   private:

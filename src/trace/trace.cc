@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "sim/simulator.hh"
+#include "trace/format_v2.hh"
 
 namespace arl::trace
 {
@@ -21,11 +22,27 @@ struct TraceHeader
 
 static_assert(sizeof(TraceHeader) == 64, "header must pack");
 
-constexpr std::uint8_t FlagTaken = 1 << 0;
-constexpr std::uint8_t FlagCall = 1 << 1;
-constexpr std::uint8_t FlagReturn = 1 << 2;
-
 } // namespace
+
+const char *
+formatName(TraceFormat format)
+{
+    return format == TraceFormat::V2 ? "v2" : "v1";
+}
+
+bool
+parseFormat(const std::string &text, TraceFormat &out)
+{
+    if (text == "v1" || text == "1") {
+        out = TraceFormat::V1;
+        return true;
+    }
+    if (text == "v2" || text == "2") {
+        out = TraceFormat::V2;
+        return true;
+    }
+    return false;
+}
 
 TraceRecord
 toRecord(const sim::StepInfo &step)
@@ -77,17 +94,20 @@ fromRecord(const TraceRecord &record, InstCount seq)
 }
 
 TraceWriter::TraceWriter(const std::string &path_in,
-                         const std::string &program)
+                         const std::string &program, TraceFormat format,
+                         std::uint32_t block_records)
     : out(path_in, std::ios::binary | std::ios::trunc), path(path_in)
 {
     if (!out)
         fatal("trace: cannot open '%s' for writing", path.c_str());
     TraceHeader header{};
     header.magic = TraceMagic;
-    header.version = TraceVersion;
+    header.version = static_cast<std::uint32_t>(format);
     std::strncpy(header.program, program.c_str(),
                  sizeof(header.program) - 1);
     out.write(reinterpret_cast<const char *>(&header), sizeof(header));
+    if (format == TraceFormat::V2)
+        body = std::make_unique<v2::Writer>(out, block_records);
 }
 
 void
@@ -99,14 +119,28 @@ TraceWriter::append(const sim::StepInfo &step)
 void
 TraceWriter::appendRecord(const TraceRecord &record)
 {
-    out.write(reinterpret_cast<const char *>(&record), sizeof(record));
+    if (body)
+        body->append(record);
+    else
+        out.write(reinterpret_cast<const char *>(&record),
+                  sizeof(record));
     ++written;
+}
+
+void
+TraceWriter::addCheckpoint(const ArchCheckpoint &checkpoint)
+{
+    if (body)
+        body->addCheckpoint(checkpoint);
 }
 
 void
 TraceWriter::close()
 {
     if (out.is_open()) {
+        if (body)
+            body->finish(complete);
+        fileBytes = static_cast<std::uint64_t>(out.tellp());
         out.close();
         if (!out)
             fatal("trace: write error on '%s'", path.c_str());
@@ -115,25 +149,51 @@ TraceWriter::close()
 
 TraceWriter::~TraceWriter()
 {
-    if (out.is_open())
+    if (out.is_open()) {
+        if (body)
+            body->finish(complete);
         out.close();
+    }
 }
 
-TraceReader::TraceReader(const std::string &path)
-    : in(path, std::ios::binary)
+TraceReader::TraceReader(const std::string &path_in) : path(path_in)
 {
+    std::uint32_t magic = 0;
+    std::uint32_t version = 0;
+    {
+        std::ifstream probe(path, std::ios::binary);
+        if (!probe)
+            fatal("trace: cannot open '%s'", path.c_str());
+        probe.read(reinterpret_cast<char *>(&magic), sizeof(magic));
+        probe.read(reinterpret_cast<char *>(&version),
+                   sizeof(version));
+        if (!probe || magic != TraceMagic)
+            fatal("trace: '%s' is not an ARL trace", path.c_str());
+    }
+    fileVersion = version;
+    if (version == TraceVersionV2) {
+        body = std::make_unique<v2::Reader>();
+        std::string err;
+        if (!body->open(path, err))
+            fatal("trace: '%s': %s", path.c_str(), err.c_str());
+        name = body->program();
+        return;
+    }
+    if (version != TraceVersion)
+        fatal("trace: '%s' has unsupported version %u", path.c_str(),
+              version);
+    in.open(path, std::ios::binary);
     if (!in)
         fatal("trace: cannot open '%s'", path.c_str());
     TraceHeader header{};
     in.read(reinterpret_cast<char *>(&header), sizeof(header));
-    if (!in || header.magic != TraceMagic)
+    if (!in)
         fatal("trace: '%s' is not an ARL trace", path.c_str());
-    if (header.version != TraceVersion)
-        fatal("trace: '%s' has unsupported version %u", path.c_str(),
-              header.version);
     header.program[sizeof(header.program) - 1] = '\0';
     name = header.program;
 }
+
+TraceReader::~TraceReader() = default;
 
 bool
 TraceReader::next(sim::StepInfo &out_step)
@@ -146,9 +206,32 @@ TraceReader::next(sim::StepInfo &out_step)
 }
 
 bool
+TraceReader::fillBuffer()
+{
+    if (nextBlock >= body->numBlocks())
+        return false;
+    buffer.clear();
+    bufferPos = 0;
+    std::string err;
+    if (!body->readBlock(nextBlock, buffer, err))
+        fatal("trace: '%s' block %zu: %s", path.c_str(), nextBlock,
+              err.c_str());
+    ++nextBlock;
+    return true;
+}
+
+bool
 TraceReader::nextRecord(TraceRecord &out_record)
 {
-    in.read(reinterpret_cast<char *>(&out_record), sizeof(out_record));
+    if (body) {
+        if (bufferPos >= buffer.size() && !fillBuffer())
+            return false;
+        out_record = buffer[bufferPos++];
+        ++consumed;
+        return true;
+    }
+    in.read(reinterpret_cast<char *>(&out_record),
+            sizeof(out_record));
     if (in.gcount() == 0)
         return false;
     if (in.gcount() != sizeof(out_record))
@@ -158,15 +241,74 @@ TraceReader::nextRecord(TraceRecord &out_record)
     return true;
 }
 
+void
+TraceReader::seek(InstCount n)
+{
+    if (body) {
+        const std::uint32_t block_records = body->blockRecords();
+        const std::size_t block =
+            static_cast<std::size_t>(n / block_records);
+        if (n >= body->totalRecords() || block >= body->numBlocks()) {
+            // Past the end: every subsequent read reports EOF.
+            nextBlock = body->numBlocks();
+            buffer.clear();
+            bufferPos = 0;
+            consumed = body->totalRecords();
+            return;
+        }
+        nextBlock = block;
+        buffer.clear();
+        bufferPos = 0;
+        if (!fillBuffer())
+            fatal("trace: '%s': seek into missing block",
+                  path.c_str());
+        bufferPos = static_cast<std::size_t>(n % block_records);
+        consumed = n;
+        return;
+    }
+    in.clear();
+    in.seekg(static_cast<std::streamoff>(sizeof(TraceHeader) +
+                                         n * sizeof(TraceRecord)));
+    consumed = n;
+}
+
+std::vector<ArchCheckpoint>
+TraceReader::checkpoints() const
+{
+    return body ? body->archCheckpoints()
+                : std::vector<ArchCheckpoint>{};
+}
+
 InstCount
 recordTrace(std::shared_ptr<const vm::Program> program,
-            const std::string &path, InstCount max_insts)
+            const std::string &path, InstCount max_insts,
+            TraceFormat format, std::uint32_t block_records)
 {
-    TraceWriter writer(path, program->name);
+    if (block_records == 0)
+        block_records = DefaultBlockRecords;
+    TraceWriter writer(path, program->name, format, block_records);
     sim::Simulator simulator(std::move(program));
-    InstCount n = simulator.run(max_insts, [&](const sim::StepInfo &s) {
-        writer.append(s);
-    });
+    v2::MemTouchDigest digest;
+    sim::StepInfo step;
+    InstCount n = 0;
+    while (max_insts == 0 || n < max_insts) {
+        if (format == TraceFormat::V2 && n % block_records == 0 &&
+            !simulator.halted()) {
+            ArchCheckpoint cp;
+            cp.index = n;
+            cp.pc = simulator.process().pc;
+            cp.gpr = simulator.process().gpr;
+            cp.fpr = simulator.process().fpr;
+            cp.memDigest = digest.value();
+            writer.addCheckpoint(cp);
+        }
+        if (!simulator.step(step))
+            break;
+        writer.append(step);
+        digest.observe(step);
+        ++n;
+    }
+    writer.setComplete(simulator.halted());
     writer.close();
     return n;
 }

@@ -9,25 +9,31 @@
  * reads sim::StepInfo, so a replayed trace is a drop-in substitute
  * for a live simulation.
  *
- * Format (little-endian):
+ * Two on-disk formats share the 64-byte header (little-endian):
  *
- *     [TraceHeader]            magic, version, program name
- *     [TraceRecord] * N        32 bytes per retired instruction
+ *  - v1: [TraceHeader][TraceRecord * N] — 32 raw bytes per retired
+ *    instruction;
+ *  - v2: delta+varint records packed into CRC-guarded fixed-count
+ *    blocks with a seekable footer index carrying per-block decode
+ *    context and optional architectural checkpoints (format_v2.hh).
+ *    Typically >=4x smaller; decodes to the bit-identical records.
  *
  * Records carry everything the profilers and predictors consume —
  * PC, the encoded instruction word (re-decoded on read), effective
  * address, region, fetch-time GBH/CID context, and produced values.
  * Traces are bit-reproducible: recording the same program twice
- * yields identical files.
+ * yields identical files, in either format.
  */
 
 #ifndef ARL_TRACE_TRACE_HH
 #define ARL_TRACE_TRACE_HH
 
+#include <array>
 #include <cstdint>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "sim/step_info.hh"
 #include "vm/program.hh"
@@ -37,8 +43,55 @@ namespace arl::trace
 
 /** File magic: "ARLT". */
 constexpr std::uint32_t TraceMagic = 0x544c5241;
-/** Format version. */
+/** Format version (raw fixed-size records). */
 constexpr std::uint32_t TraceVersion = 1;
+/** Format version (delta+varint blocks + footer index). */
+constexpr std::uint32_t TraceVersionV2 = 2;
+
+/** Selectable on-disk encoding. */
+enum class TraceFormat : std::uint32_t
+{
+    V1 = TraceVersion,
+    V2 = TraceVersionV2,
+};
+
+/** Printable name ("v1"/"v2") of @p format. */
+const char *formatName(TraceFormat format);
+
+/** Parse "v1"/"v2" (also "1"/"2"); @return false on anything else. */
+bool parseFormat(const std::string &text, TraceFormat &out);
+
+/**
+ * Records per v2 block — also the architectural-checkpoint cadence
+ * of recordToMemory(), so every persisted checkpoint lands on a
+ * seekable block boundary.
+ */
+constexpr std::uint32_t DefaultBlockRecords = 1u << 16;
+
+/** TraceRecord::flags bits. */
+constexpr std::uint8_t FlagTaken = 1 << 0;
+constexpr std::uint8_t FlagCall = 1 << 1;
+constexpr std::uint8_t FlagReturn = 1 << 2;
+
+/**
+ * Architectural state captured at a block boundary while recording:
+ * enough to identify (register file, PC) and validate (memory-touch
+ * digest) the functional state a checkpointed fast-forward resumes
+ * from, without replaying the prefix.
+ */
+struct ArchCheckpoint
+{
+    /** Dynamic record index the state holds at (pre-execution). */
+    InstCount index = 0;
+    /** Functional PC. */
+    Addr pc = 0;
+    /** Integer register file. */
+    std::array<Word, 32> gpr{};
+    /** FP register file. */
+    std::array<Word, 32> fpr{};
+    /** FNV-1a digest over memory touches of records [0, index). */
+    std::uint64_t memDigest = 0;
+};
 
 /** On-disk record; fixed 32 bytes. */
 struct TraceRecord
@@ -67,15 +120,23 @@ TraceRecord toRecord(const sim::StepInfo &step);
  */
 sim::StepInfo fromRecord(const TraceRecord &record, InstCount seq);
 
-/** Streams retired instructions to a trace file. */
+namespace v2
+{
+class Writer;
+}
+
+/** Streams retired instructions to a trace file (v1 or v2). */
 class TraceWriter
 {
   public:
     /**
      * Open @p path for writing and emit the header.
      * Fatal on I/O errors (user environment problem).
+     * @param block_records v2 block size (ignored for v1).
      */
-    TraceWriter(const std::string &path, const std::string &program);
+    TraceWriter(const std::string &path, const std::string &program,
+                TraceFormat format = TraceFormat::V1,
+                std::uint32_t block_records = DefaultBlockRecords);
 
     /** Append one instruction. */
     void append(const sim::StepInfo &step);
@@ -83,26 +144,54 @@ class TraceWriter
     /** Append one already-converted record (bulk/cached writers). */
     void appendRecord(const TraceRecord &record);
 
+    /**
+     * Attach an architectural checkpoint (v2 only; ignored by v1).
+     * Only checkpoints whose index lands on a block boundary are
+     * persisted in the footer index.
+     */
+    void addCheckpoint(const ArchCheckpoint &checkpoint);
+
+    /** Mark the trace as covering the complete execution (v2). */
+    void setComplete(bool value) { complete = value; }
+
     /** Flush and close (also done by the destructor). */
     void close();
 
     /** Instructions written so far. */
     InstCount count() const { return written; }
 
+    /** On-disk size; valid once close() has run. */
+    std::uint64_t bytesWritten() const { return fileBytes; }
+
     ~TraceWriter();
 
   private:
     std::ofstream out;
     std::string path;
+    std::unique_ptr<v2::Writer> body;  ///< non-null for v2
     InstCount written = 0;
+    std::uint64_t fileBytes = 0;
+    bool complete = false;
 };
 
-/** Reads a trace file back as a StepInfo stream. */
+namespace v2
+{
+class Reader;
+}
+
+/**
+ * Reads a trace file back as a StepInfo stream.  The header version
+ * is sniffed, so v1 and v2 files read identically; v2 additionally
+ * supports seeking to an arbitrary record without decoding the
+ * prefix beyond the containing block.
+ */
 class TraceReader
 {
   public:
     /** Open @p path; fatal on missing/corrupt headers. */
     explicit TraceReader(const std::string &path);
+
+    ~TraceReader();
 
     /**
      * Read the next instruction.
@@ -117,25 +206,47 @@ class TraceReader
      */
     bool nextRecord(TraceRecord &out);
 
+    /**
+     * Position the stream so the next record read is record @p n
+     * (v2: decodes only the containing block; v1: a file seek).
+     */
+    void seek(InstCount n);
+
     /** Program name recorded in the header. */
     const std::string &programName() const { return name; }
 
-    /** Instructions read so far. */
+    /** Header version of the file (1 or 2). */
+    std::uint32_t version() const { return fileVersion; }
+
+    /** Architectural checkpoints stored in the index (v2 only). */
+    std::vector<ArchCheckpoint> checkpoints() const;
+
+    /** Stream position: index of the next record to be read. */
     InstCount count() const { return consumed; }
 
   private:
+    bool fillBuffer();
+
     std::ifstream in;
+    std::string path;
     std::string name;
+    std::uint32_t fileVersion = TraceVersion;
     InstCount consumed = 0;
+    std::unique_ptr<v2::Reader> body;        ///< non-null for v2
+    std::vector<TraceRecord> buffer;         ///< decoded v2 block
+    std::size_t bufferPos = 0;
+    std::size_t nextBlock = 0;
 };
 
 /**
  * Convenience: run @p program functionally and record the stream.
+ * v2 traces get an architectural checkpoint at every block boundary.
  * @return instructions recorded.
  */
 InstCount recordTrace(std::shared_ptr<const vm::Program> program,
-                      const std::string &path,
-                      InstCount max_insts = 0);
+                      const std::string &path, InstCount max_insts = 0,
+                      TraceFormat format = TraceFormat::V1,
+                      std::uint32_t block_records = DefaultBlockRecords);
 
 } // namespace arl::trace
 

@@ -11,11 +11,20 @@
  *  3. functional simulation reaches the same architectural state
  *     whether or not a recording hook observes it;
  *  4. runSweep with jobs=1 and jobs=8 produces byte-identical
- *     stats-JSON reports.
+ *     stats-JSON reports;
+ *  5. the trace-cache format is invisible to results: no-cache,
+ *     v1-cache, and v2-cache sweeps (both cold and warm) serialize
+ *     byte-identically, with v2 entries at least 4x smaller;
+ *  6. checkpointed fast-forward (SweepSpec::seekFastForward) is
+ *     byte-identical to functional fast-forward given the same
+ *     warmup window, while actually skipping records.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -212,4 +221,132 @@ TEST(Differential, SweepReportByteIdenticalAcrossJobs)
 
     EXPECT_FALSE(serial.empty());
     EXPECT_EQ(serial, parallel);
+}
+
+namespace
+{
+
+/** The fig8 small grid the golden test also pins. */
+sweep::SweepSpec
+fig8SmallSpec()
+{
+    sweep::SweepSpec spec;
+    for (const char *name : {"go_like", "li_like"}) {
+        const auto &info = workloads::workloadByName(name);
+        sweep::WorkloadSpec w;
+        w.name = info.name;
+        w.warmup = info.warmupInsts;
+        w.timed = 20000;
+        spec.workloads.push_back(std::move(w));
+    }
+    spec.configs = {ooo::MachineConfig::nPlusM(2, 0),
+                    ooo::MachineConfig::nPlusM(3, 3),
+                    ooo::MachineConfig::nPlusM(16, 0)};
+    spec.jobs = 2;
+    return spec;
+}
+
+/** Scoped temp directory for cache-backed sweeps. */
+class TempCacheDir
+{
+  public:
+    explicit TempCacheDir(const std::string &tag)
+        : dir(::testing::TempDir() + "arl_diff_" + tag)
+    {
+        std::filesystem::remove_all(dir);
+    }
+    ~TempCacheDir() { std::filesystem::remove_all(dir); }
+
+    const std::string dir;
+};
+
+std::uint64_t
+directoryBytes(const std::string &dir)
+{
+    std::uint64_t total = 0;
+    for (const auto &entry : std::filesystem::directory_iterator(dir))
+        total += std::filesystem::file_size(entry.path());
+    return total;
+}
+
+} // namespace
+
+TEST(Differential, SweepReportIdenticalAcrossCacheFormats)
+{
+    // Reference: no cache at all.
+    sweep::SweepSpec spec = fig8SmallSpec();
+    std::string baseline = reportJson(sweep::runSweep(spec));
+    ASSERT_FALSE(baseline.empty());
+
+    std::uint64_t v1_bytes = 0, v2_bytes = 0;
+    for (trace::TraceFormat format :
+         {trace::TraceFormat::V1, trace::TraceFormat::V2}) {
+        SCOPED_TRACE(trace::formatName(format));
+        TempCacheDir cache(std::string("cache_") +
+                           trace::formatName(format));
+        sweep::SweepSpec cached = fig8SmallSpec();
+        cached.traceCacheDir = cache.dir;
+        cached.traceFormat = format;
+
+        // Cold pass records the cache entries; warm pass replays
+        // from them.  Both must match the cache-less report.
+        sweep::SweepResult cold = sweep::runSweep(cached);
+        EXPECT_EQ(cold.traceCacheMisses, 2u);
+        EXPECT_EQ(reportJson(cold), baseline);
+        sweep::SweepResult warm = sweep::runSweep(cached);
+        EXPECT_EQ(warm.traceCacheHits, 2u);
+        EXPECT_EQ(reportJson(warm), baseline);
+
+        (format == trace::TraceFormat::V1 ? v1_bytes : v2_bytes) =
+            directoryBytes(cache.dir);
+    }
+    // The headline claim: v2 is at least 4x smaller than v1 on the
+    // same fig8 small grid.
+    ASSERT_GT(v2_bytes, 0u);
+    EXPECT_GE(v1_bytes, 4 * v2_bytes)
+        << "v2 compression regressed: v1 " << v1_bytes << "B vs v2 "
+        << v2_bytes << "B";
+}
+
+TEST(Differential, SeekFastForwardIdenticalToFunctional)
+{
+    // A checkpoint cadence well below the workload warmups (10000 /
+    // 5000) so seeking genuinely skips a prefix.
+    constexpr InstCount kEvery = 1024;
+    constexpr InstCount kWindow = 2048;
+
+    sweep::SweepSpec functional = fig8SmallSpec();
+    functional.checkpointEvery = kEvery;
+    for (auto &w : functional.workloads)
+        w.warmupWindow = kWindow;
+
+    sweep::SweepSpec seeking = functional;
+    seeking.seekFastForward = true;
+
+    TempCacheDir cache("seekff");
+    functional.traceCacheDir = cache.dir;
+    seeking.traceCacheDir = cache.dir;
+
+    // In-memory traces (no cache) and cache-backed runs must all
+    // agree; the seeking runs must actually skip records.
+    sweep::SweepSpec functional_mem = functional;
+    functional_mem.traceCacheDir.clear();
+    std::string baseline = reportJson(sweep::runSweep(functional_mem));
+    ASSERT_FALSE(baseline.empty());
+
+    sweep::SweepResult cold_seek = sweep::runSweep(seeking);
+    EXPECT_EQ(reportJson(cold_seek), baseline);
+    EXPECT_GT(cold_seek.seekSkippedRecords, 0u);
+
+    sweep::SweepResult warm_func = sweep::runSweep(functional);
+    EXPECT_EQ(reportJson(warm_func), baseline);
+    EXPECT_EQ(warm_func.seekSkippedRecords, 0u);
+
+    sweep::SweepResult warm_seek = sweep::runSweep(seeking);
+    EXPECT_EQ(reportJson(warm_seek), baseline);
+    EXPECT_GT(warm_seek.seekSkippedRecords, 0u);
+
+    // Sanity on the skip arithmetic: every timing job's skip lands
+    // on a checkpoint boundary at or below warmup - window.
+    EXPECT_EQ(warm_seek.seekSkippedRecords % kEvery, 0u);
 }

@@ -19,14 +19,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "builder/program_builder.hh"
 #include "core/experiment.hh"
 #include "ooo/config.hh"
 #include "sweep/sweep.hh"
+#include "trace/trace.hh"
 #include "workloads/workloads.hh"
 
 using namespace arl;
@@ -35,6 +38,8 @@ namespace
 {
 
 constexpr const char *kGoldenFile = "sweep_fig8_small.json";
+constexpr const char *kGoldenSeekFile = "sweep_fig8_v2_seekff.json";
+constexpr const char *kTraceFixture = "trace_v2_fixture.arlt";
 
 /** The pinned grid: two int workloads × three Fig-8 configs. */
 sweep::SweepSpec
@@ -58,9 +63,90 @@ goldenSpec()
 }
 
 std::string
-goldenPath()
+goldenPath(const char *file)
 {
-    return std::string(ARL_GOLDEN_DIR) + "/" + kGoldenFile;
+    return std::string(ARL_GOLDEN_DIR) + "/" + file;
+}
+
+/**
+ * Compare @p actual against the committed golden @p file byte for
+ * byte, regenerating it (and failing for review) under
+ * ARL_UPDATE_GOLDEN=1.
+ */
+void
+expectMatchesGolden(const std::string &actual, const char *file)
+{
+    ASSERT_FALSE(actual.empty());
+    const std::string path = goldenPath(file);
+
+    if (std::getenv("ARL_UPDATE_GOLDEN")) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << actual;
+        out.close();
+        FAIL() << "golden file regenerated at " << path
+               << "; rerun without ARL_UPDATE_GOLDEN and commit it";
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in) << "missing " << path
+                    << " — generate it with ARL_UPDATE_GOLDEN=1";
+    std::ostringstream expected;
+    expected << in.rdbuf();
+
+    // Byte-for-byte: both the report schema and the v2 trace
+    // encoding are deterministic by contract.
+    EXPECT_EQ(expected.str(), actual)
+        << "output drifted from the committed golden file " << file
+        << "; if intentional, regenerate with ARL_UPDATE_GOLDEN=1";
+}
+
+/**
+ * A tiny, fully self-contained program for the encoding fixture:
+ * two passes over a 64-word buffer with data-dependent branches.
+ * Deliberately independent of the workload registry so the fixture
+ * only moves when the ISA, builder, simulator, or v2 codec change.
+ */
+std::shared_ptr<const vm::Program>
+fixtureProgram()
+{
+    builder::ProgramBuilder b("v2_fixture");
+    b.globalArray("buf", 64);
+    b.bindHere("main");
+
+    // Pass 1: buf[i] = i * 3 + 1.
+    b.li(8, 0);                     // $t0 = i
+    b.li(9, 0);                     // $t1 = value accumulator
+    builder::Label fill = b.label();
+    b.bind(fill);
+    b.la(25, "buf");
+    b.sll(10, 8, 2);                // $t2 = i * 4
+    b.add(10, 10, 25);
+    b.addi(9, 9, 3);
+    b.sw(9, 0, 10);
+    b.addi(8, 8, 1);
+    b.slti(11, 8, 64);
+    b.bgtz(11, fill);
+
+    // Pass 2: sum the buffer, branching on low bits.
+    b.li(8, 0);
+    b.li(12, 0);                    // $t4 = sum
+    builder::Label sum = b.label();
+    b.bind(sum);
+    b.la(25, "buf");
+    b.sll(10, 8, 2);
+    b.add(10, 10, 25);
+    b.lw(13, 0, 10);                // $t5 = buf[i]
+    b.andi(14, 13, 1);
+    builder::Label even = b.label();
+    b.blez(14, even);
+    b.add(12, 12, 13);
+    b.bind(even);
+    b.addi(8, 8, 1);
+    b.slti(11, 8, 64);
+    b.bgtz(11, sum);
+    b.exit_(0);
+    return b.finish();
 }
 
 } // namespace
@@ -69,25 +155,64 @@ TEST(Golden, Fig8SmallSweepReport)
 {
     std::ostringstream actual;
     sweep::runSweep(goldenSpec()).toReport().writeJson(actual);
-    ASSERT_FALSE(actual.str().empty());
+    expectMatchesGolden(actual.str(), kGoldenFile);
+}
 
-    if (std::getenv("ARL_UPDATE_GOLDEN")) {
-        std::ofstream out(goldenPath(), std::ios::binary);
-        ASSERT_TRUE(out) << "cannot write " << goldenPath();
-        out << actual.str();
-        out.close();
-        FAIL() << "golden file regenerated at " << goldenPath()
-               << "; rerun without ARL_UPDATE_GOLDEN and commit it";
-    }
+TEST(Golden, Fig8V2SeekFastForwardSweepReport)
+{
+    // The same grid rerun through the v2 + checkpointed-fast-forward
+    // path: small checkpoint blocks so the 10000/5000-instruction
+    // warmups really seek, and a bounded warmup window (the
+    // precondition for seek-ff bit-identity).  Pins the full stack:
+    // v2 encode/decode, checkpoint capture, ReplaySource::seekTo,
+    // and bounded warming.
+    sweep::SweepSpec spec = goldenSpec();
+    spec.traceFormat = trace::TraceFormat::V2;
+    spec.seekFastForward = true;
+    spec.checkpointEvery = 1024;
+    for (auto &w : spec.workloads)
+        w.warmupWindow = 2048;
 
-    std::ifstream in(goldenPath(), std::ios::binary);
-    ASSERT_TRUE(in) << "missing " << goldenPath()
-                    << " — generate it with ARL_UPDATE_GOLDEN=1";
-    std::ostringstream expected;
-    expected << in.rdbuf();
+    sweep::SweepResult result = sweep::runSweep(spec);
+    EXPECT_GT(result.seekSkippedRecords, 0u)
+        << "seek-ff did not skip anything — golden is not "
+           "exercising the checkpoint path";
+    std::ostringstream actual;
+    result.toReport().writeJson(actual);
+    expectMatchesGolden(actual.str(), kGoldenSeekFile);
+}
 
-    // Byte-for-byte: the report schema is deterministic by contract.
-    EXPECT_EQ(expected.str(), actual.str())
-        << "sweep output drifted from the committed golden report; "
-           "if intentional, regenerate with ARL_UPDATE_GOLDEN=1";
+TEST(Golden, V2TraceFixtureEncodingPinned)
+{
+    // Record the fixture program with tiny blocks (several block
+    // boundaries + index entries in a ~1KB file) and pin the exact
+    // on-disk bytes.  Any codec change — tags, varint layout, CRC,
+    // index, trailer — shows up as a byte diff here before it can
+    // silently invalidate cached traces in the wild.
+    const std::string tmp = ::testing::TempDir() + "arl_v2_fixture.arlt";
+    InstCount n = trace::recordTrace(fixtureProgram(), tmp, 0,
+                                     trace::TraceFormat::V2, 256);
+    ASSERT_GT(n, 500u);
+
+    std::ifstream in(tmp, std::ios::binary);
+    ASSERT_TRUE(in);
+    std::string actual((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+    in.close();
+    std::remove(tmp.c_str());
+
+    expectMatchesGolden(actual, kTraceFixture);
+    if (::testing::Test::HasFailure())
+        return; // missing/regenerated fixture: nothing to decode
+
+    // And the committed fixture itself must still decode: guards
+    // against a reader change that would orphan existing files.
+    trace::TraceReader reader(goldenPath(kTraceFixture));
+    EXPECT_EQ(reader.version(), trace::TraceVersionV2);
+    EXPECT_EQ(reader.programName(), "v2_fixture");
+    sim::StepInfo step;
+    InstCount decoded = 0;
+    while (reader.next(step))
+        ++decoded;
+    EXPECT_EQ(decoded, n);
 }

@@ -9,9 +9,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
 
 #include "profile/region_profiler.hh"
+#include "trace/replay.hh"
 #include "profile/window_profiler.hh"
 #include "predict/region_predictor.hh"
 #include "sim/simulator.hh"
@@ -189,4 +192,168 @@ TEST_F(TraceFile, EmptyTraceYieldsNoSteps)
     EXPECT_EQ(reader.programName(), "empty");
     sim::StepInfo step;
     EXPECT_FALSE(reader.next(step));
+}
+
+// ---------------------------------------------------------------------
+// Format v2: delta+varint blocks with a seekable index.
+// ---------------------------------------------------------------------
+
+TEST_F(TraceFile, V2StreamsIdenticallyToLiveSimulation)
+{
+    auto prog = workloads::buildWorkload("go_like", 1);
+    // Small blocks so the 50k records span many block boundaries.
+    InstCount recorded = trace::recordTrace(
+        prog, path, 50000, trace::TraceFormat::V2, 4096);
+    EXPECT_EQ(recorded, 50000u);
+
+    trace::TraceReader reader(path);
+    EXPECT_EQ(reader.programName(), "go_like");
+    EXPECT_EQ(reader.version(), trace::TraceVersionV2);
+
+    sim::Simulator live(prog);
+    sim::StepInfo live_step, replay_step;
+    InstCount compared = 0;
+    while (reader.next(replay_step)) {
+        ASSERT_TRUE(live.step(live_step));
+        ASSERT_EQ(replay_step.pc, live_step.pc) << compared;
+        ASSERT_EQ(replay_step.inst, live_step.inst) << compared;
+        ASSERT_EQ(replay_step.effAddr, live_step.effAddr) << compared;
+        ASSERT_EQ(replay_step.memSize, live_step.memSize) << compared;
+        ASSERT_EQ(replay_step.region, live_step.region) << compared;
+        ASSERT_EQ(replay_step.gbh, live_step.gbh) << compared;
+        ASSERT_EQ(replay_step.cid, live_step.cid) << compared;
+        ASSERT_EQ(replay_step.dest, live_step.dest) << compared;
+        ASSERT_EQ(replay_step.result, live_step.result) << compared;
+        ASSERT_EQ(replay_step.storeValue, live_step.storeValue)
+            << compared;
+        ++compared;
+    }
+    EXPECT_EQ(compared, recorded);
+}
+
+TEST_F(TraceFile, V2CompressesAtLeastFourTimes)
+{
+    auto prog = workloads::buildWorkload("li_like", 1);
+    std::string v2_path = path + ".v2";
+    trace::recordTrace(prog, path, 200000, trace::TraceFormat::V1);
+    trace::recordTrace(prog, v2_path, 200000, trace::TraceFormat::V2);
+    auto size_of = [](const std::string &p) {
+        std::ifstream in(p, std::ios::binary | std::ios::ate);
+        return static_cast<std::uint64_t>(in.tellg());
+    };
+    std::uint64_t v1_bytes = size_of(path);
+    std::uint64_t v2_bytes = size_of(v2_path);
+    EXPECT_EQ(v1_bytes, 64u + 200000u * 32u);
+    EXPECT_GE(v1_bytes, 4 * v2_bytes)
+        << "v2 compression regressed: " << v1_bytes << " vs "
+        << v2_bytes;
+    std::remove(v2_path.c_str());
+}
+
+TEST_F(TraceFile, V2SeekEquivalentToSequentialSkip)
+{
+    auto prog = workloads::buildWorkload("compress_like", 1);
+    trace::recordTrace(prog, path, 30000, trace::TraceFormat::V2,
+                       2048);
+    // Block-aligned, unaligned, zero, near-end, and past-end targets.
+    for (InstCount n : {0u, 1u, 2048u, 5000u, 12345u, 29999u, 30000u,
+                        40000u}) {
+        SCOPED_TRACE("seek " + std::to_string(n));
+        trace::TraceReader skipper(path);
+        sim::StepInfo want, got;
+        InstCount remaining_want = 0;
+        for (InstCount i = 0; i < n && skipper.next(want); ++i) {
+        }
+        while (skipper.next(want))
+            ++remaining_want;
+
+        trace::TraceReader seeker(path);
+        seeker.seek(n);
+        InstCount remaining_got = 0;
+        bool first = true;
+        while (seeker.next(got)) {
+            if (first) {
+                // First delivered record matches the skip path's.
+                trace::TraceReader ref(path);
+                sim::StepInfo ref_step;
+                for (InstCount i = 0; i <= n; ++i)
+                    ASSERT_TRUE(ref.next(ref_step));
+                EXPECT_EQ(got.pc, ref_step.pc);
+                EXPECT_EQ(got.effAddr, ref_step.effAddr);
+                EXPECT_EQ(got.result, ref_step.result);
+                first = false;
+            }
+            ++remaining_got;
+        }
+        EXPECT_EQ(remaining_got, remaining_want);
+    }
+}
+
+TEST_F(TraceFile, V2DeterministicFiles)
+{
+    auto prog = workloads::buildWorkload("compress_like", 1);
+    std::string path2 = path + ".second";
+    trace::recordTrace(prog, path, 20000, trace::TraceFormat::V2);
+    trace::recordTrace(prog, path2, 20000, trace::TraceFormat::V2);
+    std::ifstream a(path, std::ios::binary);
+    std::ifstream b(path2, std::ios::binary);
+    std::string content_a((std::istreambuf_iterator<char>(a)),
+                          std::istreambuf_iterator<char>());
+    std::string content_b((std::istreambuf_iterator<char>(b)),
+                          std::istreambuf_iterator<char>());
+    EXPECT_EQ(content_a, content_b);
+    std::remove(path2.c_str());
+}
+
+TEST_F(TraceFile, V2EmptyTraceYieldsNoSteps)
+{
+    {
+        trace::TraceWriter writer(path, "empty",
+                                  trace::TraceFormat::V2);
+        writer.setComplete(true);
+        writer.close();
+    }
+    trace::TraceReader reader(path);
+    EXPECT_EQ(reader.programName(), "empty");
+    EXPECT_EQ(reader.version(), trace::TraceVersionV2);
+    sim::StepInfo step;
+    EXPECT_FALSE(reader.next(step));
+}
+
+TEST_F(TraceFile, V2CheckpointsSurviveSaveAndLoad)
+{
+    auto prog = workloads::buildWorkload("li_like", 1);
+    auto recorded = trace::recordToMemory(prog, 10000, 1024);
+    ASSERT_EQ(recorded->size(), 10000u);
+    ASSERT_EQ(recorded->checkpointEvery, 1024u);
+    ASSERT_FALSE(recorded->checkpoints.empty());
+    // Checkpoints land exactly on the cadence.
+    for (const auto &cp : recorded->checkpoints)
+        EXPECT_EQ(cp.index % 1024, 0u);
+    EXPECT_EQ(recorded->checkpointAtOrBelow(5000), 4096u);
+    EXPECT_EQ(recorded->checkpointAtOrBelow(1023), 0u);
+
+    trace::saveTrace(path, *recorded, trace::TraceFormat::V2);
+    trace::TraceLoadStats stats;
+    auto loaded = trace::loadTrace(path, &stats);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(stats.version, trace::TraceVersionV2);
+    ASSERT_EQ(loaded->size(), recorded->size());
+    ASSERT_EQ(loaded->checkpoints.size(),
+              recorded->checkpoints.size());
+    for (std::size_t i = 0; i < recorded->checkpoints.size(); ++i) {
+        const auto &want = recorded->checkpoints[i];
+        const auto &got = loaded->checkpoints[i];
+        EXPECT_EQ(got.index, want.index);
+        EXPECT_EQ(got.pc, want.pc);
+        EXPECT_EQ(got.gpr, want.gpr);
+        EXPECT_EQ(got.fpr, want.fpr);
+        EXPECT_EQ(got.memDigest, want.memDigest);
+    }
+    for (std::size_t i = 0; i < recorded->size(); ++i) {
+        EXPECT_EQ(0, std::memcmp(&recorded->records[i],
+                                 &loaded->records[i],
+                                 sizeof(trace::TraceRecord)))
+            << "record " << i;
+    }
 }

@@ -1,0 +1,554 @@
+/**
+ * @file
+ * Seeded fuzz/property tests for trace format v2 (src/trace):
+ *
+ *  - the block codec is lossless for *arbitrary* records — realistic
+ *    streams take the delta paths, garbage records take the escape
+ *    path, and both round-trip bit-exactly;
+ *  - seeded random *runnable* programs (bounded loops, masked memory
+ *    accesses) record to v1 and v2 and replay record-for-record
+ *    identically, and seek(n) is equivalent to skipping n records in
+ *    both formats;
+ *  - >=1000 seeded corruptions of a valid v2 file (truncations, bit
+ *    and byte flips, zeroed ranges, wrong magic/version, zero-length)
+ *    never crash the non-fatal loader: every case either loads a
+ *    fully-valid trace or returns nullptr;
+ *  - a corrupted sweep trace cache silently re-records: the report
+ *    is byte-identical to a cold-cache run and the cache entries are
+ *    valid again afterwards.
+ *
+ * Everything is seeded and deterministic: a failure reproduces from
+ * the printed seed alone.  The suite is routinely run under
+ * ASan+UBSan (see .github/workflows/ci.yml), where "fails cleanly"
+ * also means no leaks on any rejection path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "builder/program_builder.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "sim/simulator.hh"
+#include "sweep/sweep.hh"
+#include "trace/format_v2.hh"
+#include "trace/replay.hh"
+#include "trace/trace.hh"
+#include "workloads/workloads.hh"
+
+using namespace arl;
+
+namespace
+{
+
+/** Temp file path helper (removed by the fixture). */
+class TraceFuzz : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path = ::testing::TempDir() + "arl_trace_fuzz_" +
+               ::testing::UnitTest::GetInstance()
+                   ->current_test_info()
+                   ->name() +
+               ".trace";
+    }
+
+    void TearDown() override { std::remove(path.c_str()); }
+
+    std::string path;
+};
+
+/** Silence the loader's per-rejection warn() while a scope runs. */
+class QuietLogs
+{
+  public:
+    QuietLogs() : saved(logLevel()) { setLogLevel(LogLevel::Error); }
+    ~QuietLogs() { setLogLevel(saved); }
+
+  private:
+    LogLevel saved;
+};
+
+trace::TraceRecord
+randomRecord(Rng &rng)
+{
+    trace::TraceRecord record;
+    std::uint32_t words[8];
+    for (auto &word : words)
+        word = rng.next32();
+    std::memcpy(&record, words, sizeof(record));
+    return record;
+}
+
+/** Encode @p records as one v2 block and decode it back. */
+void
+expectCodecRoundTrip(const std::vector<trace::TraceRecord> &records)
+{
+    trace::v2::Context encode_ctx, decode_ctx;
+    if (!records.empty()) {
+        // Mirror Writer::flushBlock's first-block context priming.
+        encode_ctx.prevPc = records[0].pc - 4;
+        encode_ctx.lastEffAddr =
+            records[0].memSize ? records[0].effAddr : 0;
+        encode_ctx.gbh = records[0].gbh;
+        encode_ctx.cid = records[0].cid;
+        decode_ctx = encode_ctx;
+    }
+    std::string payload;
+    trace::v2::encodeBlock(records.data(), records.size(), encode_ctx,
+                           payload);
+    std::vector<trace::TraceRecord> decoded;
+    std::string err;
+    ASSERT_TRUE(trace::v2::decodeBlock(payload.data(), payload.size(),
+                                       records.size(), decode_ctx,
+                                       decoded, err))
+        << err;
+    ASSERT_EQ(decoded.size(), records.size());
+    for (std::size_t i = 0; i < records.size(); ++i)
+        ASSERT_EQ(0, std::memcmp(&records[i], &decoded[i],
+                                 sizeof(trace::TraceRecord)))
+            << "record " << i;
+    EXPECT_EQ(encode_ctx.prevPc, decode_ctx.prevPc);
+    EXPECT_EQ(encode_ctx.lastEffAddr, decode_ctx.lastEffAddr);
+    EXPECT_EQ(encode_ctx.gbh, decode_ctx.gbh);
+    EXPECT_EQ(encode_ctx.cid, decode_ctx.cid);
+}
+
+/** General-purpose scratch registers the generator may clobber. */
+RegIndex
+scratchGpr(Rng &rng)
+{
+    return static_cast<RegIndex>(8 + rng.nextBounded(8)); // $t0..$t7
+}
+
+RegIndex
+scratchFpr(Rng &rng)
+{
+    return static_cast<RegIndex>(rng.nextBounded(8));
+}
+
+constexpr RegIndex kCounterReg = 24; // $t8
+constexpr RegIndex kBaseReg = 25;    // $t9, reloaded before each access
+constexpr std::size_t kBufWords = 256;
+
+/**
+ * A random but *runnable* program: a counted loop whose body mixes
+ * integer/FP arithmetic with loads and stores confined to a named
+ * global buffer (base register reloaded via la before every access,
+ * offsets masked into bounds).  Termination is guaranteed by the
+ * loop counter; every memory access is in-bounds by construction.
+ */
+std::shared_ptr<const vm::Program>
+buildRandomRunnable(std::uint64_t seed)
+{
+    Rng rng(0x77ace00 ^ seed);
+    builder::ProgramBuilder b("fuzz_runnable");
+    b.globalArray("buf", kBufWords);
+    b.bindHere("main");
+
+    b.li(kCounterReg,
+         static_cast<std::int32_t>(40 + rng.nextBounded(160)));
+    builder::Label loop_head = b.label();
+    b.bind(loop_head);
+
+    unsigned body = 6 + static_cast<unsigned>(rng.nextBounded(12));
+    for (unsigned i = 0; i < body; ++i) {
+        std::int32_t offset =
+            static_cast<std::int32_t>(4 * rng.nextBounded(kBufWords));
+        switch (rng.nextBounded(10)) {
+          case 0:
+            b.add(scratchGpr(rng), scratchGpr(rng), scratchGpr(rng));
+            break;
+          case 1:
+            b.sub(scratchGpr(rng), scratchGpr(rng), scratchGpr(rng));
+            break;
+          case 2:
+            b.addi(scratchGpr(rng), scratchGpr(rng),
+                   static_cast<std::int32_t>(rng.nextBounded(4096)) -
+                       2048);
+            break;
+          case 3:
+            b.sll(scratchGpr(rng), scratchGpr(rng),
+                  static_cast<unsigned>(rng.nextBounded(31)));
+            break;
+          case 4:
+            b.la(kBaseReg, "buf");
+            b.lw(scratchGpr(rng), offset, kBaseReg);
+            break;
+          case 5:
+            b.la(kBaseReg, "buf");
+            b.sw(scratchGpr(rng), offset, kBaseReg);
+            break;
+          case 6:
+            b.la(kBaseReg, "buf");
+            b.lbu(scratchGpr(rng),
+                  offset | static_cast<std::int32_t>(
+                               rng.nextBounded(4)),
+                  kBaseReg);
+            break;
+          case 7:
+            b.fadd(scratchFpr(rng), scratchFpr(rng), scratchFpr(rng));
+            break;
+          case 8:
+            b.mtc1(scratchFpr(rng), scratchGpr(rng));
+            break;
+          default:
+            b.xor_(scratchGpr(rng), scratchGpr(rng),
+                   scratchGpr(rng));
+            break;
+        }
+        // Occasional forward skip keeps the branch history irregular.
+        if (rng.nextBounded(8) == 0) {
+            builder::Label skip = b.label();
+            b.beq(scratchGpr(rng), scratchGpr(rng), skip);
+            b.addi(scratchGpr(rng), scratchGpr(rng), 1);
+            b.bind(skip);
+        }
+    }
+    b.addi(kCounterReg, kCounterReg, -1);
+    b.bgtz(kCounterReg, loop_head);
+    b.exit_(0);
+    return b.finish();
+}
+
+void
+expectRecordStreamsEqual(trace::TraceReader &a, trace::TraceReader &b)
+{
+    sim::StepInfo step_a, step_b;
+    InstCount index = 0;
+    for (;;) {
+        bool more_a = a.next(step_a);
+        bool more_b = b.next(step_b);
+        ASSERT_EQ(more_a, more_b) << "length mismatch at " << index;
+        if (!more_a)
+            break;
+        ASSERT_EQ(step_a.pc, step_b.pc) << index;
+        ASSERT_EQ(step_a.inst, step_b.inst) << index;
+        ASSERT_EQ(step_a.isMem, step_b.isMem) << index;
+        ASSERT_EQ(step_a.isLoad, step_b.isLoad) << index;
+        ASSERT_EQ(step_a.effAddr, step_b.effAddr) << index;
+        ASSERT_EQ(step_a.memSize, step_b.memSize) << index;
+        ASSERT_EQ(step_a.region, step_b.region) << index;
+        ASSERT_EQ(step_a.isBranch, step_b.isBranch) << index;
+        ASSERT_EQ(step_a.branchTaken, step_b.branchTaken) << index;
+        ASSERT_EQ(step_a.isCall, step_b.isCall) << index;
+        ASSERT_EQ(step_a.isReturn, step_b.isReturn) << index;
+        ASSERT_EQ(step_a.gbh, step_b.gbh) << index;
+        ASSERT_EQ(step_a.cid, step_b.cid) << index;
+        ASSERT_EQ(step_a.dest, step_b.dest) << index;
+        ASSERT_EQ(step_a.result, step_b.result) << index;
+        ASSERT_EQ(step_a.storeValue, step_b.storeValue) << index;
+        ++index;
+    }
+}
+
+std::string
+readFileBytes(const std::string &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+}
+
+void
+writeFileBytes(const std::string &p, const std::string &bytes)
+{
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+} // namespace
+
+TEST(TraceFuzzCodec, ArbitraryRecordsRoundTripLosslessly)
+{
+    // Pure garbage: every record random bits, so nearly all take the
+    // escape path (undecodable words, inconsistent flags, ...).
+    for (std::uint64_t seed = 0; seed < 32; ++seed) {
+        SCOPED_TRACE("garbage seed " + std::to_string(seed));
+        Rng rng(0xe5ca9e ^ (seed * 0x9e3779b97f4a7c15ull));
+        std::vector<trace::TraceRecord> records;
+        std::size_t n = 1 + rng.nextBounded(300);
+        records.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            records.push_back(randomRecord(rng));
+        expectCodecRoundTrip(records);
+    }
+}
+
+TEST(TraceFuzzCodec, RealStreamsWithInjectedGarbageRoundTrip)
+{
+    auto prog = workloads::buildWorkload("li_like", 1);
+    auto real = trace::recordToMemory(prog, 8000);
+    ASSERT_EQ(real->size(), 8000u);
+
+    // Slices of a real stream (delta paths) with random records
+    // spliced in (escape paths) — the mixed case a decoder must
+    // survive without desynchronising its context.
+    for (std::uint64_t seed = 0; seed < 16; ++seed) {
+        SCOPED_TRACE("mixed seed " + std::to_string(seed));
+        Rng rng(0x3141 + seed);
+        std::size_t start = rng.nextBounded(real->size() - 1000);
+        std::size_t length = 100 + rng.nextBounded(900);
+        std::vector<trace::TraceRecord> records(
+            real->records.begin() +
+                static_cast<std::ptrdiff_t>(start),
+            real->records.begin() +
+                static_cast<std::ptrdiff_t>(start + length));
+        unsigned injections =
+            1 + static_cast<unsigned>(rng.nextBounded(8));
+        for (unsigned i = 0; i < injections; ++i)
+            records[rng.nextBounded(records.size())] =
+                randomRecord(rng);
+        expectCodecRoundTrip(records);
+    }
+}
+
+TEST(TraceFuzzCodec, GarbagePayloadNeverCrashesTheDecoder)
+{
+    // Random payload bytes with a claimed record count: decodeBlock
+    // must either fail with an error or fill the requested records —
+    // either way, no crash, no read past the payload.
+    for (std::uint64_t seed = 0; seed < 64; ++seed) {
+        Rng rng(0xdecade ^ seed);
+        std::string payload;
+        std::size_t bytes = rng.nextBounded(4096);
+        payload.reserve(bytes);
+        for (std::size_t i = 0; i < bytes; ++i)
+            payload.push_back(
+                static_cast<char>(rng.nextBounded(256)));
+        trace::v2::Context ctx;
+        std::vector<trace::TraceRecord> out;
+        std::string err;
+        bool ok = trace::v2::decodeBlock(payload.data(),
+                                         payload.size(),
+                                         1 + rng.nextBounded(500),
+                                         ctx, out, err);
+        if (!ok)
+            EXPECT_FALSE(err.empty());
+    }
+}
+
+TEST_F(TraceFuzz, RandomRunnableProgramsRoundTripAcrossFormats)
+{
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        SCOPED_TRACE("program seed " + std::to_string(seed));
+        auto prog = buildRandomRunnable(seed);
+        std::string v2_path = path + ".v2";
+        InstCount n1 = trace::recordTrace(prog, path, 0,
+                                          trace::TraceFormat::V1);
+        InstCount n2 = trace::recordTrace(
+            prog, v2_path, 0, trace::TraceFormat::V2, 64);
+        ASSERT_EQ(n1, n2);
+        ASSERT_GT(n1, 100u);
+
+        {
+            trace::TraceReader v1(path);
+            trace::TraceReader v2(v2_path);
+            EXPECT_EQ(v1.version(), trace::TraceVersion);
+            EXPECT_EQ(v2.version(), trace::TraceVersionV2);
+            expectRecordStreamsEqual(v1, v2);
+        }
+
+        // seek(n) == skip n records, for both formats, at random
+        // positions (plus the boundaries).
+        Rng rng(0x5ee4 ^ seed);
+        InstCount positions[5] = {0, n1 - 1, n1,
+                                  rng.nextBounded(n1),
+                                  rng.nextBounded(n1)};
+        for (InstCount n : positions) {
+            SCOPED_TRACE("seek " + std::to_string(n));
+            for (const std::string &p : {path, v2_path}) {
+                trace::TraceReader skipper(p);
+                sim::StepInfo step;
+                for (InstCount i = 0; i < n; ++i)
+                    ASSERT_TRUE(skipper.next(step));
+                trace::TraceReader seeker(p);
+                seeker.seek(n);
+                expectRecordStreamsEqual(skipper, seeker);
+            }
+        }
+        std::remove(v2_path.c_str());
+    }
+}
+
+TEST_F(TraceFuzz, SeededCorruptionsNeverCrashTheLoader)
+{
+    auto prog = workloads::buildWorkload("li_like", 1);
+    auto trace_mem = trace::recordToMemory(prog, 20000, 1024);
+    trace::saveTrace(path, *trace_mem, trace::TraceFormat::V2);
+    const std::string pristine = readFileBytes(path);
+    ASSERT_GT(pristine.size(), 1000u);
+
+    QuietLogs quiet;
+    unsigned loaded_ok = 0, rejected = 0;
+    constexpr unsigned kCases = 1200;
+    for (unsigned i = 0; i < kCases; ++i) {
+        SCOPED_TRACE("corruption case " + std::to_string(i));
+        Rng rng(0xc0441 + i);
+        std::string bytes = pristine;
+        switch (rng.nextBounded(8)) {
+          case 0: // truncate anywhere, including to zero length
+            bytes.resize(rng.nextBounded(bytes.size() + 1));
+            break;
+          case 1: // flip one whole byte
+            bytes[rng.nextBounded(bytes.size())] ^= static_cast<char>(
+                1 + rng.nextBounded(255));
+            break;
+          case 2: // flip one bit
+            bytes[rng.nextBounded(bytes.size())] ^=
+                static_cast<char>(1u << rng.nextBounded(8));
+            break;
+          case 3: { // zero a random range
+            std::size_t at = rng.nextBounded(bytes.size());
+            std::size_t len = 1 + rng.nextBounded(64);
+            if (at + len > bytes.size())
+                len = bytes.size() - at;
+            std::memset(&bytes[at], 0, len);
+            break;
+          }
+          case 4: // scramble the magic/version header region
+            for (std::size_t b = 0; b < 8 && b < bytes.size(); ++b)
+                bytes[b] = static_cast<char>(rng.nextBounded(256));
+            break;
+          case 5: { // overwrite one aligned word with garbage
+            std::size_t at = 4 * rng.nextBounded(bytes.size() / 4);
+            std::uint32_t word = rng.next32();
+            std::memcpy(&bytes[at], &word, sizeof(word));
+            break;
+          }
+          case 6: // flip a byte inside the index/trailer tail
+            bytes[bytes.size() - 1 -
+                  rng.nextBounded(
+                      std::min<std::size_t>(bytes.size(), 400))] ^=
+                static_cast<char>(1 + rng.nextBounded(255));
+            break;
+          default: // truncate mid-trailer (incomplete file)
+            bytes.resize(bytes.size() - 1 - rng.nextBounded(32));
+            break;
+        }
+        writeFileBytes(path, bytes);
+
+        auto loaded = trace::loadTrace(path);
+        if (!loaded) {
+            ++rejected;
+            continue;
+        }
+        // Accepted (the corruption missed everything checksummed,
+        // e.g. the program-name field): the trace must be fully
+        // usable — touch every record.
+        ++loaded_ok;
+        std::uint64_t checksum = 0;
+        for (const auto &record : loaded->records)
+            checksum += record.pc;
+        EXPECT_EQ(loaded->size(), loaded->records.size());
+        (void)checksum;
+    }
+    // The harness itself: most corruptions must actually be caught
+    // (an accept rate near 100% would mean the checks do nothing).
+    EXPECT_EQ(loaded_ok + rejected, kCases);
+    EXPECT_GT(rejected, kCases / 2)
+        << "corruption detection looks broken: " << loaded_ok
+        << " of " << kCases << " corrupted files loaded";
+}
+
+TEST_F(TraceFuzz, DegenerateFilesRejectCleanly)
+{
+    QuietLogs quiet;
+    // Zero-length file.
+    writeFileBytes(path, "");
+    EXPECT_EQ(trace::loadTrace(path), nullptr);
+    // One byte.
+    writeFileBytes(path, "A");
+    EXPECT_EQ(trace::loadTrace(path), nullptr);
+    // Wrong magic.
+    writeFileBytes(path, std::string(256, 'x'));
+    EXPECT_EQ(trace::loadTrace(path), nullptr);
+    // Valid v1 header claiming an unsupported version.
+    auto prog = workloads::buildWorkload("go_like", 1);
+    trace::recordTrace(prog, path, 64, trace::TraceFormat::V1);
+    std::string bytes = readFileBytes(path);
+    std::uint32_t bogus_version = 99;
+    std::memcpy(&bytes[4], &bogus_version, sizeof(bogus_version));
+    writeFileBytes(path, bytes);
+    EXPECT_EQ(trace::loadTrace(path), nullptr);
+    // Nonexistent path.
+    std::remove(path.c_str());
+    EXPECT_EQ(trace::loadTrace(path), nullptr);
+}
+
+TEST(TraceFuzzSweep, CorruptedCacheSilentlyReRecords)
+{
+    namespace fs = std::filesystem;
+    const std::string cache_dir =
+        ::testing::TempDir() + "arl_fuzz_cache";
+    fs::remove_all(cache_dir);
+
+    sweep::SweepSpec spec;
+    sweep::WorkloadSpec w;
+    w.name = "go_like";
+    w.warmup = 2000;
+    w.timed = 5000;
+    spec.workloads.push_back(w);
+    spec.configs = {ooo::MachineConfig::nPlusM(2, 0)};
+    spec.jobs = 1;
+    spec.traceCacheDir = cache_dir;
+    spec.checkpointEvery = 512;
+
+    auto report_of = [](const sweep::SweepResult &result) {
+        std::ostringstream os;
+        result.toReport().writeJson(os);
+        return os.str();
+    };
+
+    // Cold run populates the cache.
+    sweep::SweepResult cold = sweep::runSweep(spec);
+    std::string cold_json = report_of(cold);
+    EXPECT_EQ(cold.traceCacheMisses, 1u);
+    std::vector<std::string> entries;
+    for (const auto &entry : fs::directory_iterator(cache_dir))
+        entries.push_back(entry.path().string());
+    ASSERT_FALSE(entries.empty());
+
+    // Corrupt every entry several ways across repeated runs; each
+    // run must detect the damage, silently re-record, produce the
+    // identical report, and leave a loadable entry behind.
+    for (unsigned round = 0; round < 3; ++round) {
+        SCOPED_TRACE("round " + std::to_string(round));
+        Rng rng(0xcac4e + round);
+        for (const std::string &entry : entries) {
+            std::string bytes = readFileBytes(entry);
+            ASSERT_FALSE(bytes.empty());
+            if (round == 0)
+                bytes.resize(bytes.size() / 2);
+            else if (round == 1)
+                // Flip inside the checksummed body (blocks + index),
+                // past the header/meta and short of the trailer's
+                // reserved bytes.
+                bytes[80 + rng.nextBounded(bytes.size() - 112)] ^=
+                    0x55;
+            else
+                bytes = "garbage";
+            writeFileBytes(entry, bytes);
+        }
+        QuietLogs quiet;
+        sweep::SweepResult rerun = sweep::runSweep(spec);
+        EXPECT_EQ(report_of(rerun), cold_json);
+        EXPECT_EQ(rerun.traceCacheMisses, 1u)
+            << "corrupted entry not re-recorded";
+        for (const std::string &entry : entries)
+            EXPECT_NE(trace::loadTrace(entry), nullptr)
+                << entry << " not rewritten after corruption";
+    }
+    fs::remove_all(cache_dir);
+}

@@ -21,17 +21,27 @@
  *
  *   arl_sim time <workload> [--config "(N+M)"] [--l1-lat N]
  *       [--insts N] [--all-configs] [--scale N] [--no-vp] [--no-ff]
+ *       [--warmup-window N]
  *       The paper's §4 timing methodology (warmup + timed window).
+ *       --warmup-window warms microarchitectural state only from the
+ *       last N fast-forward instructions (0 = all).
  *
  *   arl_sim sweep <workload[,workload...]|all> [--jobs N]
- *       [--trace-cache DIR] [--configs fig8|"(N+M),..."|none]
+ *       [--trace-cache DIR] [--trace-format v1|v2]
+ *       [--seek-ff] [--warmup-window N] [--checkpoint-every N]
+ *       [--configs fig8|"(N+M),..."|none]
  *       [--schemes fig4|none] [--insts N] [--study-insts N] [--scale N]
  *       [--timing-json F]
  *       The parallel sweep engine: trace each workload once, replay
  *       the workload × config (and × scheme) grid across N worker
  *       threads.  --stats-json output is byte-identical for every
- *       --jobs value; wall-clock/speedup metering goes to stdout and
- *       (optionally) the separate --timing-json file.
+ *       --jobs value; wall-clock/speedup metering (plus trace
+ *       compression ratio and decode MB/s when a cache is used) goes
+ *       to stdout and (optionally) the separate --timing-json file.
+ *       --seek-ff resolves each fast-forward to the nearest recorded
+ *       checkpoint and seeks the trace there instead of replaying
+ *       the prefix; reports are bit-identical, only wall clock
+ *       changes.
  *
  *   arl_sim disasm <file.s>
  *       Assemble and disassemble.
@@ -406,6 +416,8 @@ cmdTime(const std::string &target, const Args &args)
     core::Experiment experiment(info.build(scale));
     InstCount timed =
         static_cast<InstCount>(args.flagInt("insts", 400000));
+    auto warmup_window =
+        static_cast<InstCount>(args.flagInt("warmup-window", 0));
 
     std::vector<ooo::MachineConfig> configs;
     if (args.has("all-configs")) {
@@ -445,7 +457,8 @@ cmdTime(const std::string &target, const Args &args)
         if (i == 0 && !opts.tracePath.empty())
             hooks.openTrace(opts.tracePath, opts.traceMax);
         results.push_back(experiment.timingStudy(
-            configs[i], info.warmupInsts, timed, &hooks));
+            configs[i], info.warmupInsts, timed, &hooks, nullptr,
+            warmup_window));
         if (opts.wantsReport())
             report.runs.push_back(obs::RunRecord::fromHooks(
                 target, configs[i].name, hooks));
@@ -482,6 +495,24 @@ cmdSweep(const std::string &target, const Args &args)
     sweep::SweepSpec spec;
     spec.jobs = static_cast<unsigned>(args.flagInt("jobs", 1));
     spec.traceCacheDir = args.flag("trace-cache", "");
+    std::string format_spec = args.flag("trace-format", "v2");
+    if (!trace::parseFormat(format_spec, spec.traceFormat)) {
+        std::fprintf(stderr,
+                     "arl_sim: bad --trace-format '%s' (want v1|v2)\n",
+                     format_spec.c_str());
+        return 1;
+    }
+    spec.seekFastForward = args.has("seek-ff");
+    spec.checkpointEvery = static_cast<InstCount>(
+        args.flagInt("checkpoint-every", 0));
+    // --seek-ff needs a bounded warming window to have a prefix to
+    // skip; default to one checkpoint block when not given.
+    auto warmup_window =
+        static_cast<InstCount>(args.flagInt("warmup-window", 0));
+    if (spec.seekFastForward && warmup_window == 0)
+        warmup_window = spec.checkpointEvery
+                            ? spec.checkpointEvery
+                            : trace::DefaultBlockRecords;
 
     std::string configs_spec = args.flag("configs", "fig8");
     if (configs_spec == "fig8") {
@@ -534,6 +565,8 @@ cmdSweep(const std::string &target, const Args &args)
             spec.workloads.push_back(std::move(w));
         }
     }
+    for (auto &w : spec.workloads)
+        w.warmupWindow = warmup_window;
 
     sweep::SweepResult result = core::Experiment::sweep(spec);
 
@@ -564,6 +597,17 @@ cmdSweep(const std::string &target, const Args &args)
                 result.serialSecondsEstimate, result.speedup(),
                 (unsigned long long)result.traceCacheHits,
                 (unsigned long long)result.traceCacheMisses);
+    if (result.traceDiskBytes)
+        std::printf("trace cache (%s): %.2f MB on disk, %.2fx vs v1"
+                    "%s\n",
+                    trace::formatName(spec.traceFormat),
+                    result.traceDiskBytes / 1e6,
+                    static_cast<double>(result.traceV1EquivBytes) /
+                        result.traceDiskBytes,
+                    result.traceDecodeSeconds > 0.0 ? "" : " (written)");
+    if (spec.seekFastForward)
+        std::printf("seek-ff: skipped %llu fast-forward records\n",
+                    (unsigned long long)result.seekSkippedRecords);
 
     // Run-varying metering goes to its own file so the --stats-json
     // document stays byte-identical across --jobs values.
@@ -592,21 +636,42 @@ cmdRecord(const std::string &target, const Args &args)
 {
     ObsOptions opts = ObsOptions::parse(args);
     std::string out_path = args.flag("out", target + ".trace");
+    trace::TraceFormat format = trace::TraceFormat::V2;
+    std::string format_spec = args.flag("trace-format", "v2");
+    if (!trace::parseFormat(format_spec, format)) {
+        std::fprintf(stderr,
+                     "arl_sim: bad --trace-format '%s' (want v1|v2)\n",
+                     format_spec.c_str());
+        return 1;
+    }
     auto prog = loadTarget(target,
                            static_cast<unsigned>(args.flagInt("scale", 1)));
     InstCount n = trace::recordTrace(
         prog, out_path,
-        static_cast<InstCount>(args.flagInt("max-insts", 0)));
-    std::printf("recorded %llu instructions of %s to %s (%.1f MB)\n",
+        static_cast<InstCount>(args.flagInt("max-insts", 0)), format,
+        static_cast<std::uint32_t>(args.flagInt(
+            "block-records", trace::DefaultBlockRecords)));
+    std::uint64_t bytes = 0;
+    {
+        std::ifstream probe(out_path,
+                            std::ios::binary | std::ios::ate);
+        if (probe)
+            bytes = static_cast<std::uint64_t>(probe.tellg());
+    }
+    const std::uint64_t v1_bytes = 64 + 32 * n;
+    std::printf("recorded %llu instructions of %s to %s "
+                "(%s, %.1f MB, %.2fx vs v1)\n",
                 (unsigned long long)n, prog->name.c_str(),
-                out_path.c_str(), (64.0 + 32.0 * n) / 1e6);
+                out_path.c_str(), trace::formatName(format),
+                bytes / 1e6,
+                bytes ? static_cast<double>(v1_bytes) / bytes : 0.0);
 
     if (!opts.wantsReport())
         return 0;
     obs::Hooks hooks;
     hooks.registry.counter("trace.instructions") = n;
-    hooks.registry.counter("trace.bytes") =
-        64 + 32 * static_cast<std::uint64_t>(n);
+    hooks.registry.counter("trace.bytes") = bytes;
+    hooks.registry.counter("trace.v1_equiv_bytes") = v1_bytes;
     obs::Report report;
     report.command = "record";
     report.runs.push_back(
@@ -619,6 +684,9 @@ cmdReplay(const std::string &trace_path, const Args &args)
 {
     ObsOptions opts = ObsOptions::parse(args);
     trace::TraceReader reader(trace_path);
+    auto skip = static_cast<InstCount>(args.flagInt("seek", 0));
+    if (skip)
+        reader.seek(skip);
     profile::RegionProfiler profiler;
     profile::WindowProfiler window32(32);
     sim::StepInfo step;
@@ -627,8 +695,8 @@ cmdReplay(const std::string &trace_path, const Args &args)
         window32.observe(step);
     }
     auto profile = profiler.profile();
-    std::printf("trace      : %s (%s)\n", trace_path.c_str(),
-                reader.programName().c_str());
+    std::printf("trace      : %s (%s, v%u)\n", trace_path.c_str(),
+                reader.programName().c_str(), reader.version());
     std::printf("instructions: %llu (loads %llu, stores %llu)\n",
                 (unsigned long long)profile.totalInstructions,
                 (unsigned long long)profile.dynamicLoads,
@@ -693,9 +761,11 @@ usage()
         "  sweep <w[,w...]|all> [flags] parallel experiment sweep\n"
         "    [--jobs N] [--trace-cache DIR] [--configs fig8|\"(N+M),..\"]\n"
         "    [--schemes fig4] [--insts N] [--study-insts N]\n"
-        "    [--timing-json F]\n"
+        "    [--trace-format v1|v2] [--seek-ff] [--warmup-window N]\n"
+        "    [--checkpoint-every N] [--timing-json F]\n"
         "  record <target> [--out F]    record a binary trace\n"
-        "  replay <file.trace>          profile from a trace\n"
+        "    [--trace-format v1|v2] [--block-records N] [--max-insts N]\n"
+        "  replay <file.trace> [--seek N]  profile from a trace\n"
         "  disasm <file.s|workload>     disassemble\n"
         "targets: a registered workload name or an .s assembly file\n"
         "observability (any simulating command):\n"
