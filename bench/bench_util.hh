@@ -116,6 +116,45 @@ parseTraceOptions(sweep::SweepSpec &spec, int argc, char **argv)
         workload.warmupWindow = window;
 }
 
+/**
+ * Memory-backend contention knobs shared by every timing bench.
+ * Unlike the trace knobs above these CHANGE the modelled numbers —
+ * they bank the first-level caches, bound outstanding misses and the
+ * writeback buffer, meter the L2/memory bus, and charge TLB misses.
+ * All default to 0 (the ideal backend), so bench output only moves
+ * when explicitly asked to.
+ *
+ *   --banks N        / ARL_BENCH_BANKS          L1+LVC banks
+ *   --mshrs N        / ARL_BENCH_MSHRS          MSHRs per structure
+ *   --wb-buffer N    / ARL_BENCH_WB_BUFFER      writeback buffer depth
+ *   --bus-cycles N   / ARL_BENCH_BUS_CYCLES     bus cycles per transfer
+ *   --tlb-miss-lat N / ARL_BENCH_TLB_MISS_LAT   TLB miss penalty
+ */
+inline ooo::ContentionKnobs
+parseContention(int argc, char **argv)
+{
+    auto env_or_flag = [&](const char *env_name,
+                           const char *flag) -> unsigned {
+        const char *value = std::getenv(env_name);
+        if (value && !value[0])
+            value = nullptr;
+        for (int i = 1; i + 1 < argc; ++i)
+            if (std::strcmp(argv[i], flag) == 0)
+                value = argv[i + 1];
+        int parsed = value ? std::atoi(value) : 0;
+        return parsed > 0 ? static_cast<unsigned>(parsed) : 0;
+    };
+    ooo::ContentionKnobs knobs;
+    knobs.banks = env_or_flag("ARL_BENCH_BANKS", "--banks");
+    knobs.mshrs = env_or_flag("ARL_BENCH_MSHRS", "--mshrs");
+    knobs.wbBuffer = env_or_flag("ARL_BENCH_WB_BUFFER", "--wb-buffer");
+    knobs.busCycles =
+        env_or_flag("ARL_BENCH_BUS_CYCLES", "--bus-cycles");
+    knobs.tlbMissLatency =
+        env_or_flag("ARL_BENCH_TLB_MISS_LAT", "--tlb-miss-lat");
+    return knobs;
+}
+
 /** All workloads × @p configs through the sweep engine. */
 inline sweep::SweepResult
 timingGrid(std::vector<ooo::MachineConfig> configs, unsigned scale,
@@ -124,6 +163,16 @@ timingGrid(std::vector<ooo::MachineConfig> configs, unsigned scale,
     sweep::SweepSpec spec;
     spec.workloads = sweep::allWorkloadSpecs(scale, timed);
     spec.configs = std::move(configs);
+    ooo::ContentionKnobs knobs = parseContention(argc, argv);
+    if (knobs.any()) {
+        std::printf("contended backend: banks %u, mshrs %u, wb %u, "
+                    "bus %u, tlb-miss %u (numbers differ from the "
+                    "ideal default)\n", knobs.banks, knobs.mshrs,
+                    knobs.wbBuffer, knobs.busCycles,
+                    knobs.tlbMissLatency);
+        for (auto &config : spec.configs)
+            config.applyContention(knobs);
+    }
     spec.jobs = parseJobs(argc, argv);
     spec.traceCacheDir = parseTraceCache(argc, argv);
     parseTraceOptions(spec, argc, argv);

@@ -1,5 +1,7 @@
 #include "cache/hierarchy.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "obs/stats_registry.hh"
 
@@ -7,7 +9,11 @@ namespace arl::cache
 {
 
 Hierarchy::Hierarchy(const HierarchyConfig &config_in)
-    : config(config_in), l1Cache(config.l1), l2Cache(config.l2)
+    : config(config_in), l1Cache(config.l1), l2Cache(config.l2),
+      l1BankSet(config.contention.l1Banks, config.l1.lineBytes),
+      lvcBankSet(config.contention.lvcBanks, config.lvc.lineBytes),
+      l1MshrFile(config.contention.mshrs),
+      lvcMshrFile(config.contention.mshrs)
 {
     if (config.hasLvc)
         lvc = std::make_unique<Cache>(config.lvc);
@@ -46,6 +52,134 @@ Hierarchy::access(MemPipe pipe, Addr addr, bool is_write)
     return result;
 }
 
+Cycle
+Hierarchy::scheduleBusTransfer(Cycle ready)
+{
+    Cycle begin = std::max(ready, busFreeAt);
+    busFreeAt = begin + config.contention.busCyclesPerTransfer;
+    busBusyCycles += config.contention.busCyclesPerTransfer;
+    return busFreeAt;
+}
+
+Cycle
+Hierarchy::enqueueWriteback(Cycle at)
+{
+    // Entries whose drain completed have freed their slot.
+    while (!wbDrainAt.empty() && wbDrainAt.front() <= at)
+        wbDrainAt.pop_front();
+    if (wbDrainAt.size() >= config.contention.wbBufEntries) {
+        // Structural stall: the evicting miss waits for the oldest
+        // buffered victim to finish draining.
+        Cycle free_at = wbDrainAt.front();
+        wbDrainAt.pop_front();
+        ++wbFullStalls;
+        wbStallCycles += free_at - at;
+        at = free_at;
+    }
+    ++wbEnqueued;
+    // The victim drains over the shared bus when its bandwidth is
+    // bounded, else at the L2 access latency.
+    Cycle drain = config.contention.busCyclesPerTransfer
+                      ? scheduleBusTransfer(at)
+                      : at + config.l2HitLatency;
+    wbDrainAt.insert(
+        std::upper_bound(wbDrainAt.begin(), wbDrainAt.end(), drain),
+        drain);
+    return at;
+}
+
+HierarchyResult
+Hierarchy::timedAccess(MemPipe pipe, Addr addr, bool is_write,
+                       Cycle now)
+{
+    const ContentionConfig &contention = config.contention;
+    Cache &first = firstLevel(pipe);
+    const bool is_lvc = (pipe == MemPipe::Lvc);
+    std::uint32_t first_latency =
+        is_lvc ? config.lvcHitLatency : config.l1HitLatency;
+    BankSet &banks = is_lvc ? lvcBankSet : l1BankSet;
+    MshrFile &mshrs = is_lvc ? lvcMshrFile : l1MshrFile;
+
+    // Bank arbitration: same-cycle accesses to the same bank
+    // serialize; the loser starts late and its whole access shifts.
+    Cycle start = banks.schedule(addr, now);
+    if (accessObserver)
+        accessObserver(pipe, addr, now, start, banks.bankOf(addr));
+
+    const Addr line = addr / first.geometry().lineBytes;
+    HierarchyResult result;
+    AccessOutcome first_outcome = first.access(addr, is_write);
+    result.l1Hit = first_outcome.hit;
+    Cycle done = start + first_latency;
+
+    if (first_outcome.hit) {
+        // The tag array allocates on the primary miss, so a
+        // secondary miss to an in-flight line probes as a hit; it
+        // actually completes with the outstanding fill (merge).
+        if (mshrs.enabled()) {
+            Cycle fill_at = mshrs.inFlight(line);
+            if (fill_at > done) {
+                ++mshrs.merges;
+                done = fill_at;
+            }
+        }
+        result.latency = static_cast<std::uint32_t>(done - now);
+        return result;
+    }
+
+    // A dirty victim must claim a writeback-buffer slot before the
+    // fill may proceed.
+    if (first_outcome.writeback && contention.wbBufEntries)
+        start = enqueueWriteback(start);
+
+    // A primary miss needs an MSHR; stall until one retires when the
+    // file is full.
+    if (mshrs.enabled()) {
+        mshrs.retire(start);
+        if (mshrs.full()) {
+            Cycle free_at = mshrs.earliestReady();
+            ++mshrs.fullStalls;
+            mshrs.stallCycles += free_at - start;
+            start = free_at;
+            mshrs.retire(start);
+        }
+    }
+
+    AccessOutcome l2_outcome = l2Cache.access(addr, is_write);
+    Cycle fill_ready = start + first_latency + config.l2HitLatency;
+    if (!l2_outcome.hit)
+        fill_ready += config.memoryLatency;
+    // The refill crosses the shared L2/memory bus.
+    done = contention.busCyclesPerTransfer
+               ? scheduleBusTransfer(fill_ready)
+               : fill_ready;
+    if (mshrs.enabled())
+        mshrs.allocate(line, done);
+    result.latency = static_cast<std::uint32_t>(done - now);
+    return result;
+}
+
+void
+Hierarchy::resetContention()
+{
+    l1BankSet.reset();
+    lvcBankSet.reset();
+    l1MshrFile.reset();
+    lvcMshrFile.reset();
+    wbDrainAt.clear();
+    busFreeAt = 0;
+
+    l1BankSet.conflicts = l1BankSet.conflictCycles = 0;
+    lvcBankSet.conflicts = lvcBankSet.conflictCycles = 0;
+    for (MshrFile *file : {&l1MshrFile, &lvcMshrFile}) {
+        file->allocations = file->merges = 0;
+        file->fullStalls = file->stallCycles = 0;
+        file->peakOccupancy = 0;
+    }
+    busBusyCycles = 0;
+    wbEnqueued = wbFullStalls = wbStallCycles = 0;
+}
+
 void
 Hierarchy::registerStats(obs::StatsRegistry &registry,
                          const std::string &prefix) const
@@ -54,6 +188,47 @@ Hierarchy::registerStats(obs::StatsRegistry &registry,
     if (lvc)
         lvc->registerStats(registry, prefix + ".lvc");
     l2Cache.registerStats(registry, prefix + ".l2");
+
+    // Contention counters exist only when contention is configured:
+    // ideal-configuration reports must keep their historical key set
+    // byte-identical (tests/golden/).
+    if (!config.contention.anyEnabled())
+        return;
+    auto bank_stats = [&](const BankSet &banks, const std::string &p) {
+        registry.addCounter(p + ".bank_conflicts", &banks.conflicts,
+                            "accesses delayed by a busy bank");
+        registry.addCounter(p + ".bank_conflict_cycles",
+                            &banks.conflictCycles,
+                            "cycles lost to bank conflicts");
+    };
+    auto mshr_stats = [&](const MshrFile &file, const std::string &p) {
+        registry.addCounter(p + ".mshr.allocations", &file.allocations,
+                            "primary misses that took an MSHR");
+        registry.addCounter(p + ".mshr.merges", &file.merges,
+                            "secondary misses merged into an MSHR");
+        registry.addCounter(p + ".mshr.full_stalls", &file.fullStalls,
+                            "misses that found every MSHR busy");
+        registry.addCounter(p + ".mshr.stall_cycles",
+                            &file.stallCycles,
+                            "cycles misses waited for a free MSHR");
+        registry.addCounter(p + ".mshr.peak_occupancy",
+                            &file.peakOccupancy,
+                            "high-water outstanding-miss count");
+    };
+    bank_stats(l1BankSet, prefix + ".l1");
+    mshr_stats(l1MshrFile, prefix + ".l1");
+    if (lvc) {
+        bank_stats(lvcBankSet, prefix + ".lvc");
+        mshr_stats(lvcMshrFile, prefix + ".lvc");
+    }
+    registry.addCounter(prefix + ".wb.enqueued", &wbEnqueued,
+                        "dirty victims buffered for writeback");
+    registry.addCounter(prefix + ".wb.full_stalls", &wbFullStalls,
+                        "misses stalled on a full writeback buffer");
+    registry.addCounter(prefix + ".wb.stall_cycles", &wbStallCycles,
+                        "cycles lost to writeback-buffer stalls");
+    registry.addCounter(prefix + ".bus.busy_cycles", &busBusyCycles,
+                        "shared L2/memory bus occupancy");
 }
 
 } // namespace arl::cache

@@ -5,6 +5,41 @@
 namespace arl::ooo
 {
 
+std::string
+ContentionKnobs::suffix() const
+{
+    if (!any())
+        return "";
+    std::string out = "+";
+    char buf[16];
+    auto append = [&](char key, unsigned value) {
+        if (!value)
+            return;
+        std::snprintf(buf, sizeof(buf), "%c%u", key, value);
+        out += buf;
+    };
+    append('b', banks);
+    append('m', mshrs);
+    append('w', wbBuffer);
+    append('u', busCycles);
+    append('t', tlbMissLatency);
+    return out;
+}
+
+void
+MachineConfig::applyContention(const ContentionKnobs &knobs)
+{
+    if (!knobs.any())
+        return;
+    hierarchy.contention.l1Banks = knobs.banks;
+    hierarchy.contention.lvcBanks = knobs.banks;
+    hierarchy.contention.mshrs = knobs.mshrs;
+    hierarchy.contention.wbBufEntries = knobs.wbBuffer;
+    hierarchy.contention.busCyclesPerTransfer = knobs.busCycles;
+    tlbMissLatency = knobs.tlbMissLatency;
+    name += knobs.suffix();
+}
+
 MachineConfig
 MachineConfig::nPlusM(unsigned dports, unsigned lports,
                       unsigned l1_hit_latency)

@@ -24,6 +24,38 @@
 namespace arl::ooo
 {
 
+/**
+ * CLI/bench-facing bundle of memory-backend contention knobs.
+ *
+ * Applied onto a MachineConfig via applyContention(); every zero
+ * default keeps the historical ideal behaviour (and the committed
+ * golden reports) intact.  `banks` configures both the L1 D-cache
+ * and the LVC, matching how the paper scales both structures with
+ * port count.
+ */
+struct ContentionKnobs
+{
+    unsigned banks = 0;          ///< L1 + LVC bank count (0 = ideal)
+    unsigned mshrs = 0;          ///< MSHRs per structure (0 = unlimited)
+    unsigned wbBuffer = 0;       ///< writeback buffer depth (0 = infinite)
+    unsigned busCycles = 0;      ///< bus cycles per transfer (0 = infinite bw)
+    unsigned tlbMissLatency = 0; ///< cycles charged per TLB miss
+
+    bool any() const
+    {
+        return banks || mshrs || wbBuffer || busCycles ||
+               tlbMissLatency;
+    }
+
+    /**
+     * Config-name suffix encoding the active knobs, e.g.
+     * "+b4m8w4u2t30" for banks 4 / MSHRs 8 / wb buffer 4 / bus 2 /
+     * TLB 30.  Empty while all knobs are zero, so ideal config names
+     * never change.
+     */
+    std::string suffix() const;
+};
+
 /** Full machine configuration (Table 4 defaults). */
 struct MachineConfig
 {
@@ -58,6 +90,14 @@ struct MachineConfig
         {predict::ContextKind::Hybrid, /*gbhBits=*/8, /*cidBits=*/7}};
     /** Cycles between detection and dependent re-issue (§4.3). */
     unsigned regionMispredictPenalty = 1;
+    /**
+     * Cycles charged at the §4.3 TLB verification point when the
+     * translation misses (page-table walk).  0 — the historical
+     * free-TLB-miss behaviour — preserves the committed goldens.
+     */
+    unsigned tlbMissLatency = 0;
+    /** Data-TLB entries (fully associative). */
+    unsigned tlbEntries = 64;
     /** LVAQ offset-based fast forwarding (§4.2). */
     bool fastForwarding = true;
 
@@ -86,6 +126,22 @@ struct MachineConfig
 
     /** All Figure 8 configuration points, in the paper's order. */
     static std::vector<MachineConfig> figure8Suite();
+
+    /**
+     * Apply @p knobs onto this configuration: banks both first-level
+     * structures, bounds MSHRs / the writeback buffer / the bus, sets
+     * the TLB miss latency, and appends knobs.suffix() to the name so
+     * contended sweep rows stay distinguishable.  A no-op when every
+     * knob is zero.
+     */
+    void applyContention(const ContentionKnobs &knobs);
+
+    /** True when any contention or TLB-miss-latency knob is active
+     *  (gates registration of the contention stat keys). */
+    bool contended() const
+    {
+        return hierarchy.contention.anyEnabled() || tlbMissLatency > 0;
+    }
 };
 
 } // namespace arl::ooo

@@ -58,6 +58,7 @@ OooStats::dump() const
     os << "cache.lvc_hit_pct     " << rate(lvcHits, lvcMisses) << "\n";
     os << "cache.l2_hit_pct      " << rate(l2Hits, l2Misses) << "\n";
     os << "tlb.misses            " << tlbMisses << "\n";
+    os << "tlb.miss_cycles       " << tlbMissCycles << "\n";
     os << "vp.offered            " << vpOffered << "\n";
     os << "vp.wrong              " << vpWrong << "\n";
     os << "vp.squashes           " << vpSquashes << "\n";
@@ -65,6 +66,10 @@ OooStats::dump() const
     os << "bp.mispredicts        " << branchMispredicts << "\n";
     os << "stall.rob_full        " << robFullStalls << "\n";
     os << "stall.queue_full      " << queueFullStalls << "\n";
+    os << "stall.port.load.dc    " << portStallsLoad[0] << "\n";
+    os << "stall.port.load.lvc   " << portStallsLoad[1] << "\n";
+    os << "stall.port.store.dc   " << portStallsStoreCommit[0] << "\n";
+    os << "stall.port.store.lvc  " << portStallsStoreCommit[1] << "\n";
     return os.str();
 }
 
@@ -75,7 +80,7 @@ OooCore::OooCore(const MachineConfig &config_in,
       funcSim(std::move(program)),
       stepSrc(std::move(step_source)),
       hierarchy(config.hierarchy),
-      tlb(64, funcSim.process().regions),
+      tlb(config.tlbEntries, funcSim.process().regions),
       arpt(config.arpt),
       valuePred(config.vpEntries),
       branchPred(config.bpEntries),
@@ -165,6 +170,26 @@ OooCore::attachObs(obs::Hooks *hooks)
                    "dispatch stalls on a full ROB");
     reg.addCounter("ooo.stall.queue_full", &stats.queueFullStalls,
                    "dispatch stalls on a full LSQ/LVAQ");
+
+    // Contention-era stats are gated on the configuration so that
+    // ideal runs keep their historical report key set byte-identical
+    // (tests/golden/); see the arbitration-order note in core.hh.
+    if (config.contended()) {
+        reg.addCounter("ooo.port_stalls.load.dcache",
+                       &stats.portStallsLoad[0],
+                       "ready loads denied a D-cache port");
+        reg.addCounter("ooo.port_stalls.load.lvc",
+                       &stats.portStallsLoad[1],
+                       "ready loads denied an LVC port");
+        reg.addCounter("ooo.port_stalls.store_commit.dcache",
+                       &stats.portStallsStoreCommit[0],
+                       "commits blocked on a D-cache store port");
+        reg.addCounter("ooo.port_stalls.store_commit.lvc",
+                       &stats.portStallsStoreCommit[1],
+                       "commits blocked on an LVC store port");
+        reg.addCounter("cache.tlb.miss_cycles", &stats.tlbMissCycles,
+                       "penalty cycles charged for TLB misses");
+    }
 
     hierarchy.registerStats(reg, "cache");
     tlb.registerStats(reg, "cache.tlb");
@@ -316,6 +341,15 @@ OooCore::translateAndVerify(Entry &e)
     e.regionChecked = true;
     cache::TlbResult translation = tlb.translate(e.step.effAddr);
 
+    // §4.3: a missed translation walks the page table before the
+    // access (and, in decoupled mode, its steering verification) can
+    // proceed.  Charged for loads and stores alike.
+    if (!translation.hit && config.tlbMissLatency) {
+        stats.tlbMissCycles += config.tlbMissLatency;
+        e.memReqAt += config.tlbMissLatency;
+        e.addrKnownAt += config.tlbMissLatency;
+    }
+
     if (!config.decoupled)
         return;
 
@@ -457,11 +491,13 @@ OooCore::memoryStage()
         unsigned limit = (e.pipe == cache::MemPipe::Lvc)
                              ? config.lvcPorts
                              : config.dcachePorts;
-        if (portsUsed[pipe_index] >= limit)
+        if (portsUsed[pipe_index] >= limit) {
+            ++stats.portStallsLoad[pipe_index];
             continue;  // no port this cycle
+        }
         ++portsUsed[pipe_index];
         cache::HierarchyResult result =
-            hierarchy.access(e.pipe, e.step.effAddr, false);
+            hierarchy.timedAccess(e.pipe, e.step.effAddr, false, now);
         e.pendingMem = false;
         e.completeAt = now + result.latency;
     }
@@ -553,10 +589,15 @@ OooCore::commitStage()
             unsigned limit = (e.pipe == cache::MemPipe::Lvc)
                                  ? config.lvcPorts
                                  : config.dcachePorts;
-            if (portsUsed[pipe_index] >= limit)
+            if (portsUsed[pipe_index] >= limit) {
+                // Loads claimed the ports earlier this cycle (see
+                // the arbitration-order note in core.hh); commit is
+                // in-order, so the whole stage waits.
+                ++stats.portStallsStoreCommit[pipe_index];
                 break;  // stores write the cache at commit
+            }
             ++portsUsed[pipe_index];
-            hierarchy.access(e.pipe, e.step.effAddr, true);
+            hierarchy.timedAccess(e.pipe, e.step.effAddr, true, now);
             e.storeWritten = true;
         }
         // Train the value predictor on the committed stream.
@@ -809,6 +850,10 @@ OooCore::warmup(InstCount insts, InstCount warm_last)
     }
     hierarchy.l2().hits = hierarchy.l2().misses = 0;
     hierarchy.l2().writebacks = 0;
+    // Warmup is functional (untimed, via the ideal access path); any
+    // contention state would carry bogus cycle-0 timestamps into the
+    // timed window, so the backend starts it from scratch.
+    hierarchy.resetContention();
     tlb.hits = tlb.misses = 0;
 }
 

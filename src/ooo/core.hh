@@ -21,8 +21,21 @@
  * inside each queue (1 cycle), LVAQ fast forwarding (loads need not
  * wait for older stores' address generation; offsets identify
  * dependences early), ARPT steering mispredictions verified at TLB
- * translation with selective 1-cycle re-issue, and value-prediction
- * squash/re-issue on misverification.
+ * translation with selective 1-cycle re-issue (plus a configurable
+ * TLB-miss penalty), and value-prediction squash/re-issue on
+ * misverification.
+ *
+ * Cache-port arbitration order: the per-cycle port counters are
+ * shared between loads and committing stores, and the stage order
+ * within a cycle is completeStage → storeAddrGenStage → memoryStage
+ * → issueStage → dispatchStage → commitStage.  memoryStage walks the
+ * ROB oldest-first, so *loads claim ports before committing stores*
+ * every cycle; a store at the ROB head only writes the cache with
+ * whatever ports the cycle's loads left over, and blocks commit (in
+ * program order) until it gets one.  Both loss sides are counted:
+ * OooStats::portStallsLoad and OooStats::portStallsStoreCommit,
+ * reported as ooo.port_stalls.{load,store_commit}.{dcache,lvc} when
+ * the configuration models contention.
  */
 
 #ifndef ARL_OOO_CORE_HH
@@ -80,9 +93,16 @@ struct OooStats
     std::uint64_t lvcHits = 0, lvcMisses = 0;
     std::uint64_t l2Hits = 0, l2Misses = 0;
     std::uint64_t tlbMisses = 0;
+    std::uint64_t tlbMissCycles = 0;  ///< penalty cycles charged
 
     std::uint64_t robFullStalls = 0;
     std::uint64_t queueFullStalls = 0;
+    /** Ready loads that found every port of their pipe claimed this
+     *  cycle, per pipe [DCache, Lvc]. */
+    std::uint64_t portStallsLoad[2] = {0, 0};
+    /** Commits blocked because the store at the ROB head found no
+     *  free port, per pipe [DCache, Lvc]. */
+    std::uint64_t portStallsStoreCommit[2] = {0, 0};
 
     double ipc() const
     {
@@ -148,6 +168,14 @@ class OooCore
      * outlive the core.  Pass nullptr to detach.
      */
     void attachObs(obs::Hooks *hooks);
+
+    /**
+     * The data-memory hierarchy (tests and instrumentation only —
+     * e.g. installing a cache::Hierarchy::AccessObserver to audit
+     * per-cycle bank grants).  Timing state belongs to the core; do
+     * not issue accesses through this reference.
+     */
+    cache::Hierarchy &memHierarchy() { return hierarchy; }
 
   private:
     /** Which memory queue an entry sits in. */

@@ -2,14 +2,20 @@
  * @file
  * Cache model tests: hits/misses/LRU/writebacks, probe semantics,
  * hierarchy latency composition (parameterized over both pipelines),
- * and the TLB's per-page stack bit.
+ * the TLB's per-page stack bit, and the contention backend (bank
+ * scheduling, MSHR merge/stall, writeback buffer, shared bus) —
+ * including the load-bearing invariant that timedAccess with every
+ * knob at zero is cycle-identical to the ideal access path.
  */
 
 #include <gtest/gtest.h>
 
+#include "cache/bank.hh"
 #include "cache/cache.hh"
 #include "cache/hierarchy.hh"
+#include "cache/mshr.hh"
 #include "cache/tlb.hh"
+#include "common/random.hh"
 #include "vm/layout.hh"
 
 using namespace arl;
@@ -189,4 +195,248 @@ TEST(Tlb, ConflictEvictionRefills)
     EXPECT_FALSE(back.hit);
     EXPECT_FALSE(back.stackPage);
     EXPECT_EQ(tlb.misses, 3u);
+}
+
+// ---------------------------------------------------------------------
+// Contention backend
+// ---------------------------------------------------------------------
+
+TEST(BankSet, SerializesSameBankAndCounts)
+{
+    BankSet banks(2, 32);  // lines 0,2,4.. -> bank 0; 1,3,5.. -> bank 1
+    EXPECT_TRUE(banks.enabled());
+    EXPECT_EQ(banks.bankOf(0x00), 0u);
+    EXPECT_EQ(banks.bankOf(0x20), 1u);
+    EXPECT_EQ(banks.bankOf(0x40), 0u);
+
+    // Two same-cycle accesses to bank 0 serialize; bank 1 is free.
+    EXPECT_EQ(banks.schedule(0x00, 5), 5u);
+    EXPECT_EQ(banks.schedule(0x40, 5), 6u);   // conflict: +1
+    EXPECT_EQ(banks.schedule(0x20, 5), 5u);   // other bank
+    EXPECT_EQ(banks.conflicts, 1u);
+    EXPECT_EQ(banks.conflictCycles, 1u);
+
+    // A later cycle finds the bank free again.
+    EXPECT_EQ(banks.schedule(0x00, 10), 10u);
+    EXPECT_EQ(banks.conflicts, 1u);
+
+    banks.reset();
+    EXPECT_EQ(banks.schedule(0x00, 0), 0u);   // busy time forgotten
+}
+
+TEST(BankSet, DisabledIsIdentity)
+{
+    BankSet banks(0, 32);
+    EXPECT_FALSE(banks.enabled());
+    for (Cycle at : {0u, 3u, 3u, 3u})
+        EXPECT_EQ(banks.schedule(0x1000, at), at);
+    EXPECT_EQ(banks.conflicts, 0u);
+}
+
+TEST(Mshr, TracksRetireMergeAndOccupancy)
+{
+    MshrFile file(2);
+    EXPECT_TRUE(file.enabled());
+    file.allocate(10, 64);
+    file.allocate(11, 80);
+    EXPECT_TRUE(file.full());
+    EXPECT_EQ(file.inFlight(10), 64u);
+    EXPECT_EQ(file.inFlight(12), 0u);
+    EXPECT_EQ(file.earliestReady(), 64u);
+    EXPECT_EQ(file.peakOccupancy, 2u);
+
+    file.retire(64);   // first fill returned
+    EXPECT_FALSE(file.full());
+    EXPECT_EQ(file.occupancy(), 1u);
+    EXPECT_EQ(file.inFlight(10), 0u);
+
+    file.reset();
+    EXPECT_EQ(file.occupancy(), 0u);
+}
+
+namespace
+{
+
+/** A hierarchy config with every contention knob engaged. */
+HierarchyConfig
+contendedConfig()
+{
+    HierarchyConfig c;
+    c.hasLvc = true;
+    c.contention.l1Banks = 2;
+    c.contention.lvcBanks = 2;
+    c.contention.mshrs = 4;
+    c.contention.wbBufEntries = 2;
+    c.contention.busCyclesPerTransfer = 0;  // tests enable as needed
+    return c;
+}
+
+} // namespace
+
+TEST(TimedAccess, ZeroKnobsMatchIdealPathExactly)
+{
+    // The load-bearing golden-compatibility invariant: with the
+    // all-zero ContentionConfig default, timedAccess must return the
+    // identical (latency, l1Hit) as access() for any access stream.
+    HierarchyConfig c;
+    c.hasLvc = true;
+    Hierarchy ideal(c);
+    Hierarchy timed(c);
+    Rng rng(0xc0ffee);
+    Cycle now = 0;
+    for (int i = 0; i < 5000; ++i) {
+        Addr addr = static_cast<Addr>(rng.nextBounded(1 << 20)) * 4;
+        bool is_write = rng.nextBounded(3) == 0;
+        MemPipe pipe =
+            rng.nextBounded(4) == 0 ? MemPipe::Lvc : MemPipe::DCache;
+        now += rng.nextBounded(3);
+        auto a = ideal.access(pipe, addr, is_write);
+        auto b = timed.timedAccess(pipe, addr, is_write, now);
+        ASSERT_EQ(a.latency, b.latency) << "access " << i;
+        ASSERT_EQ(a.l1Hit, b.l1Hit) << "access " << i;
+    }
+    EXPECT_EQ(timed.l1Banks().conflicts, 0u);
+    EXPECT_EQ(timed.busBusy(), 0u);
+}
+
+TEST(TimedAccess, SameCycleSameBankSerializes)
+{
+    HierarchyConfig c = contendedConfig();
+    Hierarchy hierarchy(c);
+    // Warm two lines that share bank 0 (banks=2, 32B lines: line
+    // addresses 0 and 2) plus one on bank 1.
+    hierarchy.timedAccess(MemPipe::DCache, 0x00, false, 0);
+    hierarchy.timedAccess(MemPipe::DCache, 0x40, false, 0);
+    hierarchy.timedAccess(MemPipe::DCache, 0x20, false, 0);
+    hierarchy.resetContention();
+
+    auto first = hierarchy.timedAccess(MemPipe::DCache, 0x00, false, 100);
+    auto second = hierarchy.timedAccess(MemPipe::DCache, 0x40, false, 100);
+    EXPECT_EQ(first.latency, c.l1HitLatency);
+    EXPECT_EQ(second.latency, c.l1HitLatency + 1);  // lost arbitration
+    EXPECT_EQ(hierarchy.l1Banks().conflicts, 1u);
+    EXPECT_EQ(hierarchy.l1Banks().conflictCycles, 1u);
+
+    // Different banks in the same cycle do not interfere.
+    auto other = hierarchy.timedAccess(MemPipe::DCache, 0x20, false, 100);
+    EXPECT_EQ(other.latency, c.l1HitLatency);
+    EXPECT_EQ(hierarchy.l1Banks().conflicts, 1u);
+}
+
+TEST(TimedAccess, SecondaryMissMergesIntoOutstandingFill)
+{
+    HierarchyConfig c = contendedConfig();
+    Hierarchy hierarchy(c);
+    const std::uint32_t miss_latency =
+        c.l1HitLatency + c.l2HitLatency + c.memoryLatency;
+
+    auto primary = hierarchy.timedAccess(MemPipe::DCache, 0x1000,
+                                         false, 0);
+    EXPECT_FALSE(primary.l1Hit);
+    EXPECT_EQ(primary.latency, miss_latency);
+    EXPECT_EQ(hierarchy.l1Mshrs().allocations, 1u);
+
+    // Same line one cycle later: the tag array says hit (the line
+    // was allocated), but the data only arrives with the fill.
+    auto secondary = hierarchy.timedAccess(MemPipe::DCache, 0x1004,
+                                           false, 1);
+    EXPECT_TRUE(secondary.l1Hit);
+    EXPECT_EQ(secondary.latency, miss_latency - 1);
+    EXPECT_EQ(hierarchy.l1Mshrs().merges, 1u);
+
+    // After the fill returns, the same line is a plain hit.
+    auto later = hierarchy.timedAccess(
+        MemPipe::DCache, 0x1008, false, miss_latency + 10);
+    EXPECT_EQ(later.latency, c.l1HitLatency);
+    EXPECT_EQ(hierarchy.l1Mshrs().merges, 1u);
+}
+
+TEST(TimedAccess, FullMshrFileStallsPrimaryMiss)
+{
+    HierarchyConfig c = contendedConfig();
+    c.contention.mshrs = 1;
+    c.contention.l1Banks = 0;  // isolate the MSHR effect
+    c.contention.lvcBanks = 0;
+    Hierarchy hierarchy(c);
+    const std::uint32_t miss_latency =
+        c.l1HitLatency + c.l2HitLatency + c.memoryLatency;
+
+    auto first = hierarchy.timedAccess(MemPipe::DCache, 0x1000,
+                                       false, 0);
+    EXPECT_EQ(first.latency, miss_latency);  // fill returns at 64
+
+    // A second primary miss one cycle later finds the only MSHR
+    // busy: it waits for the outstanding fill, then starts over.
+    auto second = hierarchy.timedAccess(MemPipe::DCache, 0x2000,
+                                        false, 1);
+    EXPECT_EQ(second.latency, (miss_latency - 1) + miss_latency);
+    EXPECT_EQ(hierarchy.l1Mshrs().fullStalls, 1u);
+    EXPECT_EQ(hierarchy.l1Mshrs().stallCycles,
+              static_cast<std::uint64_t>(miss_latency) - 1);
+}
+
+TEST(TimedAccess, FullWritebackBufferStallsEvictingMiss)
+{
+    HierarchyConfig c;
+    c.l1 = CacheGeometry{"L1D", 64, 32, 1};  // 2 sets, direct-mapped
+    c.contention.wbBufEntries = 1;
+    Hierarchy hierarchy(c);
+    const std::uint32_t miss_latency =
+        c.l1HitLatency + c.l2HitLatency + c.memoryLatency;
+
+    // Dirty set 0, then evict it twice in the same cycle: the second
+    // eviction finds the single buffer slot still draining.
+    hierarchy.timedAccess(MemPipe::DCache, 0, true, 0);        // dirty
+    auto evict1 = hierarchy.timedAccess(MemPipe::DCache, 64, true, 0);
+    EXPECT_EQ(evict1.latency, miss_latency);  // buffered, no stall
+    EXPECT_EQ(hierarchy.wbEnqueuedCount(), 1u);
+
+    auto evict2 = hierarchy.timedAccess(MemPipe::DCache, 128, false, 0);
+    // Stalled until the first victim drains at l2HitLatency.
+    EXPECT_EQ(evict2.latency, c.l2HitLatency + miss_latency);
+    EXPECT_EQ(hierarchy.wbFullStallCount(), 1u);
+    EXPECT_EQ(hierarchy.wbStallCycleCount(), c.l2HitLatency);
+    EXPECT_EQ(hierarchy.wbEnqueuedCount(), 2u);
+}
+
+TEST(TimedAccess, SharedBusSerializesRefills)
+{
+    HierarchyConfig c;
+    c.contention.busCyclesPerTransfer = 4;
+    Hierarchy hierarchy(c);
+    const std::uint32_t fill_ready =
+        c.l1HitLatency + c.l2HitLatency + c.memoryLatency;
+
+    // Two same-cycle misses: both fills are ready at the same time,
+    // but the second must wait for the bus.
+    auto first = hierarchy.timedAccess(MemPipe::DCache, 0x1000,
+                                       false, 0);
+    auto second = hierarchy.timedAccess(MemPipe::DCache, 0x2000,
+                                        false, 0);
+    EXPECT_EQ(first.latency, fill_ready + 4);
+    EXPECT_EQ(second.latency, fill_ready + 8);
+    EXPECT_EQ(hierarchy.busBusy(), 8u);
+}
+
+TEST(TimedAccess, ResetContentionForgetsTransientState)
+{
+    HierarchyConfig c = contendedConfig();
+    c.contention.busCyclesPerTransfer = 4;
+    Hierarchy hierarchy(c);
+    // Generate bank, MSHR, and bus pressure.
+    for (Addr addr = 0; addr < 0x800; addr += 0x20)
+        hierarchy.timedAccess(MemPipe::DCache, addr, true, 0);
+    ASSERT_GT(hierarchy.l1Banks().conflicts, 0u);
+    ASSERT_GT(hierarchy.busBusy(), 0u);
+
+    hierarchy.resetContention();
+    EXPECT_EQ(hierarchy.l1Banks().conflicts, 0u);
+    EXPECT_EQ(hierarchy.l1Mshrs().allocations, 0u);
+    EXPECT_EQ(hierarchy.busBusy(), 0u);
+    EXPECT_EQ(hierarchy.wbEnqueuedCount(), 0u);
+
+    // And cycle-0 time is usable again: a hit sees no stale bank
+    // busy time from the pre-reset cycle-0 burst.
+    auto hit = hierarchy.timedAccess(MemPipe::DCache, 0x00, false, 0);
+    EXPECT_EQ(hit.latency, c.l1HitLatency);
 }

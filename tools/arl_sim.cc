@@ -21,7 +21,7 @@
  *
  *   arl_sim time <workload> [--config "(N+M)"] [--l1-lat N]
  *       [--insts N] [--all-configs] [--scale N] [--no-vp] [--no-ff]
- *       [--warmup-window N]
+ *       [--warmup-window N] [contention flags]
  *       The paper's §4 timing methodology (warmup + timed window).
  *       --warmup-window warms microarchitectural state only from the
  *       last N fast-forward instructions (0 = all).
@@ -45,6 +45,19 @@
  *
  *   arl_sim disasm <file.s>
  *       Assemble and disassemble.
+ *
+ * Memory-backend contention flags, accepted by time and sweep (all
+ * default to 0 = the ideal backend; see DESIGN.md):
+ *
+ *   --banks <N>          L1/LVC banks (same-cycle same-bank serializes)
+ *   --mshrs <N>          outstanding misses per first-level structure
+ *   --wb-buffer <N>      writeback buffer entries
+ *   --bus-cycles <N>     shared L2/memory bus cycles per line transfer
+ *   --tlb-miss-lat <N>   cycles charged per TLB miss
+ *
+ * Flag parsing is strict: an unknown flag, a malformed or negative
+ * numeric value, or a stray positional argument aborts with exit
+ * code 1 instead of silently running with defaults.
  *
  * Observability flags, accepted by every simulating subcommand:
  *
@@ -84,22 +97,128 @@ using namespace arl;
 namespace
 {
 
-/** Trivial flag parser: --name value pairs after the positionals. */
+/** Reject the command line: message to stderr, exit 1. */
+[[noreturn]] void
+badUsage(const std::string &message)
+{
+    std::fprintf(stderr, "arl_sim: %s\n", message.c_str());
+    std::fprintf(stderr,
+                 "run 'arl_sim' without arguments for usage\n");
+    std::exit(1);
+}
+
+/** Value shape a flag requires. */
+enum class FlagKind : std::uint8_t
+{
+    String,  ///< --name <any value>
+    Int,     ///< --name <non-negative integer>
+    Bool     ///< --name (no value)
+};
+
+/** One entry of a subcommand's accepted-flag table. */
+struct FlagSpec
+{
+    const char *name;
+    FlagKind kind;
+};
+
+/** Non-empty, all digits, and small enough to never overflow long. */
+bool
+isNonNegativeInt(const std::string &value)
+{
+    if (value.empty() || value.size() > 18)
+        return false;
+    for (char c : value)
+        if (c < '0' || c > '9')
+            return false;
+    return true;
+}
+
+/**
+ * Strict flag parser for everything after the positionals.
+ *
+ * Each subcommand declares its accepted flags via parse(); the
+ * shared logging flags (and, for simulating subcommands, the
+ * observability flags) are accepted implicitly.  An unknown flag, a
+ * missing or malformed value (integer flags demand a non-negative
+ * integer), or a stray positional is a usage error: message + exit 1.
+ * Strictness is deliberate — a typo must never silently run with
+ * defaults.
+ */
 class Args
 {
   public:
+    /** Which implicit flag family a subcommand also accepts. */
+    enum class Common : std::uint8_t
+    {
+        Obs,     ///< observability + logging flags
+        LogOnly  ///< logging flags only (non-simulating commands)
+    };
+
     Args(int argc, char **argv, int first)
     {
         for (int i = first; i < argc; ++i)
             raw_.push_back(argv[i]);
     }
 
+    void
+    parse(const std::vector<FlagSpec> &specs,
+          Common common = Common::Obs)
+    {
+        static const FlagSpec log_specs[] = {
+            {"quiet", FlagKind::Bool},
+            {"log-level", FlagKind::String},
+        };
+        static const FlagSpec obs_specs[] = {
+            {"stats-json", FlagKind::String},
+            {"stats-csv", FlagKind::String},
+            {"interval", FlagKind::Int},
+            {"pipetrace", FlagKind::String},
+            {"pipetrace-max", FlagKind::Int},
+        };
+        auto find = [&](const std::string &name) -> const FlagSpec * {
+            for (const FlagSpec &spec : specs)
+                if (name == spec.name)
+                    return &spec;
+            for (const FlagSpec &spec : log_specs)
+                if (name == spec.name)
+                    return &spec;
+            if (common == Common::Obs)
+                for (const FlagSpec &spec : obs_specs)
+                    if (name == spec.name)
+                        return &spec;
+            return nullptr;
+        };
+
+        for (std::size_t i = 0; i < raw_.size(); ++i) {
+            const std::string &token = raw_[i];
+            if (token.rfind("--", 0) != 0)
+                badUsage("unexpected argument '" + token + "'");
+            const FlagSpec *spec = find(token.substr(2));
+            if (!spec)
+                badUsage("unknown flag '" + token + "'");
+            if (spec->kind == FlagKind::Bool) {
+                bools_.push_back(spec->name);
+                continue;
+            }
+            if (i + 1 >= raw_.size())
+                badUsage("flag '" + token + "' needs a value");
+            const std::string &value = raw_[++i];
+            if (spec->kind == FlagKind::Int &&
+                !isNonNegativeInt(value))
+                badUsage("invalid value '" + value + "' for " + token +
+                         " (expected a non-negative integer)");
+            values_.emplace_back(spec->name, value);
+        }
+    }
+
     std::string
     flag(const std::string &name, const std::string &fallback) const
     {
-        for (std::size_t i = 0; i + 1 < raw_.size(); ++i)
-            if (raw_[i] == "--" + name)
-                return raw_[i + 1];
+        // Last occurrence wins, matching common CLI convention.
+        for (std::size_t i = values_.size(); i-- > 0;)
+            if (values_[i].first == name)
+                return values_[i].second;
         return fallback;
     }
 
@@ -113,14 +232,16 @@ class Args
     bool
     has(const std::string &name) const
     {
-        for (const std::string &token : raw_)
-            if (token == "--" + name)
+        for (const std::string &flag_name : bools_)
+            if (flag_name == name)
                 return true;
         return false;
     }
 
   private:
     std::vector<std::string> raw_;
+    std::vector<std::pair<std::string, std::string>> values_;
+    std::vector<std::string> bools_;
 };
 
 /** The observability flags shared by every simulating subcommand. */
@@ -204,8 +325,9 @@ cmdList()
 }
 
 int
-cmdRun(const std::string &target, const Args &args)
+cmdRun(const std::string &target, Args &args)
 {
+    args.parse({{"scale", FlagKind::Int}, {"max-insts", FlagKind::Int}});
     ObsOptions opts = ObsOptions::parse(args);
     auto prog = loadTarget(target,
                            static_cast<unsigned>(args.flagInt("scale", 1)));
@@ -248,8 +370,9 @@ cmdRun(const std::string &target, const Args &args)
 }
 
 int
-cmdProfile(const std::string &target, const Args &args)
+cmdProfile(const std::string &target, Args &args)
 {
+    args.parse({{"scale", FlagKind::Int}, {"max-insts", FlagKind::Int}});
     ObsOptions opts = ObsOptions::parse(args);
     auto prog = loadTarget(target,
                            static_cast<unsigned>(args.flagInt("scale", 1)));
@@ -313,8 +436,15 @@ cmdProfile(const std::string &target, const Args &args)
 }
 
 int
-cmdPredict(const std::string &target, const Args &args)
+cmdPredict(const std::string &target, Args &args)
 {
+    args.parse({{"entries", FlagKind::Int},
+                {"context", FlagKind::String},
+                {"gbh-bits", FlagKind::Int},
+                {"cid-bits", FlagKind::Int},
+                {"two-bit", FlagKind::Bool},
+                {"hints", FlagKind::String},
+                {"scale", FlagKind::Int}});
     ObsOptions opts = ObsOptions::parse(args);
     unsigned scale = static_cast<unsigned>(args.flagInt("scale", 1));
     auto prog = loadTarget(target, scale);
@@ -407,9 +537,41 @@ cmdPredict(const std::string &target, const Args &args)
     return emitReport(out, opts);
 }
 
-int
-cmdTime(const std::string &target, const Args &args)
+/** The memory-backend contention flags shared by time and sweep. */
+const std::vector<FlagSpec> kContentionFlags = {
+    {"banks", FlagKind::Int},        {"mshrs", FlagKind::Int},
+    {"wb-buffer", FlagKind::Int},    {"bus-cycles", FlagKind::Int},
+    {"tlb-miss-lat", FlagKind::Int},
+};
+
+ooo::ContentionKnobs
+parseContentionKnobs(const Args &args)
 {
+    ooo::ContentionKnobs knobs;
+    knobs.banks = static_cast<unsigned>(args.flagInt("banks", 0));
+    knobs.mshrs = static_cast<unsigned>(args.flagInt("mshrs", 0));
+    knobs.wbBuffer =
+        static_cast<unsigned>(args.flagInt("wb-buffer", 0));
+    knobs.busCycles =
+        static_cast<unsigned>(args.flagInt("bus-cycles", 0));
+    knobs.tlbMissLatency =
+        static_cast<unsigned>(args.flagInt("tlb-miss-lat", 0));
+    return knobs;
+}
+
+int
+cmdTime(const std::string &target, Args &args)
+{
+    std::vector<FlagSpec> accepted = {
+        {"config", FlagKind::String},  {"l1-lat", FlagKind::Int},
+        {"insts", FlagKind::Int},      {"all-configs", FlagKind::Bool},
+        {"scale", FlagKind::Int},      {"no-vp", FlagKind::Bool},
+        {"no-ff", FlagKind::Bool},     {"warmup-window", FlagKind::Int},
+        {"verbose", FlagKind::Bool},
+    };
+    accepted.insert(accepted.end(), kContentionFlags.begin(),
+                    kContentionFlags.end());
+    args.parse(accepted);
     ObsOptions opts = ObsOptions::parse(args);
     unsigned scale = static_cast<unsigned>(args.flagInt("scale", 1));
     const auto &info = workloads::workloadByName(target);
@@ -434,11 +596,13 @@ cmdTime(const std::string &target, const Args &args)
         configs.push_back(ooo::MachineConfig::nPlusM(
             n, m, static_cast<unsigned>(args.flagInt("l1-lat", 2))));
     }
+    ooo::ContentionKnobs knobs = parseContentionKnobs(args);
     for (auto &config : configs) {
         if (args.has("no-vp"))
             config.valuePrediction = false;
         if (args.has("no-ff"))
             config.fastForwarding = false;
+        config.applyContention(knobs);
     }
 
     if (!opts.tracePath.empty() && configs.size() > 1)
@@ -485,8 +649,25 @@ cmdTime(const std::string &target, const Args &args)
 }
 
 int
-cmdSweep(const std::string &target, const Args &args)
+cmdSweep(const std::string &target, Args &args)
 {
+    std::vector<FlagSpec> accepted = {
+        {"jobs", FlagKind::Int},
+        {"trace-cache", FlagKind::String},
+        {"trace-format", FlagKind::String},
+        {"seek-ff", FlagKind::Bool},
+        {"warmup-window", FlagKind::Int},
+        {"checkpoint-every", FlagKind::Int},
+        {"configs", FlagKind::String},
+        {"schemes", FlagKind::String},
+        {"insts", FlagKind::Int},
+        {"study-insts", FlagKind::Int},
+        {"scale", FlagKind::Int},
+        {"timing-json", FlagKind::String},
+    };
+    accepted.insert(accepted.end(), kContentionFlags.begin(),
+                    kContentionFlags.end());
+    args.parse(accepted);
     ObsOptions opts = ObsOptions::parse(args);
     unsigned scale = static_cast<unsigned>(args.flagInt("scale", 1));
     InstCount timed =
@@ -514,6 +695,7 @@ cmdSweep(const std::string &target, const Args &args)
                             ? spec.checkpointEvery
                             : trace::DefaultBlockRecords;
 
+    ooo::ContentionKnobs knobs = parseContentionKnobs(args);
     std::string configs_spec = args.flag("configs", "fig8");
     if (configs_spec == "fig8") {
         spec.configs = ooo::MachineConfig::figure8Suite();
@@ -531,6 +713,8 @@ cmdSweep(const std::string &target, const Args &args)
             spec.configs.push_back(ooo::MachineConfig::nPlusM(n, m));
         }
     }
+    for (auto &config : spec.configs)
+        config.applyContention(knobs);
     std::string schemes_spec = args.flag("schemes", "none");
     if (schemes_spec == "fig4") {
         spec.schemes = core::toSweepSchemes(core::figure4Schemes());
@@ -632,8 +816,13 @@ cmdSweep(const std::string &target, const Args &args)
 }
 
 int
-cmdRecord(const std::string &target, const Args &args)
+cmdRecord(const std::string &target, Args &args)
 {
+    args.parse({{"out", FlagKind::String},
+                {"trace-format", FlagKind::String},
+                {"block-records", FlagKind::Int},
+                {"max-insts", FlagKind::Int},
+                {"scale", FlagKind::Int}});
     ObsOptions opts = ObsOptions::parse(args);
     std::string out_path = args.flag("out", target + ".trace");
     trace::TraceFormat format = trace::TraceFormat::V2;
@@ -680,8 +869,9 @@ cmdRecord(const std::string &target, const Args &args)
 }
 
 int
-cmdReplay(const std::string &trace_path, const Args &args)
+cmdReplay(const std::string &trace_path, Args &args)
 {
+    args.parse({{"seek", FlagKind::Int}});
     ObsOptions opts = ObsOptions::parse(args);
     trace::TraceReader reader(trace_path);
     auto skip = static_cast<InstCount>(args.flagInt("seek", 0));
@@ -730,8 +920,9 @@ cmdReplay(const std::string &trace_path, const Args &args)
 }
 
 int
-cmdDisasm(const std::string &target)
+cmdDisasm(const std::string &target, Args &args)
 {
+    args.parse({}, Args::Common::LogOnly);
     auto prog = loadTarget(target, 1);
     for (std::size_t i = 0; i < prog->text.size(); ++i) {
         Addr pc = prog->textBase + static_cast<Addr>(i * 4);
@@ -768,6 +959,9 @@ usage()
         "  replay <file.trace> [--seek N]  profile from a trace\n"
         "  disasm <file.s|workload>     disassemble\n"
         "targets: a registered workload name or an .s assembly file\n"
+        "contention (time and sweep; 0 = ideal backend):\n"
+        "  --banks N   --mshrs N   --wb-buffer N   --bus-cycles N\n"
+        "  --tlb-miss-lat N\n"
         "observability (any simulating command):\n"
         "  --stats-json F   --stats-csv F   --interval N\n"
         "  --pipetrace F [--pipetrace-max N]   (time only)\n"
@@ -806,13 +1000,19 @@ main(int argc, char **argv)
     }
     applyLogFlags(argc, argv);
     std::string command = argv[1];
-    if (command == "list")
+    if (command == "list") {
+        Args list_args(argc, argv, 2);
+        list_args.parse({}, Args::Common::LogOnly);
         return cmdList();
+    }
     if (argc < 3) {
         usage();
         return 1;
     }
     std::string target = argv[2];
+    if (target.rfind("--", 0) == 0)
+        badUsage("command '" + command + "' needs a target before '" +
+                 target + "'");
     Args args(argc, argv, 3);
     if (command == "run")
         return cmdRun(target, args);
@@ -829,7 +1029,7 @@ main(int argc, char **argv)
     if (command == "replay")
         return cmdReplay(target, args);
     if (command == "disasm")
-        return cmdDisasm(target);
+        return cmdDisasm(target, args);
     usage();
     return 1;
 }
