@@ -155,6 +155,23 @@ parseContention(int argc, char **argv)
     return knobs;
 }
 
+/**
+ * Per-cycle stall attribution: `--cpi-stack` or ARL_BENCH_CPI_STACK=1
+ * forces the ooo.cpi_stack.* leaves and the load-to-use histogram on
+ * every timing config (contended configs always account).
+ * Observation-only — bench numbers never move.
+ */
+inline bool
+parseCpiStack(int argc, char **argv)
+{
+    const char *env = std::getenv("ARL_BENCH_CPI_STACK");
+    bool enabled = env && env[0] && env[0] != '0';
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--cpi-stack") == 0)
+            enabled = true;
+    return enabled;
+}
+
 /** All workloads × @p configs through the sweep engine. */
 inline sweep::SweepResult
 timingGrid(std::vector<ooo::MachineConfig> configs, unsigned scale,
@@ -163,6 +180,7 @@ timingGrid(std::vector<ooo::MachineConfig> configs, unsigned scale,
     sweep::SweepSpec spec;
     spec.workloads = sweep::allWorkloadSpecs(scale, timed);
     spec.configs = std::move(configs);
+    spec.cpiStack = parseCpiStack(argc, argv);
     ooo::ContentionKnobs knobs = parseContention(argc, argv);
     if (knobs.any()) {
         std::printf("contended backend: banks %u, mshrs %u, wb %u, "

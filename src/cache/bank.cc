@@ -27,6 +27,10 @@ BankSet::schedule(Addr addr, Cycle at)
         ++conflicts;
         conflictCycles += free_at - start;
         start = free_at;
+        ++currentBurst;
+    } else if (currentBurst) {
+        conflictBursts.add(currentBurst);
+        currentBurst = 0;
     }
     free_at = start + 1;
     return start;
@@ -37,6 +41,7 @@ BankSet::reset()
 {
     for (Cycle &free_at : nextFree)
         free_at = 0;
+    currentBurst = 0;
 }
 
 } // namespace arl::cache

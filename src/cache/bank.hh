@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "obs/histogram.hh"
 
 namespace arl::cache
 {
@@ -59,10 +60,15 @@ class BankSet
     // --- statistics ---
     std::uint64_t conflicts = 0;       ///< accesses delayed by a busy bank
     std::uint64_t conflictCycles = 0;  ///< cycles lost to those delays
+    /** Lengths of runs of consecutive delayed accesses.  A run still
+     *  open at the end of a run is not recorded (it has no length
+     *  yet); the loss is at most one sample and is deterministic. */
+    obs::Log2Histogram conflictBursts;
 
   private:
     std::vector<Cycle> nextFree;  ///< per bank: first claimable cycle
     std::uint32_t lineBytes;
+    std::uint64_t currentBurst = 0;  ///< delayed accesses in the open run
 };
 
 } // namespace arl::cache

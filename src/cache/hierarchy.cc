@@ -108,6 +108,7 @@ Hierarchy::timedAccess(MemPipe pipe, Addr addr, bool is_write,
 
     const Addr line = addr / first.geometry().lineBytes;
     HierarchyResult result;
+    result.bankDelay = static_cast<std::uint32_t>(start - now);
     AccessOutcome first_outcome = first.access(addr, is_write);
     result.l1Hit = first_outcome.hit;
     Cycle done = start + first_latency;
@@ -129,8 +130,11 @@ Hierarchy::timedAccess(MemPipe pipe, Addr addr, bool is_write,
 
     // A dirty victim must claim a writeback-buffer slot before the
     // fill may proceed.
-    if (first_outcome.writeback && contention.wbBufEntries)
+    if (first_outcome.writeback && contention.wbBufEntries) {
+        Cycle before = start;
         start = enqueueWriteback(start);
+        result.wbDelay = static_cast<std::uint32_t>(start - before);
+    }
 
     // A primary miss needs an MSHR; stall until one retires when the
     // file is full.
@@ -140,6 +144,8 @@ Hierarchy::timedAccess(MemPipe pipe, Addr addr, bool is_write,
             Cycle free_at = mshrs.earliestReady();
             ++mshrs.fullStalls;
             mshrs.stallCycles += free_at - start;
+            result.mshrDelay =
+                static_cast<std::uint32_t>(free_at - start);
             start = free_at;
             mshrs.retire(start);
         }
@@ -153,6 +159,7 @@ Hierarchy::timedAccess(MemPipe pipe, Addr addr, bool is_write,
     done = contention.busCyclesPerTransfer
                ? scheduleBusTransfer(fill_ready)
                : fill_ready;
+    result.busDelay = static_cast<std::uint32_t>(done - fill_ready);
     if (mshrs.enabled())
         mshrs.allocate(line, done);
     result.latency = static_cast<std::uint32_t>(done - now);
@@ -171,10 +178,13 @@ Hierarchy::resetContention()
 
     l1BankSet.conflicts = l1BankSet.conflictCycles = 0;
     lvcBankSet.conflicts = lvcBankSet.conflictCycles = 0;
+    l1BankSet.conflictBursts.reset();
+    lvcBankSet.conflictBursts.reset();
     for (MshrFile *file : {&l1MshrFile, &lvcMshrFile}) {
         file->allocations = file->merges = 0;
         file->fullStalls = file->stallCycles = 0;
         file->peakOccupancy = 0;
+        file->occupancyAtAllocate.reset();
     }
     busBusyCycles = 0;
     wbEnqueued = wbFullStalls = wbStallCycles = 0;
@@ -200,6 +210,9 @@ Hierarchy::registerStats(obs::StatsRegistry &registry,
         registry.addCounter(p + ".bank_conflict_cycles",
                             &banks.conflictCycles,
                             "cycles lost to bank conflicts");
+        registry.addLog2Histogram(p + ".bank_bursts",
+                                  &banks.conflictBursts,
+                                  "consecutive-conflict run lengths");
     };
     auto mshr_stats = [&](const MshrFile &file, const std::string &p) {
         registry.addCounter(p + ".mshr.allocations", &file.allocations,
@@ -214,6 +227,9 @@ Hierarchy::registerStats(obs::StatsRegistry &registry,
         registry.addCounter(p + ".mshr.peak_occupancy",
                             &file.peakOccupancy,
                             "high-water outstanding-miss count");
+        registry.addLog2Histogram(p + ".mshr.occupancy",
+                                  &file.occupancyAtAllocate,
+                                  "registers held at each allocation");
     };
     bank_stats(l1BankSet, prefix + ".l1");
     mshr_stats(l1MshrFile, prefix + ".l1");

@@ -96,11 +96,22 @@ struct HierarchyConfig
     ContentionConfig contention{};
 };
 
-/** Timing outcome of one access. */
+/**
+ * Timing outcome of one access.
+ *
+ * The delay fields break the contention share of `latency` down by
+ * cause, in the order the stalls occur on the timed path; each is 0
+ * on the ideal path.  The remainder of `latency` is pure hierarchy
+ * latency (hit / L2 / memory cycles).
+ */
 struct HierarchyResult
 {
     std::uint32_t latency = 0;  ///< cycles until data available
     bool l1Hit = false;         ///< hit in the first-level structure
+    std::uint32_t bankDelay = 0;  ///< cycles lost to bank arbitration
+    std::uint32_t wbDelay = 0;    ///< cycles on a full writeback buffer
+    std::uint32_t mshrDelay = 0;  ///< cycles waiting for a free MSHR
+    std::uint32_t busDelay = 0;   ///< cycles the refill queued for the bus
 };
 
 /** The full data-side hierarchy. */

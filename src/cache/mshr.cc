@@ -58,6 +58,7 @@ MshrFile::allocate(Addr line, Cycle ready_at)
     ++allocations;
     peakOccupancy = std::max<std::uint64_t>(peakOccupancy,
                                             entries.size());
+    occupancyAtAllocate.add(entries.size());
 }
 
 void

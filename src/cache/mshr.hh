@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "obs/histogram.hh"
 
 namespace arl::cache
 {
@@ -68,6 +69,9 @@ class MshrFile
     std::uint64_t fullStalls = 0;    ///< misses that found it full
     std::uint64_t stallCycles = 0;   ///< cycles those misses waited
     std::uint64_t peakOccupancy = 0; ///< high-water register count
+    /** Register count right after each allocation (occupancy the
+     *  primary miss observed, itself included). */
+    obs::Log2Histogram occupancyAtAllocate;
 
   private:
     struct Entry

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Chrome Trace Event exporter: turns the core's pipeline event stream
+ * into a trace JSON file that chrome://tracing and Perfetto render as
+ * a per-instruction waterfall, one track group per pipe (D-cache /
+ * LVC / non-memory), plus counter tracks taken from the interval
+ * sampler.
+ *
+ * The tracer consumes the same event() callback as PipeTracer, so the
+ * core fans a single stream out to both.  Timestamps are cycles
+ * (Perfetto's unit label will read "us"; the ratios are what matter).
+ */
+
+#ifndef ARL_OBS_CHROME_TRACE_HH
+#define ARL_OBS_CHROME_TRACE_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/pipetrace.hh"
+
+namespace arl::obs
+{
+
+class IntervalSampler;
+
+/**
+ * Collects instruction lifecycles and emits Chrome trace JSON.
+ *
+ * Usage: feed event() during the run (Dispatch opens a record, Commit
+ * closes it), optionally counterTracks() after the run, then finish()
+ * exactly once to sort and serialize.  The stream is caller-owned.
+ */
+class ChromeTracer
+{
+  public:
+    /** @param max_insts instruction-record cap (0 = unlimited). */
+    explicit ChromeTracer(std::ostream &os, std::uint64_t max_insts = 0);
+
+    /** Same signature as PipeTracer::event so the core can fan out. */
+    void event(std::uint64_t cycle, std::uint64_t seq, std::uint32_t pc,
+               PipeEvent ev, const std::string &detail = "");
+
+    /** Append one point to the counter track @p name. */
+    void counter(std::uint64_t cycle, const std::string &name,
+                 double value);
+
+    /**
+     * Emit one counter track per stat the sampler froze, with
+     * per-interval deltas; timestamps come from the sampled
+     * "ooo.cycles" column (sample index when absent).
+     */
+    void counterTracks(const IntervalSampler &sampler);
+
+    /** Sort and write the trace document; valid exactly once. */
+    void finish(const std::string &process_name);
+
+    /** Instruction records finalized (committed). */
+    std::uint64_t emitted() const { return emittedCount; }
+
+    /** Instruction records suppressed by the cap. */
+    std::uint64_t dropped() const { return droppedCount; }
+
+  private:
+    /** Pipe track groups (tid bases keep the groups visually apart). */
+    enum Group : std::uint8_t { Dcache = 0, Lvc = 1, Core = 2 };
+
+    struct InstRecord
+    {
+        std::uint64_t seq = 0;
+        std::uint32_t pc = 0;
+        std::uint64_t dispatchAt = 0;
+        std::uint64_t issueAt = kUnset;
+        std::uint64_t memAt = kUnset;
+        std::uint64_t writebackAt = kUnset;
+        std::uint64_t commitAt = kUnset;
+        std::uint8_t group = Core;
+        std::string steer;
+        std::vector<std::pair<std::uint64_t, const char *>> instants;
+    };
+
+    struct TraceEvent
+    {
+        std::uint64_t ts = 0;
+        std::uint64_t dur = 0;
+        char ph = 'X';
+        std::uint32_t tid = 0;
+        std::string name;
+        std::uint64_t seq = 0;
+        bool hasSeq = false;
+        std::string steer;
+        double value = 0.0;
+        bool hasValue = false;
+        std::string threadName;
+    };
+
+    static constexpr std::uint64_t kUnset = ~std::uint64_t(0);
+
+    void finalizeRecords();
+    void writeEvent(class JsonWriter &w, const TraceEvent &ev) const;
+
+    std::ostream &os;
+    std::uint64_t limit;
+    std::uint64_t emittedCount = 0;
+    std::uint64_t droppedCount = 0;
+    bool finished = false;
+
+    std::map<std::uint64_t, InstRecord> open;
+    std::vector<InstRecord> done;
+    std::vector<TraceEvent> events;
+};
+
+} // namespace arl::obs
+
+#endif // ARL_OBS_CHROME_TRACE_HH

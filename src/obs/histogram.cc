@@ -1,0 +1,48 @@
+#include "obs/histogram.hh"
+
+#include <algorithm>
+
+namespace arl::obs
+{
+
+double
+Log2Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (p <= 0.0)
+        return static_cast<double>(min());
+    if (p > 1.0)
+        p = 1.0;
+
+    // Target rank, 1-based: the smallest k with k >= p * count.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        p * static_cast<double>(count_));
+    if (static_cast<double>(rank) < p * static_cast<double>(count_))
+        ++rank;
+    rank = std::max<std::uint64_t>(rank, 1);
+
+    std::uint64_t cumulative = 0;
+    for (unsigned b = 0; b < NumBuckets; ++b) {
+        if (buckets_[b] == 0)
+            continue;
+        if (cumulative + buckets_[b] < rank) {
+            cumulative += buckets_[b];
+            continue;
+        }
+        // The rank falls in this bucket: interpolate linearly across
+        // its value range by the fractional position of the rank.
+        const double low = static_cast<double>(bucketLow(b));
+        const double high = static_cast<double>(bucketHigh(b));
+        const double within =
+            static_cast<double>(rank - cumulative) /
+            static_cast<double>(buckets_[b]);
+        double value = low + within * (high - low);
+        value = std::max(value, static_cast<double>(min()));
+        value = std::min(value, static_cast<double>(max()));
+        return value;
+    }
+    return static_cast<double>(max());
+}
+
+} // namespace arl::obs

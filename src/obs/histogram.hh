@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Log2-bucketed histogram stat.
+ *
+ * Latency-style distributions (load-to-use cycles, queue occupancy,
+ * burst lengths) span several orders of magnitude, so fixed-width
+ * buckets either blur the short tail or truncate the long one.  A
+ * power-of-two bucketing keeps constant relative resolution with a
+ * fixed 66-slot footprint: bucket 0 holds the value 0, bucket i >= 1
+ * holds [2^(i-1), 2^i).
+ *
+ * Percentiles are extracted deterministically: walk the cumulative
+ * counts to the target rank, then interpolate linearly inside the
+ * bucket's value range.  The exact min/max are tracked separately and
+ * clamp the interpolation, so single-sample and at-the-edge queries
+ * return exact values.  Everything is plain integer state — merging,
+ * copying, and resetting are trivial, and accumulation never affects
+ * simulated timing.
+ *
+ * Registered into a StatsRegistry via addLog2Histogram(), which
+ * expands to the leaves .count/.min/.max/.mean/.p50/.p90/.p99.
+ */
+
+#ifndef ARL_OBS_HISTOGRAM_HH
+#define ARL_OBS_HISTOGRAM_HH
+
+#include <cstdint>
+
+namespace arl::obs
+{
+
+/** Power-of-two-bucketed histogram with percentile extraction. */
+class Log2Histogram
+{
+  public:
+    /** Bucket 0 plus one bucket per bit of a 64-bit value. */
+    static constexpr unsigned NumBuckets = 65;
+
+    /** Bucket index of @p value (0 for 0, floor(log2(v))+1 else). */
+    static unsigned bucketOf(std::uint64_t value)
+    {
+        unsigned bucket = 0;
+        while (value) {
+            ++bucket;
+            value >>= 1;
+        }
+        return bucket;
+    }
+
+    /** Smallest value of @p bucket. */
+    static std::uint64_t bucketLow(unsigned bucket)
+    {
+        return bucket ? std::uint64_t{1} << (bucket - 1) : 0;
+    }
+
+    /** Largest value of @p bucket. */
+    static std::uint64_t bucketHigh(unsigned bucket)
+    {
+        if (bucket == 0)
+            return 0;
+        if (bucket >= 64)
+            return ~std::uint64_t{0};
+        return (std::uint64_t{1} << bucket) - 1;
+    }
+
+    void
+    add(std::uint64_t value)
+    {
+        ++buckets_[bucketOf(value)];
+        ++count_;
+        sum_ += value;
+        if (count_ == 1 || value < min_)
+            min_ = value;
+        if (value > max_)
+            max_ = value;
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+
+    double
+    mean() const
+    {
+        return count_ ? static_cast<double>(sum_) /
+                            static_cast<double>(count_)
+                      : 0.0;
+    }
+
+    /** Samples recorded in @p bucket. */
+    std::uint64_t
+    bucketCount(unsigned bucket) const
+    {
+        return bucket < NumBuckets ? buckets_[bucket] : 0;
+    }
+
+    /**
+     * Estimate the @p p quantile (0 < p <= 1): walk the cumulative
+     * bucket counts to rank ceil(p * count), interpolate linearly
+     * inside the bucket's [low, high] value range, and clamp to the
+     * exact observed [min, max].  0 when empty.  Deterministic —
+     * identical sample streams always produce identical results.
+     */
+    double percentile(double p) const;
+
+    double p50() const { return percentile(0.50); }
+    double p90() const { return percentile(0.90); }
+    double p99() const { return percentile(0.99); }
+
+    void
+    reset()
+    {
+        for (unsigned i = 0; i < NumBuckets; ++i)
+            buckets_[i] = 0;
+        count_ = sum_ = min_ = max_ = 0;
+    }
+
+  private:
+    std::uint64_t buckets_[NumBuckets] = {};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+} // namespace arl::obs
+
+#endif // ARL_OBS_HISTOGRAM_HH

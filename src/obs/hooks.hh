@@ -17,6 +17,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/chrome_trace.hh"
 #include "obs/pipetrace.hh"
 #include "obs/sampler.hh"
 #include "obs/stats_registry.hh"
@@ -34,6 +35,7 @@ struct Hooks
 
     std::unique_ptr<IntervalSampler> sampler;
     std::unique_ptr<PipeTracer> tracer;
+    std::unique_ptr<ChromeTracer> chrome;
 
     /**
      * Freeze the sampled stat set and arm the sampler.  Call after
@@ -51,6 +53,21 @@ struct Hooks
      */
     bool openTrace(const std::string &path, std::uint64_t max_events = 0);
 
+    /**
+     * Open @p path and attach a ChromeTracer writing to it.
+     * @param max_insts instruction-record cap (0 = unlimited).
+     * @return false (with a warning) when the file cannot be opened.
+     */
+    bool openChromeTrace(const std::string &path,
+                         std::uint64_t max_insts = 0);
+
+    /**
+     * Serialize and close the Chrome trace (counter tracks from the
+     * sampler are appended first when sampling was on).  A no-op when
+     * no Chrome trace is attached.
+     */
+    void finishChromeTrace(const std::string &process_name);
+
     /** Progress notification from the core's commit stage. */
     void
     tick(std::uint64_t committed)
@@ -59,8 +76,8 @@ struct Hooks
             sampler->tick(committed);
     }
 
-    /** True when pipeline tracing is active. */
-    bool tracing() const { return tracer != nullptr; }
+    /** True when pipeline or Chrome tracing is active. */
+    bool tracing() const { return tracer != nullptr || chrome != nullptr; }
 
     /**
      * Capture the registry's values while the registered components
@@ -77,6 +94,7 @@ struct Hooks
 
   private:
     std::unique_ptr<std::ostream> traceFile;
+    std::unique_ptr<std::ostream> chromeFile;
 };
 
 } // namespace arl::obs

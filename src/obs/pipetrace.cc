@@ -17,6 +17,7 @@ pipeEventName(PipeEvent ev)
       case PipeEvent::TlbVerify: return "TLB";
       case PipeEvent::RegionMispredict: return "RMP";
       case PipeEvent::Forward: return "FWD";
+      case PipeEvent::MemAccess: return "MEM";
       case PipeEvent::Writeback: return "WB ";
       case PipeEvent::Squash: return "SQH";
       case PipeEvent::Commit: return "CMT";

@@ -29,6 +29,7 @@ enum class PipeEvent : std::uint8_t
     TlbVerify,        ///< region prediction checked at translation
     RegionMispredict, ///< steering verified wrong; re-routed
     Forward,          ///< load satisfied by an in-queue store
+    MemAccess,        ///< load granted a port; cache access began
     Writeback,        ///< execution completed, result broadcast
     Squash,           ///< re-issued after a value misprediction
     Commit            ///< retired

@@ -81,6 +81,19 @@ StatsRegistry::addHistogram(const std::string &name, const Histogram *hist,
     insert(name, std::move(e));
 }
 
+void
+StatsRegistry::addLog2Histogram(const std::string &name,
+                                const Log2Histogram *hist,
+                                const std::string &desc)
+{
+    ARL_ASSERT(hist, "null log2 histogram '%s'", name.c_str());
+    Entry e;
+    e.kind = Kind::Log2Hist;
+    e.desc = desc;
+    e.log2Hist = hist;
+    insert(name, std::move(e));
+}
+
 std::uint64_t &
 StatsRegistry::counter(const std::string &name, const std::string &desc)
 {
@@ -136,6 +149,18 @@ StatsRegistry::expand(const std::string &name, const Entry &entry,
             name + ".overflow",
             static_cast<double>(entry.hist->bucket(entry.hist->size() - 1)));
         break;
+      case Kind::Log2Hist:
+        out.emplace_back(name + ".count",
+                         static_cast<double>(entry.log2Hist->count()));
+        out.emplace_back(name + ".min",
+                         static_cast<double>(entry.log2Hist->min()));
+        out.emplace_back(name + ".max",
+                         static_cast<double>(entry.log2Hist->max()));
+        out.emplace_back(name + ".mean", entry.log2Hist->mean());
+        out.emplace_back(name + ".p50", entry.log2Hist->p50());
+        out.emplace_back(name + ".p90", entry.log2Hist->p90());
+        out.emplace_back(name + ".p99", entry.log2Hist->p99());
+        break;
     }
 }
 
@@ -179,7 +204,8 @@ StatsRegistry::value(const std::string &name) const
 {
     auto it = entries.find(name);
     if (it != entries.end() && it->second.kind != Kind::Distribution &&
-        it->second.kind != Kind::Histogram) {
+        it->second.kind != Kind::Histogram &&
+        it->second.kind != Kind::Log2Hist) {
         Snapshot one;
         expand(name, it->second, one);
         return one.front().second;

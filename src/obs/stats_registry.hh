@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "obs/histogram.hh"
 
 namespace arl::obs
 {
@@ -70,6 +71,15 @@ class StatsRegistry
      */
     void addHistogram(const std::string &name, const Histogram *hist,
                       const std::string &desc = "");
+
+    /**
+     * Register a Log2Histogram; expands to the leaves
+     * name.count / name.min / name.max / name.mean /
+     * name.p50 / name.p90 / name.p99.
+     */
+    void addLog2Histogram(const std::string &name,
+                          const Log2Histogram *hist,
+                          const std::string &desc = "");
 
     // ---- registry-owned storage ----
 
@@ -116,7 +126,8 @@ class StatsRegistry
         Gauge,
         Formula,
         Distribution,
-        Histogram
+        Histogram,
+        Log2Hist
     };
 
     struct Entry
@@ -128,6 +139,7 @@ class StatsRegistry
         std::function<double()> formula;
         const RunningStat *dist = nullptr;
         const Histogram *hist = nullptr;
+        const Log2Histogram *log2Hist = nullptr;
     };
 
     void insert(const std::string &name, Entry entry);

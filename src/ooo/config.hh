@@ -136,6 +136,15 @@ struct MachineConfig
      */
     void applyContention(const ContentionKnobs &knobs);
 
+    /**
+     * Force per-cycle stall attribution (the ooo.cpi_stack.* leaves
+     * and the load-to-use histogram) on an ideal configuration.
+     * Contended configurations always account; ideal runs default off
+     * so the committed golden reports keep their historical key set.
+     * Accounting is observation-only and never changes timing.
+     */
+    bool cpiStack = false;
+
     /** True when any contention or TLB-miss-latency knob is active
      *  (gates registration of the contention stat keys). */
     bool contended() const

@@ -92,14 +92,19 @@ OooCore::OooCore(const MachineConfig &config_in,
     std::fill(std::begin(regProducerSeq), std::end(regProducerSeq),
               InstCount{0});
     stats.configName = config.name;
+    cpiEnabled = config.contended() || config.cpiStack;
 }
 
 void
 OooCore::trace(obs::PipeEvent ev, const Entry &e,
                const std::string &detail)
 {
-    if (obsHooks && obsHooks->tracer)
+    if (!obsHooks)
+        return;
+    if (obsHooks->tracer)
         obsHooks->tracer->event(now, e.seq, e.step.pc, ev, detail);
+    if (obsHooks->chrome)
+        obsHooks->chrome->event(now, e.seq, e.step.pc, ev, detail);
 }
 
 void
@@ -189,6 +194,15 @@ OooCore::attachObs(obs::Hooks *hooks)
                        "commits blocked on an LVC store port");
         reg.addCounter("cache.tlb.miss_cycles", &stats.tlbMissCycles,
                        "penalty cycles charged for TLB misses");
+    }
+
+    // The CPI stack and the load-to-use histogram follow the same
+    // key-set discipline: present for contended configurations (or
+    // when explicitly forced), absent from ideal reports.
+    if (cpiEnabled) {
+        stats.cpiStack.registerStats(reg, "ooo.cpi_stack");
+        reg.addLog2Histogram("ooo.mem.load_to_use", &stats.loadToUse,
+                             "load latency, port grant to data ready");
     }
 
     hierarchy.registerStats(reg, "cache");
@@ -348,6 +362,7 @@ OooCore::translateAndVerify(Entry &e)
         stats.tlbMissCycles += config.tlbMissLatency;
         e.memReqAt += config.tlbMissLatency;
         e.addrKnownAt += config.tlbMissLatency;
+        e.tlbStallUntil = e.memReqAt;
     }
 
     if (!config.decoupled)
@@ -368,6 +383,7 @@ OooCore::translateAndVerify(Entry &e)
                               : cache::MemPipe::DCache;
         e.memReqAt += config.regionMispredictPenalty + 1;
         e.addrKnownAt += config.regionMispredictPenalty + 1;
+        e.mispredStallUntil = e.memReqAt;
     }
     // Train the ARPT; conclusively-resolved addressing modes are
     // never recorded (§3.4.1).
@@ -397,6 +413,8 @@ OooCore::squashConsumers(Entry &producer)
         c.regionChecked = false;
         c.addrGenDone = false;
         c.usedSpecValue = false;
+        c.memBlock = Entry::MemBlock::None;
+        c.memStarted = false;
         c.earliestIssueAt = now + 1;
         ++stats.vpSquashes;
         trace(obs::PipeEvent::Squash, c, "dependent of wrong value");
@@ -445,6 +463,8 @@ OooCore::completeStage()
                 c.regionChecked = false;
                 c.addrGenDone = false;
                 c.usedSpecValue = false;
+                c.memBlock = Entry::MemBlock::None;
+                c.memStarted = false;
                 c.earliestIssueAt = now + 1;
                 ++stats.vpSquashes;
                 trace(obs::PipeEvent::Squash, c,
@@ -473,11 +493,18 @@ OooCore::memoryStage()
             const Entry &store = rob[fwd];
             if (store.issued && store.addrKnownAt <= now) {
                 e.pendingMem = false;
+                e.memBlock = Entry::MemBlock::None;
+                e.memStarted = true;
+                e.memStartAt = now;
                 e.completeAt = now + 1;  // 1-cycle forwarding delay
                 ++stats.forwardedLoads;
+                if (cpiEnabled)
+                    stats.loadToUse.add(1);
                 trace(obs::PipeEvent::Forward, e);
                 if (e.queue == Queue::Lvaq && config.fastForwarding)
                     ++stats.fastForwardedLoads;
+            } else {
+                e.memBlock = Entry::MemBlock::StoreNotReady;
             }
             continue;  // matched store not ready yet: retry
         }
@@ -493,13 +520,25 @@ OooCore::memoryStage()
                              : config.dcachePorts;
         if (portsUsed[pipe_index] >= limit) {
             ++stats.portStallsLoad[pipe_index];
+            e.memBlock = Entry::MemBlock::PortDenied;
             continue;  // no port this cycle
         }
         ++portsUsed[pipe_index];
         cache::HierarchyResult result =
             hierarchy.timedAccess(e.pipe, e.step.effAddr, false, now);
         e.pendingMem = false;
+        e.memBlock = Entry::MemBlock::None;
+        e.memStarted = true;
+        e.memStartAt = now;
+        e.memBankDelay = result.bankDelay;
+        e.memWbDelay = result.wbDelay;
+        e.memMshrDelay = result.mshrDelay;
+        e.memBusDelay = result.busDelay;
         e.completeAt = now + result.latency;
+        if (cpiEnabled)
+            stats.loadToUse.add(result.latency);
+        trace(obs::PipeEvent::MemAccess, e,
+              result.l1Hit ? "hit" : "miss");
     }
 }
 
@@ -645,6 +684,7 @@ OooCore::dispatchStage()
         // ROB space?
         if (tailSeq - headSeq >= rob.size()) {
             ++stats.robFullStalls;
+            dispatchBlocked = obs::StallCause::RobFull;
             return;
         }
         // Next instruction from the (perfect) front end.
@@ -686,6 +726,7 @@ OooCore::dispatchStage()
             if (steer_stack) {
                 if (lvaqOccupancy >= config.lvaqSize) {
                     ++stats.queueFullStalls;
+                    dispatchBlocked = obs::StallCause::LvaqFull;
                     return;
                 }
                 queue = Queue::Lvaq;
@@ -698,6 +739,7 @@ OooCore::dispatchStage()
                                          : config.lsqSize;
                 if (lsqOccupancy >= lsq_limit) {
                     ++stats.queueFullStalls;
+                    dispatchBlocked = obs::StallCause::LsqFull;
                     return;
                 }
                 queue = Queue::Lsq;
@@ -813,6 +855,74 @@ OooCore::dispatchStage()
 }
 
 void
+OooCore::classifyStallCycle()
+{
+    using obs::StallCause;
+    if (headSeq == tailSeq) {
+        stats.cpiStack.add(StallCause::FrontendEmpty);
+        return;
+    }
+
+    const Entry &e = rob[headSeq % rob.size()];
+    const unsigned pipe = static_cast<unsigned>(e.pipe);
+    StallCause cause = StallCause::Other;
+
+    if (e.completed) {
+        // A completed head that did not retire on a zero-commit cycle
+        // can only mean commitStage broke on the store-port check.
+        cause = StallCause::StoreCommit;
+    } else if (e.pendingMem) {
+        // Load between issue and port grant.
+        if (now < e.tlbStallUntil)
+            cause = StallCause::TlbWalk;
+        else if (now < e.mispredStallUntil)
+            cause = StallCause::RegionMispredict;
+        else if (e.memBlock == Entry::MemBlock::PortDenied)
+            cause = StallCause::LoadPort;
+        else
+            cause = StallCause::Other;  // store-data wait / 1-cycle gap
+    } else if (e.issued && e.memStarted) {
+        // Load inside the hierarchy: replay its recorded stall
+        // breakdown in the order the delays occurred.
+        const Cycle elapsed = now - e.memStartAt;
+        const std::uint64_t bank = e.memBankDelay;
+        const std::uint64_t wb = bank + e.memWbDelay;
+        const std::uint64_t mshr = wb + e.memMshrDelay;
+        if (elapsed < bank)
+            cause = StallCause::BankConflict;
+        else if (elapsed < wb)
+            cause = StallCause::WritebackFull;
+        else if (elapsed < mshr)
+            cause = StallCause::MshrFull;
+        else if (e.completeAt > now && e.completeAt - now <= e.memBusDelay)
+            cause = StallCause::BusBusy;
+        else
+            cause = StallCause::MemLatency;
+    } else if (e.issued) {
+        cause = StallCause::ExecLatency;
+    } else {
+        // Not yet issued: operand wait, issue ramp, or a stalled
+        // store address generation.
+        if (now < e.tlbStallUntil)
+            cause = StallCause::TlbWalk;
+        else if (now < e.mispredStallUntil)
+            cause = StallCause::RegionMispredict;
+        else
+            cause = StallCause::Other;
+    }
+
+    // Secondary attribution: when the head's cause is weak but
+    // dispatch hit a full structure this cycle, the structure is the
+    // better explanation of the lost slot.
+    if ((cause == StallCause::Other ||
+         cause == StallCause::ExecLatency) &&
+        dispatchBlocked != StallCause::NumCauses)
+        cause = dispatchBlocked;
+
+    stats.cpiStack.add(cause, pipe);
+}
+
+void
 OooCore::warmup(InstCount insts, InstCount warm_last)
 {
     if (warm_last == 0 || warm_last > insts)
@@ -869,6 +979,8 @@ OooCore::run(InstCount max_insts)
         portsUsed[0] = portsUsed[1] = 0;
         std::fill(std::begin(fuUsed), std::end(fuUsed), 0u);
         issuedThisCycle = 0;
+        dispatchBlocked = obs::StallCause::NumCauses;
+        const InstCount committed_before = stats.instructions;
 
         advanceStorePrefixes();
         completeStage();
@@ -879,6 +991,15 @@ OooCore::run(InstCount max_insts)
         commitStage();
         if (obsHooks)
             obsHooks->tick(stats.instructions);
+
+        // Per-cycle stall attribution: exactly one cause per cycle,
+        // so the stack sums to total cycles by construction.
+        if (cpiEnabled) {
+            if (stats.instructions > committed_before)
+                stats.cpiStack.add(obs::StallCause::Commit);
+            else
+                classifyStallCycle();
+        }
 
         if (std::getenv("ARL_OOO_TRACE") && now < 60) {
             unsigned pending = 0, inflight = 0;
@@ -919,6 +1040,10 @@ OooCore::run(InstCount max_insts)
     }
 
     stats.cycles = now;
+    ARL_ASSERT(!cpiEnabled || stats.cpiStack.total() == now,
+               "CPI stack lost cycles: attributed %llu of %llu",
+               (unsigned long long)stats.cpiStack.total(),
+               (unsigned long long)now);
     stats.l1Hits = hierarchy.l1().hits;
     stats.l1Misses = hierarchy.l1().misses;
     if (hierarchy.hasLvc()) {

@@ -50,6 +50,8 @@
 #include "cache/hierarchy.hh"
 #include "cache/tlb.hh"
 #include "common/types.hh"
+#include "obs/cpi_stack.hh"
+#include "obs/histogram.hh"
 #include "ooo/branch_predictor.hh"
 #include "ooo/config.hh"
 #include "ooo/value_predictor.hh"
@@ -97,6 +99,15 @@ struct OooStats
 
     std::uint64_t robFullStalls = 0;
     std::uint64_t queueFullStalls = 0;
+    /**
+     * Per-cycle stall attribution (every cause sums to `cycles`).
+     * Accumulated only when the configuration is contended or
+     * MachineConfig::cpiStack is set; empty otherwise.
+     */
+    obs::CpiStack cpiStack;
+    /** Load latency from port grant to data ready (forwarded = 1);
+     *  accumulated under the same gate as the CPI stack. */
+    obs::Log2Histogram loadToUse;
     /** Ready loads that found every port of their pipe claimed this
      *  cycle, per pipe [DCache, Lvc]. */
     std::uint64_t portStallsLoad[2] = {0, 0};
@@ -216,6 +227,27 @@ class OooCore
         bool storeWritten = false;   ///< store performed at commit
         bool regionChecked = false;
 
+        // CPI-stack attribution state (observation only; written even
+        // when accounting is off — the fields are cheap and keeping
+        // the writes unconditional guarantees enabling the stack
+        // cannot perturb timing).
+        /** Why the access stage skipped this pending load last try. */
+        enum class MemBlock : std::uint8_t
+        {
+            None,
+            PortDenied,     ///< every port of its pipe was claimed
+            StoreNotReady   ///< matched forwarding store not ready
+        };
+        MemBlock memBlock = MemBlock::None;
+        Cycle tlbStallUntil = 0;      ///< page-table walk ends here
+        Cycle mispredStallUntil = 0;  ///< re-route penalty ends here
+        bool memStarted = false;      ///< granted a port; in hierarchy
+        Cycle memStartAt = 0;         ///< cycle the access began
+        std::uint32_t memBankDelay = 0;  ///< per-access stall breakdown
+        std::uint32_t memWbDelay = 0;
+        std::uint32_t memMshrDelay = 0;
+        std::uint32_t memBusDelay = 0;
+
         // Store address generation depends only on the base
         // register; these track that producer separately so a slow
         // store *data* chain does not stall younger loads.
@@ -266,6 +298,14 @@ class OooCore
     /** Emit one pipeline-trace event when tracing is enabled. */
     void trace(obs::PipeEvent ev, const Entry &e,
                const std::string &detail = "");
+
+    /**
+     * Attribute one zero-commit cycle to a StallCause, driven by the
+     * ROB head (top-down accounting); falls back to the cycle's
+     * dispatch-block cause when the head's cause is weak.  Called
+     * once per zero-commit cycle while accounting is enabled.
+     */
+    void classifyStallCycle();
 
     MachineConfig config;
     sim::Simulator funcSim;
@@ -338,6 +378,9 @@ class OooCore
     unsigned portsUsed[2] = {0, 0};   ///< [DCache, Lvc]
     unsigned fuUsed[5] = {0, 0, 0, 0, 0};
     unsigned issuedThisCycle = 0;
+    /** Structure dispatch hit this cycle (RobFull / LsqFull /
+     *  LvaqFull); NumCauses = dispatch was not blocked. */
+    obs::StallCause dispatchBlocked = obs::StallCause::NumCauses;
 
     // Trace buffering.
     std::optional<sim::StepInfo> pendingStep;
@@ -347,6 +390,8 @@ class OooCore
     Cycle now = 0;
     OooStats stats;
     obs::Hooks *obsHooks = nullptr;
+    /** Per-cycle stall attribution on? (contended or forced). */
+    bool cpiEnabled = false;
 };
 
 } // namespace arl::ooo

@@ -241,7 +241,9 @@ runSweep(const SweepSpec &spec)
         auto trace_handle = prep[wi].trace;
 
         if (job < timing_jobs) {
-            const ooo::MachineConfig &config = spec.configs[job % nc];
+            ooo::MachineConfig config = spec.configs[job % nc];
+            if (spec.cpiStack)
+                config.cpiStack = true;
             auto source =
                 std::make_shared<trace::ReplaySource>(trace_handle);
             // Checkpointed fast-forward: skip decoding the prefix up

@@ -121,6 +121,13 @@ struct SweepSpec
      * Also the v2 block size of cache entries written by this sweep.
      */
     InstCount checkpointEvery = 0;
+    /**
+     * Force per-cycle stall attribution (ooo.cpi_stack.* and the
+     * load-to-use histogram) on every timing config, ideal ones
+     * included; contended configs account regardless.  Observation
+     * only — timing numbers are unchanged, reports gain keys.
+     */
+    bool cpiStack = false;
 };
 
 /** Result of one timing grid point. */

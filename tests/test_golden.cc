@@ -270,7 +270,61 @@ TEST(Golden, Fig8ContendedSweepReport)
         EXPECT_LT(decoupled, wide) << workload;
     }
 
+    // The CPI stack accounts for every cycle of every contended job:
+    // the non-total leaves sum exactly to ooo.cycles.
+    for (const auto &run : report.runs) {
+        if (run.config == "summary")
+            continue;
+        double leaf_sum = 0.0;
+        for (const auto &kv : run.stats)
+            if (kv.first.rfind("ooo.cpi_stack.", 0) == 0 &&
+                kv.first != "ooo.cpi_stack.total")
+                leaf_sum += kv.second;
+        const double cycles = stat(run, "ooo.cycles");
+        EXPECT_EQ(leaf_sum, cycles)
+            << run.workload << " / " << run.config;
+        EXPECT_EQ(stat(run, "ooo.cpi_stack.total"), cycles)
+            << run.workload << " / " << run.config;
+    }
+
+    // And it localizes the paper's claim: the wider conventional
+    // (4+0) loses strictly more cycles to dcache-port contention +
+    // bank conflicts than the decoupled (3+1) on every workload.
+    for (const char *workload : {"go_like", "li_like"}) {
+        double wide = 0, decoupled = 0;
+        for (const auto &run : report.runs) {
+            if (run.workload != workload)
+                continue;
+            const double port_and_banks =
+                stat(run, "ooo.cpi_stack.dcache_port") +
+                stat(run, "ooo.cpi_stack.bank_conflict.dcache") +
+                stat(run, "ooo.cpi_stack.bank_conflict.lvc");
+            if (run.config.rfind("(4+0)", 0) == 0)
+                wide = port_and_banks;
+            else if (run.config.rfind("(3+1)", 0) == 0)
+                decoupled = port_and_banks;
+        }
+        EXPECT_GT(wide, decoupled) << workload;
+    }
+
     expectMatchesGolden(serial.str(), kGoldenContendedFile);
+}
+
+TEST(Golden, IdealGoldensCarryNoCpiStackKeys)
+{
+    // CPI-stack / histogram keys register only when contention or
+    // the explicit cpiStack knob is on — the ideal goldens must stay
+    // byte-identical, which starts with not containing the keys.
+    for (const char *file : {kGoldenFile, kGoldenSeekFile}) {
+        std::ifstream in(goldenPath(file));
+        ASSERT_TRUE(in) << goldenPath(file);
+        std::ostringstream text;
+        text << in.rdbuf();
+        EXPECT_EQ(text.str().find("cpi_stack"), std::string::npos)
+            << file;
+        EXPECT_EQ(text.str().find("load_to_use"), std::string::npos)
+            << file;
+    }
 }
 
 TEST(Golden, V2TraceFixtureEncodingPinned)

@@ -21,10 +21,12 @@
  *
  *   arl_sim time <workload> [--config "(N+M)"] [--l1-lat N]
  *       [--insts N] [--all-configs] [--scale N] [--no-vp] [--no-ff]
- *       [--warmup-window N] [contention flags]
+ *       [--warmup-window N] [--cpi-stack] [contention flags]
  *       The paper's §4 timing methodology (warmup + timed window).
  *       --warmup-window warms microarchitectural state only from the
- *       last N fast-forward instructions (0 = all).
+ *       last N fast-forward instructions (0 = all).  --cpi-stack
+ *       forces per-cycle stall attribution (ooo.cpi_stack.*) on
+ *       ideal configs; contended configs always account.
  *
  *   arl_sim sweep <workload[,workload...]|all> [--jobs N]
  *       [--trace-cache DIR] [--trace-format v1|v2]
@@ -42,6 +44,13 @@
  *       checkpoint and seeks the trace there instead of replaying
  *       the prefix; reports are bit-identical, only wall clock
  *       changes.
+ *
+ *   arl_sim validate <file.json>
+ *       Validate an emitted JSON document with the in-tree parser:
+ *       Chrome traces (a "traceEvents" array — every event needs
+ *       ph/pid/tid/ts, "X" events need dur, timestamps must be
+ *       non-decreasing) and obs::Report documents (schema_version +
+ *       runs).  Exit 0 when valid, 2 when not.
  *
  *   arl_sim disasm <file.s>
  *       Assemble and disassemble.
@@ -63,11 +72,16 @@
  *
  *   --stats-json <file>   write an obs::Report JSON document
  *   --stats-csv <file>    flat workload,config,stat,value CSV
+ *                         ("-" writes either sink to stdout)
  *   --interval <N>        sample all stats every N instructions
  *                         (recorded in the JSON "intervals" section)
  *   --pipetrace <file>    pipeline event trace (time only)
  *   --pipetrace-max <N>   cap trace at N events (0 = unlimited)
- *   --quiet               suppress info/warn output
+ *   --chrome-trace <file> Chrome Trace Event timeline (time only)
+ *   --chrome-trace-max <N> cap at N instruction spans (0 = unlimited)
+ *   --quiet               suppress info/warn output AND the human
+ *                         tables/headers, so piped --stats-csv -
+ *                         output is machine-clean
  *   --log-level <name>    debug | info | warn | quiet
  *
  * Exit codes: 0 success, 1 usage error, 2 input error.
@@ -77,6 +91,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -86,6 +101,7 @@
 #include "core/experiment.hh"
 #include "isa/inst.hh"
 #include "obs/hooks.hh"
+#include "obs/json.hh"
 #include "obs/report.hh"
 #include "predict/static_classifier.hh"
 #include "sim/simulator.hh"
@@ -175,6 +191,8 @@ class Args
             {"interval", FlagKind::Int},
             {"pipetrace", FlagKind::String},
             {"pipetrace-max", FlagKind::Int},
+            {"chrome-trace", FlagKind::String},
+            {"chrome-trace-max", FlagKind::Int},
         };
         auto find = [&](const std::string &name) -> const FlagSpec * {
             for (const FlagSpec &spec : specs)
@@ -250,8 +268,10 @@ struct ObsOptions
     std::string jsonPath;
     std::string csvPath;
     std::string tracePath;
+    std::string chromePath;
     std::uint64_t interval = 0;
     std::uint64_t traceMax = 0;
+    std::uint64_t chromeMax = 0;
 
     static ObsOptions
     parse(const Args &args)
@@ -260,10 +280,13 @@ struct ObsOptions
         opts.jsonPath = args.flag("stats-json", "");
         opts.csvPath = args.flag("stats-csv", "");
         opts.tracePath = args.flag("pipetrace", "");
+        opts.chromePath = args.flag("chrome-trace", "");
         opts.interval =
             static_cast<std::uint64_t>(args.flagInt("interval", 0));
         opts.traceMax =
             static_cast<std::uint64_t>(args.flagInt("pipetrace-max", 0));
+        opts.chromeMax = static_cast<std::uint64_t>(
+            args.flagInt("chrome-trace-max", 0));
         return opts;
     }
 
@@ -273,16 +296,36 @@ struct ObsOptions
     }
 };
 
-/** Write the report to every requested sink; 0 on success, 2 on I/O. */
+/**
+ * Write the report to every requested sink; 0 on success, 2 on I/O.
+ * A path of "-" streams to stdout — combined with --quiet (which
+ * silences the human tables) the piped output is machine-clean.
+ */
 int
 emitReport(const obs::Report &report, const ObsOptions &opts)
 {
     bool ok = true;
-    if (!opts.jsonPath.empty())
-        ok = report.writeJsonFile(opts.jsonPath) && ok;
-    if (!opts.csvPath.empty())
-        ok = report.writeCsvFile(opts.csvPath) && ok;
+    if (!opts.jsonPath.empty()) {
+        if (opts.jsonPath == "-")
+            report.writeJson(std::cout);
+        else
+            ok = report.writeJsonFile(opts.jsonPath) && ok;
+    }
+    if (!opts.csvPath.empty()) {
+        if (opts.csvPath == "-")
+            report.writeCsv(std::cout);
+        else
+            ok = report.writeCsvFile(opts.csvPath) && ok;
+    }
     return ok ? 0 : 2;
+}
+
+/** True when --quiet (or --log-level quiet) asked for machine-clean
+ *  stdout: human tables, headers, and meter lines are suppressed. */
+bool
+quietOutput()
+{
+    return logLevel() >= LogLevel::Error;
 }
 
 /** Load a target: registered workload name or an assembly file. */
@@ -567,7 +610,7 @@ cmdTime(const std::string &target, Args &args)
         {"insts", FlagKind::Int},      {"all-configs", FlagKind::Bool},
         {"scale", FlagKind::Int},      {"no-vp", FlagKind::Bool},
         {"no-ff", FlagKind::Bool},     {"warmup-window", FlagKind::Int},
-        {"verbose", FlagKind::Bool},
+        {"verbose", FlagKind::Bool},   {"cpi-stack", FlagKind::Bool},
     };
     accepted.insert(accepted.end(), kContentionFlags.begin(),
                     kContentionFlags.end());
@@ -602,11 +645,16 @@ cmdTime(const std::string &target, Args &args)
             config.valuePrediction = false;
         if (args.has("no-ff"))
             config.fastForwarding = false;
+        if (args.has("cpi-stack"))
+            config.cpiStack = true;
         config.applyContention(knobs);
     }
 
     if (!opts.tracePath.empty() && configs.size() > 1)
         warn("--pipetrace with multiple configs: tracing only '%s'",
+             configs.front().name.c_str());
+    if (!opts.chromePath.empty() && configs.size() > 1)
+        warn("--chrome-trace with multiple configs: tracing only '%s'",
              configs.front().name.c_str());
 
     // Each configuration gets a fresh Hooks: the core re-registers
@@ -618,16 +666,23 @@ cmdTime(const std::string &target, Args &args)
     for (std::size_t i = 0; i < configs.size(); ++i) {
         obs::Hooks hooks;
         hooks.intervalEvery = opts.interval;
-        if (i == 0 && !opts.tracePath.empty())
-            hooks.openTrace(opts.tracePath, opts.traceMax);
+        if (i == 0 && !opts.tracePath.empty() &&
+            !hooks.openTrace(opts.tracePath, opts.traceMax))
+            return 1;
+        if (i == 0 && !opts.chromePath.empty() &&
+            !hooks.openChromeTrace(opts.chromePath, opts.chromeMax))
+            return 1;
         results.push_back(experiment.timingStudy(
             configs[i], info.warmupInsts, timed, &hooks, nullptr,
             warmup_window));
+        hooks.finishChromeTrace(target + " " + configs[i].name);
         if (opts.wantsReport())
             report.runs.push_back(obs::RunRecord::fromHooks(
                 target, configs[i].name, hooks));
     }
 
+    if (quietOutput())
+        return emitReport(report, opts);
     if (args.has("verbose")) {
         for (const auto &stats : results)
             std::printf("%s\n", stats.dump().c_str());
@@ -664,6 +719,7 @@ cmdSweep(const std::string &target, Args &args)
         {"study-insts", FlagKind::Int},
         {"scale", FlagKind::Int},
         {"timing-json", FlagKind::String},
+        {"cpi-stack", FlagKind::Bool},
     };
     accepted.insert(accepted.end(), kContentionFlags.begin(),
                     kContentionFlags.end());
@@ -684,6 +740,7 @@ cmdSweep(const std::string &target, Args &args)
         return 1;
     }
     spec.seekFastForward = args.has("seek-ff");
+    spec.cpiStack = args.has("cpi-stack");
     spec.checkpointEvery = static_cast<InstCount>(
         args.flagInt("checkpoint-every", 0));
     // --seek-ff needs a bounded warming window to have a prefix to
@@ -754,7 +811,7 @@ cmdSweep(const std::string &target, Args &args)
 
     sweep::SweepResult result = core::Experiment::sweep(spec);
 
-    if (!result.timing.empty()) {
+    if (!result.timing.empty() && !quietOutput()) {
         std::printf("%-15s %-12s %10s %6s\n", "workload", "config",
                     "cycles", "IPC");
         for (const auto &point : result.timing)
@@ -763,35 +820,38 @@ cmdSweep(const std::string &target, Args &args)
                         (unsigned long long)point.stats.cycles,
                         point.stats.ipc());
     }
-    for (const auto &point : result.region) {
-        std::printf("%-15s %-12s %10llu insts", point.workload.c_str(),
-                    "regionstudy",
-                    (unsigned long long)point.instructions);
-        for (const auto &[name, report] : point.schemes)
-            std::printf("  %s %.2f%%", name.c_str(),
-                        report.accuracyPct());
-        std::printf("\n");
+    if (!quietOutput()) {
+        for (const auto &point : result.region) {
+            std::printf("%-15s %-12s %10llu insts",
+                        point.workload.c_str(), "regionstudy",
+                        (unsigned long long)point.instructions);
+            for (const auto &[name, report] : point.schemes)
+                std::printf("  %s %.2f%%", name.c_str(),
+                            report.accuracyPct());
+            std::printf("\n");
+        }
+        std::printf("sweep: %zu grid points, %llu traced insts, "
+                    "jobs %u, wall %.2fs, est. serial %.2fs, "
+                    "speedup %.2fx, cache %llu hit / %llu miss\n",
+                    result.timing.size() + result.region.size(),
+                    (unsigned long long)result.traceInstructions,
+                    result.jobs, result.wallSeconds,
+                    result.serialSecondsEstimate, result.speedup(),
+                    (unsigned long long)result.traceCacheHits,
+                    (unsigned long long)result.traceCacheMisses);
+        if (result.traceDiskBytes)
+            std::printf("trace cache (%s): %.2f MB on disk, %.2fx vs "
+                        "v1%s\n",
+                        trace::formatName(spec.traceFormat),
+                        result.traceDiskBytes / 1e6,
+                        static_cast<double>(result.traceV1EquivBytes) /
+                            result.traceDiskBytes,
+                        result.traceDecodeSeconds > 0.0 ? ""
+                                                        : " (written)");
+        if (spec.seekFastForward)
+            std::printf("seek-ff: skipped %llu fast-forward records\n",
+                        (unsigned long long)result.seekSkippedRecords);
     }
-    std::printf("sweep: %zu grid points, %llu traced insts, "
-                "jobs %u, wall %.2fs, est. serial %.2fs, "
-                "speedup %.2fx, cache %llu hit / %llu miss\n",
-                result.timing.size() + result.region.size(),
-                (unsigned long long)result.traceInstructions,
-                result.jobs, result.wallSeconds,
-                result.serialSecondsEstimate, result.speedup(),
-                (unsigned long long)result.traceCacheHits,
-                (unsigned long long)result.traceCacheMisses);
-    if (result.traceDiskBytes)
-        std::printf("trace cache (%s): %.2f MB on disk, %.2fx vs v1"
-                    "%s\n",
-                    trace::formatName(spec.traceFormat),
-                    result.traceDiskBytes / 1e6,
-                    static_cast<double>(result.traceV1EquivBytes) /
-                        result.traceDiskBytes,
-                    result.traceDecodeSeconds > 0.0 ? "" : " (written)");
-    if (spec.seekFastForward)
-        std::printf("seek-ff: skipped %llu fast-forward records\n",
-                    (unsigned long long)result.seekSkippedRecords);
 
     // Run-varying metering goes to its own file so the --stats-json
     // document stays byte-identical across --jobs values.
@@ -919,6 +979,122 @@ cmdReplay(const std::string &trace_path, Args &args)
     return emitReport(report, opts);
 }
 
+/** One validation failure: message to stderr, exit code 2. */
+int
+invalid(const std::string &path, const std::string &message)
+{
+    std::fprintf(stderr, "arl_sim: %s: %s\n", path.c_str(),
+                 message.c_str());
+    return 2;
+}
+
+/**
+ * Validate a Chrome Trace Event document: "traceEvents" must be an
+ * array of objects each carrying ph/pid/tid/ts (and dur for complete
+ * "X" events), with timestamps non-decreasing — the order finish()
+ * guarantees and viewers rely on.
+ */
+int
+validateChromeTrace(const std::string &path, const obs::JsonValue &doc)
+{
+    const obs::JsonValue *events = doc.find("traceEvents");
+    if (!events || !events->isArray())
+        return invalid(path, "\"traceEvents\" is not an array");
+    double last_ts = 0.0;
+    bool have_ts = false;
+    std::size_t spans = 0, counters = 0;
+    for (std::size_t i = 0; i < events->array.size(); ++i) {
+        const obs::JsonValue &ev = events->array[i];
+        const std::string at = "event " + std::to_string(i);
+        if (!ev.isObject())
+            return invalid(path, at + " is not an object");
+        const obs::JsonValue *ph = ev.find("ph");
+        if (!ph || !ph->isString() || ph->string.size() != 1)
+            return invalid(path, at + ": bad or missing \"ph\"");
+        for (const char *key : {"pid", "tid", "ts"}) {
+            const obs::JsonValue *field = ev.find(key);
+            if (!field || !field->isNumber())
+                return invalid(path, at + ": bad or missing \"" +
+                                         key + "\"");
+        }
+        const obs::JsonValue *name = ev.find("name");
+        if (!name || !name->isString())
+            return invalid(path, at + ": bad or missing \"name\"");
+        const double ts = ev.find("ts")->number;
+        if (have_ts && ts < last_ts)
+            return invalid(path, at + ": timestamps not sorted");
+        last_ts = ts;
+        have_ts = true;
+        if (ph->string == "X") {
+            const obs::JsonValue *dur = ev.find("dur");
+            if (!dur || !dur->isNumber())
+                return invalid(path,
+                               at + ": \"X\" event without \"dur\"");
+            ++spans;
+        } else if (ph->string == "C") {
+            ++counters;
+        }
+    }
+    if (!quietOutput())
+        std::printf("%s: valid Chrome trace (%zu events: %zu spans, "
+                    "%zu counter samples)\n", path.c_str(),
+                    events->array.size(), spans, counters);
+    return 0;
+}
+
+/** Validate an obs::Report document (schema_version + runs array). */
+int
+validateReport(const std::string &path, const obs::JsonValue &doc)
+{
+    const obs::JsonValue *runs = doc.find("runs");
+    if (!runs || !runs->isArray())
+        return invalid(path, "\"runs\" is not an array");
+    for (std::size_t i = 0; i < runs->array.size(); ++i) {
+        const obs::JsonValue &run = runs->array[i];
+        const std::string at = "run " + std::to_string(i);
+        if (!run.isObject())
+            return invalid(path, at + " is not an object");
+        for (const char *key : {"workload", "config"}) {
+            const obs::JsonValue *field = run.find(key);
+            if (!field || !field->isString())
+                return invalid(path, at + ": bad or missing \"" +
+                                         key + "\"");
+        }
+        const obs::JsonValue *stats = run.find("stats");
+        if (!stats || !stats->isObject())
+            return invalid(path, at + ": bad or missing \"stats\"");
+    }
+    if (!quietOutput())
+        std::printf("%s: valid report (%zu runs)\n", path.c_str(),
+                    runs->array.size());
+    return 0;
+}
+
+int
+cmdValidate(const std::string &path, Args &args)
+{
+    args.parse({}, Args::Common::LogOnly);
+    std::ifstream file(path);
+    if (!file)
+        return invalid(path, "cannot open");
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+
+    obs::JsonValue doc;
+    std::string error;
+    if (!obs::jsonParse(buffer.str(), doc, &error))
+        return invalid(path, error);
+    if (!doc.isObject())
+        return invalid(path, "top-level value is not an object");
+    if (doc.find("traceEvents"))
+        return validateChromeTrace(path, doc);
+    if (doc.find("schema_version"))
+        return validateReport(path, doc);
+    return invalid(path,
+                   "neither a Chrome trace (\"traceEvents\") nor an "
+                   "obs::Report (\"schema_version\")");
+}
+
 int
 cmdDisasm(const std::string &target, Args &args)
 {
@@ -957,14 +1133,19 @@ usage()
         "  record <target> [--out F]    record a binary trace\n"
         "    [--trace-format v1|v2] [--block-records N] [--max-insts N]\n"
         "  replay <file.trace> [--seek N]  profile from a trace\n"
+        "  validate <file.json>         check a Chrome trace or report\n"
         "  disasm <file.s|workload>     disassemble\n"
         "targets: a registered workload name or an .s assembly file\n"
         "contention (time and sweep; 0 = ideal backend):\n"
         "  --banks N   --mshrs N   --wb-buffer N   --bus-cycles N\n"
         "  --tlb-miss-lat N\n"
-        "observability (any simulating command):\n"
+        "cycle accounting (time and sweep):\n"
+        "  --cpi-stack   force ooo.cpi_stack.* / load-to-use histogram\n"
+        "                on ideal configs (contended always account)\n"
+        "observability (any simulating command; F = \"-\" for stdout):\n"
         "  --stats-json F   --stats-csv F   --interval N\n"
         "  --pipetrace F [--pipetrace-max N]   (time only)\n"
+        "  --chrome-trace F [--chrome-trace-max N]   (time only)\n"
         "  --quiet   --log-level debug|info|warn|quiet\n");
 }
 
@@ -1028,6 +1209,8 @@ main(int argc, char **argv)
         return cmdRecord(target, args);
     if (command == "replay")
         return cmdReplay(target, args);
+    if (command == "validate")
+        return cmdValidate(target, args);
     if (command == "disasm")
         return cmdDisasm(target, args);
     usage();
