@@ -142,9 +142,12 @@ Experiment::timingStudy(const ooo::MachineConfig &config,
         hooks->restartSampling();
     TimingResult result = core.run(max_insts);
     // The registry's live entries point into `core`, which dies at
-    // return; freeze the values now so reports stay valid.
-    if (hooks)
+    // return; flush the trailing partial sampling interval, then
+    // freeze the values so reports stay valid.
+    if (hooks) {
+        hooks->finishSampling(result.instructions);
         hooks->finalize();
+    }
     return result;
 }
 

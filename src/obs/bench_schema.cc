@@ -1,0 +1,344 @@
+#include "obs/bench_schema.hh"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+
+namespace arl::obs
+{
+
+void
+BenchReport::writeJson(std::ostream &os,
+                       const Profiler::Report *profile) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema_version", 1);
+    w.field("tool", tool);
+    w.field("bench_schema", 1);
+    w.key("meta");
+    writeHostMetaJson(w, meta);
+    w.field("peak_rss_kb", peakRssKb);
+    w.key("benches").beginArray();
+    for (const BenchCase &bench : benches) {
+        w.beginObject();
+        w.field("name", bench.name);
+        w.field("wall_seconds", bench.wallSeconds);
+        w.field("mips", bench.mips);
+        w.field("guest_insts", bench.guestInsts);
+        w.field("guest_cycles", bench.guestCycles);
+        w.key("counters").beginObject();
+        for (const auto &[name, value] : bench.counters)
+            w.field(name, value);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    if (profile) {
+        w.key("profile").beginObject();
+        w.field("total_seconds", profile->totalSeconds);
+        w.field("phase_seconds", profile->phaseSeconds());
+        w.field("guest_insts", profile->guestInsts);
+        w.key("phases").beginArray();
+        // Reuse the profiler's node schema via a local walker.
+        struct Walk
+        {
+            static void
+            node(JsonWriter &w, const Profiler::Node &n)
+            {
+                w.beginObject();
+                w.field("name", n.name);
+                w.field("seconds", n.seconds());
+                w.field("calls", n.calls);
+                w.field("guest_insts", n.guestInsts);
+                w.field("mips", n.mips());
+                w.key("children").beginArray();
+                for (const Profiler::Node &child : n.children)
+                    node(w, child);
+                w.endArray();
+                w.endObject();
+            }
+        };
+        for (const Profiler::Node &node : profile->phases)
+            Walk::node(w, node);
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
+    os << '\n';
+}
+
+bool
+BenchReport::writeJsonFile(const std::string &path,
+                           const Profiler::Report *profile) const
+{
+    std::ofstream os(path);
+    if (!os.is_open()) {
+        warn("cannot write bench file '%s'", path.c_str());
+        return false;
+    }
+    writeJson(os, profile);
+    return true;
+}
+
+namespace
+{
+
+bool
+fail(std::string *error, const std::string &message)
+{
+    if (error)
+        *error = message;
+    return false;
+}
+
+bool
+numberField(const JsonValue &obj, const char *key, double &out,
+            std::string *error, const std::string &at)
+{
+    const JsonValue *field = obj.find(key);
+    if (!field || !field->isNumber())
+        return fail(error, at + ": bad or missing \"" + key + "\"");
+    out = field->number;
+    return true;
+}
+
+} // namespace
+
+bool
+parseBenchReport(const JsonValue &doc, BenchReport &out,
+                 std::string *error)
+{
+    if (!doc.isObject())
+        return fail(error, "top-level value is not an object");
+    const JsonValue *schema = doc.find("bench_schema");
+    if (!schema || !schema->isNumber() || schema->number != 1)
+        return fail(error, "\"bench_schema\" is not 1");
+    const JsonValue *tool = doc.find("tool");
+    if (tool && tool->isString())
+        out.tool = tool->string;
+    const JsonValue *meta = doc.find("meta");
+    if (!meta || !meta->isObject())
+        return fail(error, "\"meta\" is not an object");
+    if (const JsonValue *sha = meta->find("git_sha");
+        sha && sha->isString())
+        out.meta.gitSha = sha->string;
+    if (const JsonValue *version = meta->find("version");
+        version && version->isString())
+        out.meta.version = version->string;
+    const JsonValue *benches = doc.find("benches");
+    if (!benches || !benches->isArray())
+        return fail(error, "\"benches\" is not an array");
+    for (std::size_t i = 0; i < benches->array.size(); ++i) {
+        const JsonValue &entry = benches->array[i];
+        const std::string at = "bench " + std::to_string(i);
+        if (!entry.isObject())
+            return fail(error, at + " is not an object");
+        const JsonValue *name = entry.find("name");
+        if (!name || !name->isString())
+            return fail(error, at + ": bad or missing \"name\"");
+        BenchCase bench;
+        bench.name = name->string;
+        double value = 0.0;
+        if (!numberField(entry, "wall_seconds", value, error, at))
+            return false;
+        bench.wallSeconds = value;
+        if (!numberField(entry, "mips", value, error, at))
+            return false;
+        bench.mips = value;
+        if (!numberField(entry, "guest_insts", value, error, at))
+            return false;
+        bench.guestInsts = static_cast<std::uint64_t>(value);
+        if (!numberField(entry, "guest_cycles", value, error, at))
+            return false;
+        bench.guestCycles = static_cast<std::uint64_t>(value);
+        const JsonValue *counters = entry.find("counters");
+        if (!counters || !counters->isObject())
+            return fail(error, at + ": bad or missing \"counters\"");
+        for (const auto &[key, counter] : counters->object) {
+            if (!counter.isNumber())
+                return fail(error, at + ": counter \"" + key +
+                                       "\" is not a number");
+            bench.counters.emplace_back(key, counter.number);
+        }
+        out.benches.push_back(std::move(bench));
+    }
+    // The profile section is optional but must be well-formed.
+    if (const JsonValue *profile = doc.find("profile")) {
+        if (!profile->isObject() || !profile->find("phases"))
+            return fail(error, "\"profile\" is not a phase object");
+    }
+    return true;
+}
+
+namespace
+{
+
+bool
+validatePhases(const JsonValue &phases, std::string *error,
+               unsigned depth)
+{
+    if (depth > 32)
+        return fail(error, "phase tree deeper than 32 levels");
+    if (!phases.isArray())
+        return fail(error, "\"phases\"/\"children\" is not an array");
+    for (std::size_t i = 0; i < phases.array.size(); ++i) {
+        const JsonValue &phase = phases.array[i];
+        const std::string at = "phase " + std::to_string(i);
+        if (!phase.isObject())
+            return fail(error, at + " is not an object");
+        const JsonValue *name = phase.find("name");
+        if (!name || !name->isString())
+            return fail(error, at + ": bad or missing \"name\"");
+        for (const char *key : {"seconds", "calls"}) {
+            const JsonValue *field = phase.find(key);
+            if (!field || !field->isNumber())
+                return fail(error, at + " (" + name->string +
+                                       "): bad or missing \"" + key +
+                                       "\"");
+        }
+        const JsonValue *children = phase.find("children");
+        if (!children)
+            return fail(error, at + " (" + name->string +
+                                   "): missing \"children\"");
+        if (!validatePhases(*children, error, depth + 1))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+validateProfileDoc(const JsonValue &doc, std::string *error)
+{
+    if (!doc.isObject())
+        return fail(error, "top-level value is not an object");
+    const JsonValue *kind = doc.find("kind");
+    if (!kind || !kind->isString() || kind->string != "profile")
+        return fail(error, "\"kind\" is not \"profile\"");
+    const JsonValue *meta = doc.find("meta");
+    if (!meta || !meta->isObject())
+        return fail(error, "\"meta\" is not an object");
+    const JsonValue *total = doc.find("total_seconds");
+    if (!total || !total->isNumber())
+        return fail(error, "bad or missing \"total_seconds\"");
+    const JsonValue *phases = doc.find("phases");
+    if (!phases)
+        return fail(error, "missing \"phases\"");
+    return validatePhases(*phases, error, 0);
+}
+
+namespace
+{
+
+std::string
+fmt(const char *format, ...)
+{
+    char buffer[512];
+    va_list args;
+    va_start(args, format);
+    std::vsnprintf(buffer, sizeof(buffer), format, args);
+    va_end(args);
+    return buffer;
+}
+
+} // namespace
+
+CompareResult
+compareBenchReports(const BenchReport &baseline,
+                    const BenchReport &current,
+                    const CompareOptions &opts)
+{
+    CompareResult result;
+    for (const BenchCase &base : baseline.benches) {
+        const BenchCase *cur = nullptr;
+        for (const BenchCase &candidate : current.benches)
+            if (candidate.name == base.name) {
+                cur = &candidate;
+                break;
+            }
+        if (!cur) {
+            if (opts.requireAll) {
+                result.ok = false;
+                result.messages.push_back(
+                    fmt("FAIL %s: missing from current report",
+                        base.name.c_str()));
+            }
+            continue;
+        }
+        ++result.compared;
+
+        bool bench_ok = true;
+        if (cur->guestInsts != base.guestInsts) {
+            bench_ok = false;
+            result.messages.push_back(fmt(
+                "FAIL %s: guest_insts %llu != baseline %llu "
+                "(deterministic; simulated behaviour changed)",
+                base.name.c_str(),
+                (unsigned long long)cur->guestInsts,
+                (unsigned long long)base.guestInsts));
+        }
+        if (cur->guestCycles != base.guestCycles) {
+            bench_ok = false;
+            result.messages.push_back(fmt(
+                "FAIL %s: guest_cycles %llu != baseline %llu "
+                "(deterministic; simulated behaviour changed)",
+                base.name.c_str(),
+                (unsigned long long)cur->guestCycles,
+                (unsigned long long)base.guestCycles));
+        }
+        for (const auto &[name, value] : base.counters) {
+            const double *found = nullptr;
+            for (const auto &[cur_name, cur_value] : cur->counters)
+                if (cur_name == name) {
+                    found = &cur_value;
+                    break;
+                }
+            if (!found) {
+                bench_ok = false;
+                result.messages.push_back(
+                    fmt("FAIL %s: counter \"%s\" missing",
+                        base.name.c_str(), name.c_str()));
+            } else if (*found != value) {
+                bench_ok = false;
+                result.messages.push_back(
+                    fmt("FAIL %s: counter \"%s\" %g != baseline %g",
+                        base.name.c_str(), name.c_str(), *found,
+                        value));
+            }
+        }
+        if (base.mips > 0.0 && cur->mips > 0.0) {
+            const double drop = (base.mips - cur->mips) / base.mips;
+            if (drop > opts.mipsTol) {
+                bench_ok = false;
+                result.messages.push_back(fmt(
+                    "FAIL %s: MIPS %.3f is %.1f%% below baseline "
+                    "%.3f (tolerance %.1f%%)",
+                    base.name.c_str(), cur->mips, 100.0 * drop,
+                    base.mips, 100.0 * opts.mipsTol));
+            } else {
+                result.messages.push_back(fmt(
+                    "ok   %s: MIPS %.3f vs baseline %.3f (%+.1f%%), "
+                    "insts %llu, cycles %llu",
+                    base.name.c_str(), cur->mips, base.mips,
+                    -100.0 * drop,
+                    (unsigned long long)cur->guestInsts,
+                    (unsigned long long)cur->guestCycles));
+            }
+        }
+        result.ok = result.ok && bench_ok;
+    }
+    if (result.compared == 0) {
+        result.ok = false;
+        result.messages.push_back(
+            "FAIL: no benches in common between the two reports");
+    }
+    return result;
+}
+
+} // namespace arl::obs

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The benchmark-trajectory document (BENCH_*.json, bench_schema 1)
+ * shared by the `arl_bench` runner, the `bench_compare` regression
+ * gate, `arl_sim validate`, and the unit tests.
+ *
+ * Schema:
+ *
+ *   {
+ *     "schema_version": 1,
+ *     "tool": "arl_bench",
+ *     "bench_schema": 1,
+ *     "meta": { version, git_sha, build_type, compiler, cpus,
+ *               timestamp },
+ *     "peak_rss_kb": N,
+ *     "benches": [
+ *       {
+ *         "name": "replay_core",
+ *         "wall_seconds": 1.23,        // machine-dependent
+ *         "mips": 0.87,                // machine-dependent
+ *         "guest_insts": 840000,       // deterministic
+ *         "guest_cycles": 513742,      // deterministic
+ *         "counters": { "k": v, ... }  // deterministic extras
+ *       }, ...
+ *     ],
+ *     "profile": { total_seconds, phases: [...] }   // phase tree
+ *   }
+ *
+ * Comparison policy (compareBenchReports): deterministic fields
+ * (guest_insts, guest_cycles, counters) must match exactly — they
+ * only move when simulated behaviour changes.  MIPS may regress by
+ * at most `mipsTol` relative (improvements always pass); wall clock
+ * is never gated directly (it is the inverse of MIPS).
+ */
+
+#ifndef ARL_OBS_BENCH_SCHEMA_HH
+#define ARL_OBS_BENCH_SCHEMA_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/host_meta.hh"
+#include "obs/profiler.hh"
+
+namespace arl::obs
+{
+
+struct JsonValue;
+
+/** One bench case's record. */
+struct BenchCase
+{
+    std::string name;
+    double wallSeconds = 0.0;       ///< machine-dependent
+    double mips = 0.0;              ///< machine-dependent
+    std::uint64_t guestInsts = 0;   ///< deterministic
+    std::uint64_t guestCycles = 0;  ///< deterministic
+    /** Deterministic named extras (trace bytes, grid points, ...). */
+    std::vector<std::pair<std::string, double>> counters;
+};
+
+/** A full benchmark-trajectory document. */
+struct BenchReport
+{
+    std::string tool = "arl_bench";
+    HostMeta meta;
+    std::uint64_t peakRssKb = 0;
+    std::vector<BenchCase> benches;
+
+    /** Serialize; @p profile (optional) becomes the phase tree. */
+    void writeJson(std::ostream &os,
+                   const Profiler::Report *profile = nullptr) const;
+
+    bool writeJsonFile(const std::string &path,
+                       const Profiler::Report *profile = nullptr) const;
+};
+
+/**
+ * Parse a BENCH document.
+ * @return false with a message in @p error on schema violations.
+ */
+bool parseBenchReport(const JsonValue &doc, BenchReport &out,
+                      std::string *error = nullptr);
+
+/**
+ * Schema-check a profile document (kind "profile": meta object,
+ * total_seconds, recursive phases with name/seconds/calls/children).
+ */
+bool validateProfileDoc(const JsonValue &doc,
+                        std::string *error = nullptr);
+
+/** Tolerances for compareBenchReports. */
+struct CompareOptions
+{
+    /** Allowed relative MIPS drop (0.05 = 5%); gains always pass. */
+    double mipsTol = 0.05;
+    /** Every baseline bench must be present in the current report. */
+    bool requireAll = false;
+};
+
+/** Outcome of a baseline-vs-current comparison. */
+struct CompareResult
+{
+    bool ok = true;
+    /** Benches compared (intersection of the two documents). */
+    unsigned compared = 0;
+    /** Human-readable per-metric verdicts (failures first-class). */
+    std::vector<std::string> messages;
+};
+
+/**
+ * Diff @p current against @p baseline under @p opts.  ok is false on
+ * any deterministic mismatch, tolerated-metric regression, missing
+ * bench (under requireAll), or an empty intersection.
+ */
+CompareResult compareBenchReports(const BenchReport &baseline,
+                                  const BenchReport &current,
+                                  const CompareOptions &opts);
+
+} // namespace arl::obs
+
+#endif // ARL_OBS_BENCH_SCHEMA_HH

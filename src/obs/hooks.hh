@@ -76,6 +76,18 @@ struct Hooks
             sampler->tick(committed);
     }
 
+    /**
+     * End-of-run notification: flush the sampler's final partial
+     * interval so the row count is ceil(committed/every).  Call
+     * before finalize().
+     */
+    void
+    finishSampling(std::uint64_t committed)
+    {
+        if (sampler)
+            sampler->flush(committed);
+    }
+
     /** True when pipeline or Chrome tracing is active. */
     bool tracing() const { return tracer != nullptr || chrome != nullptr; }
 

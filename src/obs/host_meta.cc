@@ -1,0 +1,94 @@
+#include "obs/host_meta.hh"
+
+#include <sys/resource.h>
+
+#include <cstdlib>
+#include <ctime>
+#include <thread>
+
+#include "obs/json.hh"
+
+#ifndef ARL_VERSION
+#define ARL_VERSION "0.0.0"
+#endif
+#ifndef ARL_GIT_SHA
+#define ARL_GIT_SHA "unknown"
+#endif
+#ifndef ARL_BUILD_TYPE
+#define ARL_BUILD_TYPE "unknown"
+#endif
+
+namespace arl::obs
+{
+
+namespace
+{
+
+MetaClock injectedClock = nullptr;
+
+} // namespace
+
+void
+setMetaClock(MetaClock clock)
+{
+    injectedClock = clock;
+}
+
+std::uint64_t
+metaNow()
+{
+    if (injectedClock)
+        return injectedClock();
+    if (const char *epoch = std::getenv("SOURCE_DATE_EPOCH"))
+        if (epoch[0])
+            return static_cast<std::uint64_t>(
+                std::strtoull(epoch, nullptr, 10));
+    return static_cast<std::uint64_t>(std::time(nullptr));
+}
+
+HostMeta
+hostMeta()
+{
+    HostMeta meta;
+    meta.version = ARL_VERSION;
+    meta.gitSha = ARL_GIT_SHA;
+    meta.buildType = ARL_BUILD_TYPE;
+#ifdef __VERSION__
+    meta.compiler =
+#ifdef __clang__
+        std::string("clang ") + __VERSION__;
+#else
+        std::string("gcc ") + __VERSION__;
+#endif
+#else
+    meta.compiler = "unknown";
+#endif
+    meta.cpus = std::thread::hardware_concurrency();
+    meta.timestamp = metaNow();
+    return meta;
+}
+
+std::uint64_t
+peakRssKb()
+{
+    struct rusage usage = {};
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+    // Linux reports ru_maxrss in KiB already.
+    return static_cast<std::uint64_t>(usage.ru_maxrss);
+}
+
+void
+writeHostMetaJson(JsonWriter &w, const HostMeta &meta)
+{
+    w.beginObject();
+    w.field("version", meta.version);
+    w.field("git_sha", meta.gitSha);
+    w.field("build_type", meta.buildType);
+    w.field("compiler", meta.compiler);
+    w.field("cpus", meta.cpus);
+    w.field("timestamp", meta.timestamp);
+    w.endObject();
+}
+
+} // namespace arl::obs

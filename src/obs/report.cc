@@ -56,6 +56,10 @@ Report::writeJson(std::ostream &os) const
     w.field("schema_version", 1);
     w.field("tool", tool);
     w.field("command", command);
+    if (hasMeta) {
+        w.key("meta");
+        writeHostMetaJson(w, meta);
+    }
     w.key("runs").beginArray();
     for (const RunRecord &run : runs) {
         w.beginObject();

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/host_meta.hh"
 #include "obs/sampler.hh"
 #include "obs/stats_registry.hh"
 
@@ -71,6 +72,23 @@ struct Report
     std::string tool = "arl_sim";
     std::string command;
     std::vector<RunRecord> runs;
+
+    /**
+     * Optional self-description: git SHA, build type, compiler,
+     * wall timestamp (injectable clock), arl version.  Stamped by
+     * the CLI/bench sinks; never by SweepResult::toReport(), which
+     * is how golden files stay meta-free and byte-deterministic.
+     */
+    bool hasMeta = false;
+    HostMeta meta;
+
+    /** Fill the meta block from the running host (hostMeta()). */
+    void
+    stampMeta()
+    {
+        meta = obs::hostMeta();
+        hasMeta = true;
+    }
 
     /** Serialize the schema above. */
     void writeJson(std::ostream &os) const;

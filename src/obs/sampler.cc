@@ -46,6 +46,20 @@ IntervalSampler::tick(std::uint64_t committed)
     nextAt = (committed / interval + 1) * interval;
 }
 
+void
+IntervalSampler::flush(std::uint64_t committed)
+{
+    // Only sample when there is progress past the last row; a run
+    // whose length is an exact multiple of the interval already has
+    // its final row from tick().
+    if (committed == 0)
+        return;
+    if (!taken.empty() && taken.back().at >= committed)
+        return;
+    taken.push_back({committed, sampleValues()});
+    nextAt = (committed / interval + 1) * interval;
+}
+
 std::vector<IntervalSampler::Sample>
 IntervalSampler::deltas() const
 {

@@ -48,6 +48,13 @@ class IntervalSampler
      */
     void tick(std::uint64_t committed);
 
+    /**
+     * End-of-run flush: capture the final partial interval (if any
+     * instructions ran past the last sample) so a run of N committed
+     * instructions yields ceil(N/every) rows, not floor.
+     */
+    void flush(std::uint64_t committed);
+
     /** Sampling period. */
     std::uint64_t every() const { return interval; }
 

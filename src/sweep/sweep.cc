@@ -13,6 +13,7 @@
 
 #include "common/logging.hh"
 #include "obs/hooks.hh"
+#include "obs/profiler.hh"
 #include "trace/replay.hh"
 #include "workloads/workloads.hh"
 
@@ -159,10 +160,15 @@ runSweep(const SweepSpec &spec)
     result.numConfigs = nc;
     result.jobs = jobs;
     Clock::time_point wall_start = Clock::now();
+    // Coordinator-side root; workers file under it with Absolute
+    // paths since they own fresh (empty) scope stacks.
+    obs::ProfScope prof_sweep("sweep");
 
     // ---- Phase 1: build each program once, trace each stream once.
     std::vector<Prepared> prep(nw);
     runJobs(nw, jobs, [&](std::size_t wi) {
+        obs::ProfScope prof("sweep/prepare",
+                            obs::ProfScope::Mode::Absolute);
         Clock::time_point start = Clock::now();
         const WorkloadSpec &w = spec.workloads[wi];
         Prepared p;
@@ -241,6 +247,8 @@ runSweep(const SweepSpec &spec)
         auto trace_handle = prep[wi].trace;
 
         if (job < timing_jobs) {
+            obs::ProfScope prof("sweep/simulate",
+                                obs::ProfScope::Mode::Absolute);
             ooo::MachineConfig config = spec.configs[job % nc];
             if (spec.cpiStack)
                 config.cpiStack = true;
@@ -259,6 +267,7 @@ runSweep(const SweepSpec &spec)
                 ff_skip = trace_handle->checkpointAtOrBelow(w.warmup -
                                                             window);
                 if (ff_skip) {
+                    obs::ProfScope prof_seek("seek");
                     source->seekTo(ff_skip);
                     seek_skipped.fetch_add(
                         ff_skip, std::memory_order_relaxed);
@@ -275,8 +284,13 @@ runSweep(const SweepSpec &spec)
             point.stats = core.run(w.timed);
             hooks.finalize();
             point.snapshot = std::move(hooks.finalSnapshot);
+            prof.addGuestInsts(w.warmup - ff_skip +
+                               point.stats.instructions);
+            prof.addGuestCycles(point.stats.cycles);
             result.timing[job] = std::move(point);
         } else {
+            obs::ProfScope prof("sweep/regionstudy",
+                                obs::ProfScope::Mode::Absolute);
             // One replay pass feeds the profilers and every scheme,
             // mirroring Experiment::regionStudy.
             RegionPoint point;
@@ -337,6 +351,7 @@ runSweep(const SweepSpec &spec)
                                  ".arpt_entries") = report.arptOccupancy;
             }
             point.snapshot = registry.snapshot();
+            prof.addGuestInsts(point.instructions);
             result.region[wi] = std::move(point);
         }
 
@@ -346,10 +361,13 @@ runSweep(const SweepSpec &spec)
             prep[wi].trace.reset();
     });
 
-    for (double s : job_seconds)
-        result.serialSecondsEstimate += s;
-    result.seekSkippedRecords =
-        seek_skipped.load(std::memory_order_relaxed);
+    {
+        obs::ProfScope prof_merge("merge");
+        for (double s : job_seconds)
+            result.serialSecondsEstimate += s;
+        result.seekSkippedRecords =
+            seek_skipped.load(std::memory_order_relaxed);
+    }
     result.wallSeconds = secondsSince(wall_start);
     return result;
 }

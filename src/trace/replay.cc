@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "common/logging.hh"
+#include "obs/profiler.hh"
 #include "sim/simulator.hh"
 #include "trace/format_v2.hh"
 
@@ -14,6 +15,7 @@ std::shared_ptr<const InMemoryTrace>
 recordToMemory(std::shared_ptr<const vm::Program> program,
                InstCount max_insts, InstCount checkpoint_every)
 {
+    obs::ProfScope prof("record");
     auto trace = std::make_shared<InMemoryTrace>();
     trace->program = program->name;
     trace->checkpointEvery = checkpoint_every;
@@ -40,6 +42,7 @@ recordToMemory(std::shared_ptr<const vm::Program> program,
         digest.observe(step);
     }
     trace->complete = simulator.halted();
+    prof.addGuestInsts(trace->records.size());
     return trace;
 }
 
@@ -47,6 +50,7 @@ std::uint64_t
 saveTrace(const std::string &path, const InMemoryTrace &t,
           TraceFormat format)
 {
+    obs::ProfScope prof("encode");
     const auto block_records = static_cast<std::uint32_t>(
         t.checkpointEvery ? t.checkpointEvery : DefaultBlockRecords);
     TraceWriter writer(path, t.program, format, block_records);
@@ -118,6 +122,7 @@ loadTraceV2(const std::string &path)
 std::shared_ptr<const InMemoryTrace>
 loadTrace(const std::string &path, TraceLoadStats *stats)
 {
+    obs::ProfScope prof("decode");
     using Clock = std::chrono::steady_clock;
     Clock::time_point start = Clock::now();
     std::uint64_t bytes = 0;

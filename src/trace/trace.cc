@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "obs/profiler.hh"
 #include "sim/simulator.hh"
 #include "trace/format_v2.hh"
 
@@ -284,6 +285,7 @@ recordTrace(std::shared_ptr<const vm::Program> program,
             const std::string &path, InstCount max_insts,
             TraceFormat format, std::uint32_t block_records)
 {
+    obs::ProfScope prof("record");
     if (block_records == 0)
         block_records = DefaultBlockRecords;
     TraceWriter writer(path, program->name, format, block_records);
@@ -310,6 +312,7 @@ recordTrace(std::shared_ptr<const vm::Program> program,
     }
     writer.setComplete(simulator.halted());
     writer.close();
+    prof.addGuestInsts(n);
     return n;
 }
 

@@ -1,0 +1,417 @@
+/**
+ * @file
+ * Tests for the host-side self-profiler (obs/profiler.hh), host
+ * metadata (obs/host_meta.hh), the BENCH document schema and
+ * regression comparator (obs/bench_schema.hh), report meta stamping,
+ * and the interval sampler's end-of-run flush.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "obs/bench_schema.hh"
+#include "obs/host_meta.hh"
+#include "obs/json.hh"
+#include "obs/profiler.hh"
+#include "obs/report.hh"
+#include "obs/sampler.hh"
+#include "obs/stats_registry.hh"
+#include "sweep/sweep.hh"
+#include "workloads/workloads.hh"
+
+using namespace arl;
+
+namespace
+{
+
+/** RAII: profiling off when a test exits, however it exits. */
+struct ProfilerOff
+{
+    ~ProfilerOff() { obs::Profiler::instance().disable(); }
+};
+
+const obs::Profiler::Node *
+findChild(const std::vector<obs::Profiler::Node> &nodes,
+          const std::string &name)
+{
+    for (const obs::Profiler::Node &node : nodes)
+        if (node.name == name)
+            return &node;
+    return nullptr;
+}
+
+void
+spinFor(std::chrono::microseconds duration)
+{
+    auto start = std::chrono::steady_clock::now();
+    while (std::chrono::steady_clock::now() - start < duration) {
+    }
+}
+
+sweep::SweepSpec
+smallSweepSpec(unsigned jobs)
+{
+    sweep::SweepSpec spec;
+    spec.jobs = jobs;
+    for (const char *name : {"compress_like", "li_like"}) {
+        const auto &info = workloads::workloadByName(name);
+        sweep::WorkloadSpec w;
+        w.name = info.name;
+        w.scale = 1;
+        w.warmup = info.warmupInsts;
+        w.timed = 20000;
+        spec.workloads.push_back(std::move(w));
+    }
+    spec.configs = {ooo::MachineConfig::nPlusM(2, 0),
+                    ooo::MachineConfig::nPlusM(3, 1)};
+    return spec;
+}
+
+} // namespace
+
+TEST(Profiler, DisabledScopesAreInert)
+{
+    obs::Profiler::instance().disable();
+    {
+        obs::ProfScope scope("never");
+        scope.addGuestInsts(123);
+    }
+    obs::Profiler::instance().enable();
+    ProfilerOff off;
+    obs::Profiler::Report report = obs::Profiler::instance().report();
+    EXPECT_TRUE(report.phases.empty());
+    EXPECT_EQ(report.guestInsts, 0u);
+}
+
+TEST(Profiler, NestedScopeAttributionSumsToParent)
+{
+    obs::Profiler::instance().enable();
+    ProfilerOff off;
+    {
+        obs::ProfScope outer("outer");
+        outer.addGuestInsts(1000);
+        {
+            obs::ProfScope inner("step_a");
+            spinFor(std::chrono::microseconds(2000));
+        }
+        {
+            obs::ProfScope inner("step_b");
+            inner.addGuestInsts(500);
+            spinFor(std::chrono::microseconds(2000));
+        }
+    }
+    obs::Profiler::Report report = obs::Profiler::instance().report();
+
+    const obs::Profiler::Node *outer =
+        findChild(report.phases, "outer");
+    ASSERT_NE(outer, nullptr);
+    EXPECT_EQ(outer->calls, 1u);
+    EXPECT_EQ(outer->guestInsts, 1000u);
+    // Inclusive guest work folds in the children.
+    EXPECT_EQ(outer->inclusiveGuestInsts(), 1500u);
+
+    const obs::Profiler::Node *a = findChild(outer->children, "step_a");
+    const obs::Profiler::Node *b = findChild(outer->children, "step_b");
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->guestInsts, 500u);
+    // The parent's wall clock is inclusive, so it must cover the sum
+    // of its children's.
+    EXPECT_GE(outer->seconds(), a->seconds() + b->seconds());
+    EXPECT_GT(a->seconds(), 0.0);
+    EXPECT_EQ(report.guestInsts, 1500u);
+}
+
+TEST(Profiler, AbsoluteScopesMergeUnderOneRoot)
+{
+    obs::Profiler::instance().enable();
+    ProfilerOff off;
+    {
+        obs::ProfScope worker("root/work",
+                              obs::ProfScope::Mode::Absolute);
+    }
+    {
+        obs::ProfScope worker("root/work",
+                              obs::ProfScope::Mode::Absolute);
+    }
+    obs::Profiler::Report report = obs::Profiler::instance().report();
+    const obs::Profiler::Node *root = findChild(report.phases, "root");
+    ASSERT_NE(root, nullptr);
+    const obs::Profiler::Node *work = findChild(root->children, "work");
+    ASSERT_NE(work, nullptr);
+    EXPECT_EQ(work->calls, 2u);
+}
+
+TEST(Profiler, MergesPerThreadLogsFromParallelSweep)
+{
+    obs::Profiler::instance().enable();
+    ProfilerOff off;
+    sweep::SweepResult result = sweep::runSweep(smallSweepSpec(8));
+    obs::Profiler::Report report = obs::Profiler::instance().report();
+
+    const obs::Profiler::Node *sweep_node =
+        findChild(report.phases, "sweep");
+    ASSERT_NE(sweep_node, nullptr);
+    const obs::Profiler::Node *simulate =
+        findChild(sweep_node->children, "simulate");
+    ASSERT_NE(simulate, nullptr);
+    // One simulate scope per grid point, merged across the 8 worker
+    // threads' private logs.
+    EXPECT_EQ(simulate->calls, result.timing.size());
+    EXPECT_GT(simulate->guestInsts, 0u);
+    EXPECT_GT(simulate->seconds(), 0.0);
+    // Acceptance bar: attributed phase wall covers >=95% of the
+    // enable()..report() window on a sweep run.
+    ASSERT_GT(report.totalSeconds, 0.0);
+    EXPECT_GE(report.phaseSeconds(), 0.95 * report.totalSeconds);
+}
+
+TEST(Profiler, ProfilingDoesNotPerturbSweepReports)
+{
+    obs::Profiler::instance().disable();
+    std::ostringstream plain;
+    sweep::runSweep(smallSweepSpec(2)).toReport().writeJson(plain);
+
+    obs::Profiler::instance().enable();
+    ProfilerOff off;
+    std::ostringstream profiled;
+    sweep::runSweep(smallSweepSpec(2)).toReport().writeJson(profiled);
+
+    // Byte-identical: the profiler only reads the host clock, so
+    // simulated numbers (and golden files) cannot move.
+    EXPECT_EQ(plain.str(), profiled.str());
+}
+
+TEST(Profiler, JsonDocumentValidates)
+{
+    obs::Profiler::instance().enable();
+    ProfilerOff off;
+    {
+        obs::ProfScope outer("phase");
+        obs::ProfScope inner("sub");
+    }
+    std::ostringstream os;
+    obs::Profiler::instance().report().writeJson(os, "test");
+
+    obs::JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(obs::jsonParse(os.str(), doc, &error)) << error;
+    EXPECT_TRUE(obs::validateProfileDoc(doc, &error)) << error;
+}
+
+TEST(Profiler, AddStatsFlattensPhaseTree)
+{
+    obs::Profiler::instance().enable();
+    ProfilerOff off;
+    {
+        obs::ProfScope outer("phase");
+        obs::ProfScope inner("sub");
+    }
+    obs::StatsRegistry reg;
+    obs::Profiler::instance().report().addStats(reg, "prof");
+    bool found = false;
+    for (const auto &[name, value] : reg.snapshot())
+        if (name == "prof.phase.sub.calls") {
+            found = true;
+            EXPECT_EQ(value, 1.0);
+        }
+    EXPECT_TRUE(found);
+}
+
+TEST(HostMeta, InjectedClockWinsAndResets)
+{
+    obs::setMetaClock([]() -> std::uint64_t { return 1234567890; });
+    EXPECT_EQ(obs::metaNow(), 1234567890u);
+    EXPECT_EQ(obs::hostMeta().timestamp, 1234567890u);
+    obs::setMetaClock(nullptr);
+    EXPECT_NE(obs::metaNow(), 1234567890u);
+}
+
+TEST(HostMeta, DescribesBuild)
+{
+    obs::HostMeta meta = obs::hostMeta();
+    EXPECT_FALSE(meta.version.empty());
+    EXPECT_FALSE(meta.gitSha.empty());
+    EXPECT_FALSE(meta.compiler.empty());
+    EXPECT_GE(meta.cpus, 1u);
+    EXPECT_GT(obs::peakRssKb(), 0u);
+}
+
+TEST(ReportMeta, StampedOnRequestOnly)
+{
+    obs::setMetaClock([]() -> std::uint64_t { return 42; });
+    obs::Report report;
+    report.command = "test";
+    std::ostringstream bare;
+    report.writeJson(bare);
+    EXPECT_EQ(bare.str().find("\"meta\""), std::string::npos);
+
+    report.stampMeta();
+    std::ostringstream stamped;
+    report.writeJson(stamped);
+    EXPECT_NE(stamped.str().find("\"meta\""), std::string::npos);
+    EXPECT_NE(stamped.str().find("\"timestamp\": 42"),
+              std::string::npos);
+    obs::setMetaClock(nullptr);
+}
+
+namespace
+{
+
+obs::BenchReport
+syntheticBaseline()
+{
+    obs::BenchReport report;
+    obs::BenchCase bench;
+    bench.name = "replay_core";
+    bench.wallSeconds = 1.0;
+    bench.mips = 10.0;
+    bench.guestInsts = 500000;
+    bench.guestCycles = 120000;
+    bench.counters.emplace_back("timing_points", 4.0);
+    report.benches.push_back(bench);
+    bench.name = "trace_codec";
+    bench.mips = 20.0;
+    bench.counters.clear();
+    bench.counters.emplace_back("v2_bytes", 65536.0);
+    report.benches.push_back(bench);
+    return report;
+}
+
+} // namespace
+
+TEST(BenchCompare, BaselineVsItselfPasses)
+{
+    obs::BenchReport baseline = syntheticBaseline();
+    obs::CompareOptions opts;
+    opts.requireAll = true;
+    obs::CompareResult result =
+        obs::compareBenchReports(baseline, baseline, opts);
+    EXPECT_TRUE(result.ok);
+    EXPECT_EQ(result.compared, 2u);
+}
+
+TEST(BenchCompare, TenPercentMipsDropFailsOnePercentPasses)
+{
+    obs::BenchReport baseline = syntheticBaseline();
+    obs::CompareOptions opts;  // default 5% tolerance
+
+    obs::BenchReport slow = syntheticBaseline();
+    slow.benches[0].mips = 9.0;  // 10% below baseline
+    EXPECT_FALSE(obs::compareBenchReports(baseline, slow, opts).ok);
+
+    obs::BenchReport noisy = syntheticBaseline();
+    noisy.benches[0].mips = 9.9;   // 1% below: noise
+    noisy.benches[1].mips = 25.0;  // gains always pass
+    EXPECT_TRUE(obs::compareBenchReports(baseline, noisy, opts).ok);
+}
+
+TEST(BenchCompare, DeterministicDriftAlwaysFails)
+{
+    obs::BenchReport baseline = syntheticBaseline();
+    obs::CompareOptions opts;
+
+    obs::BenchReport drifted = syntheticBaseline();
+    drifted.benches[0].guestInsts += 1;
+    EXPECT_FALSE(
+        obs::compareBenchReports(baseline, drifted, opts).ok);
+
+    obs::BenchReport counter = syntheticBaseline();
+    counter.benches[1].counters[0].second = 65537.0;
+    EXPECT_FALSE(
+        obs::compareBenchReports(baseline, counter, opts).ok);
+}
+
+TEST(BenchCompare, MissingBenchGatedByRequireAll)
+{
+    obs::BenchReport baseline = syntheticBaseline();
+    obs::BenchReport quick = syntheticBaseline();
+    quick.benches.pop_back();  // --quick subset
+
+    obs::CompareOptions opts;
+    EXPECT_TRUE(obs::compareBenchReports(baseline, quick, opts).ok);
+    opts.requireAll = true;
+    EXPECT_FALSE(obs::compareBenchReports(baseline, quick, opts).ok);
+
+    // An empty intersection is always a failure, never a silent pass.
+    obs::BenchReport unrelated;
+    obs::BenchCase other;
+    other.name = "something_else";
+    unrelated.benches.push_back(other);
+    opts.requireAll = false;
+    EXPECT_FALSE(
+        obs::compareBenchReports(baseline, unrelated, opts).ok);
+}
+
+TEST(BenchSchema, WriteParsesBackAndValidates)
+{
+    obs::setMetaClock([]() -> std::uint64_t { return 7; });
+    obs::BenchReport report = syntheticBaseline();
+    report.meta = obs::hostMeta();
+    report.peakRssKb = 4096;
+    std::ostringstream os;
+    report.writeJson(os);
+    obs::setMetaClock(nullptr);
+
+    obs::JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(obs::jsonParse(os.str(), doc, &error)) << error;
+    obs::BenchReport parsed;
+    ASSERT_TRUE(obs::parseBenchReport(doc, parsed, &error)) << error;
+    ASSERT_EQ(parsed.benches.size(), 2u);
+    EXPECT_EQ(parsed.benches[0].name, "replay_core");
+    EXPECT_EQ(parsed.benches[0].guestInsts, 500000u);
+    ASSERT_EQ(parsed.benches[0].counters.size(), 1u);
+    EXPECT_EQ(parsed.benches[0].counters[0].first, "timing_points");
+
+    // Schema violations are reported, not absorbed.
+    obs::JsonValue bad;
+    ASSERT_TRUE(
+        obs::jsonParse("{\"bench_schema\": 2}", bad, &error));
+    EXPECT_FALSE(obs::parseBenchReport(bad, parsed, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(IntervalSampler, FlushCapturesFinalPartialInterval)
+{
+    obs::StatsRegistry reg;
+    std::uint64_t work = 0;
+    reg.addCounter("work", &work);
+    obs::IntervalSampler sampler(reg, 100);
+    for (std::uint64_t i = 1; i <= 250; ++i) {
+        work = i;
+        sampler.tick(i);
+    }
+    EXPECT_EQ(sampler.samples().size(), 2u);  // at 100 and 200
+    sampler.flush(250);
+    // ceil(250/100) = 3 rows; the tail row carries the final values.
+    ASSERT_EQ(sampler.samples().size(), 3u);
+    EXPECT_EQ(sampler.samples().back().at, 250u);
+    EXPECT_EQ(sampler.samples().back().values[0], 250.0);
+}
+
+TEST(IntervalSampler, FlushIsNoOpOnExactMultipleOrNoProgress)
+{
+    obs::StatsRegistry reg;
+    std::uint64_t work = 0;
+    reg.addCounter("work", &work);
+    obs::IntervalSampler sampler(reg, 100);
+    for (std::uint64_t i = 1; i <= 200; ++i) {
+        work = i;
+        sampler.tick(i);
+    }
+    ASSERT_EQ(sampler.samples().size(), 2u);
+    sampler.flush(200);  // exact multiple: row already taken
+    EXPECT_EQ(sampler.samples().size(), 2u);
+    sampler.flush(0);  // no progress at all
+    EXPECT_EQ(sampler.samples().size(), 2u);
+
+    // A run shorter than one interval still yields its single row.
+    obs::IntervalSampler short_run(reg, 100);
+    short_run.flush(42);
+    ASSERT_EQ(short_run.samples().size(), 1u);
+    EXPECT_EQ(short_run.samples()[0].at, 42u);
+}

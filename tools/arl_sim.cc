@@ -49,7 +49,9 @@
  *       Validate an emitted JSON document with the in-tree parser:
  *       Chrome traces (a "traceEvents" array — every event needs
  *       ph/pid/tid/ts, "X" events need dur, timestamps must be
- *       non-decreasing) and obs::Report documents (schema_version +
+ *       non-decreasing), BENCH_*.json benchmark-trajectory documents
+ *       ("bench_schema"), --profile-json phase trees ("kind":
+ *       "profile"), and obs::Report documents (schema_version +
  *       runs).  Exit 0 when valid, 2 when not.
  *
  *   arl_sim disasm <file.s>
@@ -84,6 +86,18 @@
  *                         output is machine-clean
  *   --log-level <name>    debug | info | warn | quiet
  *
+ * Host self-profiling flags, accepted by every subcommand:
+ *
+ *   --profile             print the host phase tree (wall per phase,
+ *                         guest MIPS, peak RSS) at exit
+ *   --profile-json <file> write the tree as a "kind": "profile" JSON
+ *                         document ("-" = stdout)
+ *
+ * Every --stats-json/--timing-json document the CLI writes carries a
+ * "meta" block (arl version, git SHA, build type, compiler, CPU
+ * count, timestamp).  The timestamp honours SOURCE_DATE_EPOCH, so
+ * byte-exact rerun comparisons stay possible.
+ *
  * Exit codes: 0 success, 1 usage error, 2 input error.
  */
 
@@ -100,8 +114,10 @@
 #include "common/logging.hh"
 #include "core/experiment.hh"
 #include "isa/inst.hh"
+#include "obs/bench_schema.hh"
 #include "obs/hooks.hh"
 #include "obs/json.hh"
+#include "obs/profiler.hh"
 #include "obs/report.hh"
 #include "predict/static_classifier.hh"
 #include "sim/simulator.hh"
@@ -184,6 +200,8 @@ class Args
         static const FlagSpec log_specs[] = {
             {"quiet", FlagKind::Bool},
             {"log-level", FlagKind::String},
+            {"profile", FlagKind::Bool},
+            {"profile-json", FlagKind::String},
         };
         static const FlagSpec obs_specs[] = {
             {"stats-json", FlagKind::String},
@@ -300,10 +318,15 @@ struct ObsOptions
  * Write the report to every requested sink; 0 on success, 2 on I/O.
  * A path of "-" streams to stdout — combined with --quiet (which
  * silences the human tables) the piped output is machine-clean.
+ * Every CLI-emitted report is stamped with host metadata; the
+ * timestamp honours SOURCE_DATE_EPOCH so reruns can be compared
+ * byte-for-byte (golden files are meta-free: they are generated
+ * through SweepResult::toReport() directly, not through here).
  */
 int
-emitReport(const obs::Report &report, const ObsOptions &opts)
+emitReport(obs::Report &report, const ObsOptions &opts)
 {
+    report.stampMeta();
     bool ok = true;
     if (!opts.jsonPath.empty()) {
         if (opts.jsonPath == "-")
@@ -384,12 +407,19 @@ cmdRun(const std::string &target, Args &args)
     InstCount max_insts =
         static_cast<InstCount>(args.flagInt("max-insts", 0));
     InstCount executed;
-    if (hooks.sampler) {
-        executed = simulator.run(max_insts, [&](const sim::StepInfo &) {
-            hooks.tick(simulator.instCount());
-        });
-    } else {
-        executed = simulator.run(max_insts);
+    {
+        obs::ProfScope prof("run/execute",
+                            obs::ProfScope::Mode::Absolute);
+        if (hooks.sampler) {
+            executed =
+                simulator.run(max_insts, [&](const sim::StepInfo &) {
+                    hooks.tick(simulator.instCount());
+                });
+        } else {
+            executed = simulator.run(max_insts);
+        }
+        hooks.finishSampling(simulator.instCount());
+        prof.addGuestInsts(executed);
     }
     std::printf("program   : %s\n", prog->name.c_str());
     std::printf("executed  : %llu instructions\n",
@@ -555,6 +585,7 @@ cmdPredict(const std::string &target, Args &args)
         predictor.observe(step);
         hooks.tick(simulator.instCount());
     });
+    hooks.finishSampling(simulator.instCount());
 
     auto report = predictor.report();
     std::printf("references   : %llu\n",
@@ -672,9 +703,16 @@ cmdTime(const std::string &target, Args &args)
         if (i == 0 && !opts.chromePath.empty() &&
             !hooks.openChromeTrace(opts.chromePath, opts.chromeMax))
             return 1;
-        results.push_back(experiment.timingStudy(
-            configs[i], info.warmupInsts, timed, &hooks, nullptr,
-            warmup_window));
+        {
+            obs::ProfScope prof("time/simulate",
+                                obs::ProfScope::Mode::Absolute);
+            results.push_back(experiment.timingStudy(
+                configs[i], info.warmupInsts, timed, &hooks, nullptr,
+                warmup_window));
+            prof.addGuestInsts(info.warmupInsts +
+                               results.back().instructions);
+            prof.addGuestCycles(results.back().cycles);
+        }
         hooks.finishChromeTrace(target + " " + configs[i].name);
         if (opts.wantsReport())
             report.runs.push_back(obs::RunRecord::fromHooks(
@@ -859,8 +897,14 @@ cmdSweep(const std::string &target, Args &args)
     if (!timing_path.empty()) {
         obs::StatsRegistry registry;
         result.addTimingStats(registry);
+        // With --profile active the phase tree rides along, flattened
+        // into prof.* stats (the sweep is done; workers are joined).
+        if (obs::Profiler::enabled())
+            obs::Profiler::instance().report().addStats(registry,
+                                                        "prof");
         obs::Report timing_report;
         timing_report.command = "sweep-timing";
+        timing_report.stampMeta();
         obs::RunRecord record;
         record.workload = "sweep";
         record.config = "timing";
@@ -872,7 +916,8 @@ cmdSweep(const std::string &target, Args &args)
 
     if (!opts.wantsReport())
         return 0;
-    return emitReport(result.toReport("sweep"), opts);
+    obs::Report stats_report = result.toReport("sweep");
+    return emitReport(stats_report, opts);
 }
 
 int
@@ -940,9 +985,13 @@ cmdReplay(const std::string &trace_path, Args &args)
     profile::RegionProfiler profiler;
     profile::WindowProfiler window32(32);
     sim::StepInfo step;
-    while (reader.next(step)) {
-        profiler.observe(step);
-        window32.observe(step);
+    {
+        obs::ProfScope prof("replay");
+        while (reader.next(step)) {
+            profiler.observe(step);
+            window32.observe(step);
+        }
+        prof.addGuestInsts(profiler.profile().totalInstructions);
     }
     auto profile = profiler.profile();
     std::printf("trace      : %s (%s, v%u)\n", trace_path.c_str(),
@@ -1070,6 +1119,33 @@ validateReport(const std::string &path, const obs::JsonValue &doc)
     return 0;
 }
 
+/** Validate a BENCH_*.json benchmark-trajectory document. */
+int
+validateBench(const std::string &path, const obs::JsonValue &doc)
+{
+    obs::BenchReport report;
+    std::string error;
+    if (!obs::parseBenchReport(doc, report, &error))
+        return invalid(path, error);
+    if (!quietOutput())
+        std::printf("%s: valid bench report (%zu benches, git %s)\n",
+                    path.c_str(), report.benches.size(),
+                    report.meta.gitSha.c_str());
+    return 0;
+}
+
+/** Validate a --profile-json phase-tree document. */
+int
+validateProfile(const std::string &path, const obs::JsonValue &doc)
+{
+    std::string error;
+    if (!obs::validateProfileDoc(doc, &error))
+        return invalid(path, error);
+    if (!quietOutput())
+        std::printf("%s: valid profile document\n", path.c_str());
+    return 0;
+}
+
 int
 cmdValidate(const std::string &path, Args &args)
 {
@@ -1088,11 +1164,17 @@ cmdValidate(const std::string &path, Args &args)
         return invalid(path, "top-level value is not an object");
     if (doc.find("traceEvents"))
         return validateChromeTrace(path, doc);
+    if (doc.find("bench_schema"))
+        return validateBench(path, doc);
+    if (const obs::JsonValue *kind = doc.find("kind");
+        kind && kind->isString() && kind->string == "profile")
+        return validateProfile(path, doc);
     if (doc.find("schema_version"))
         return validateReport(path, doc);
     return invalid(path,
-                   "neither a Chrome trace (\"traceEvents\") nor an "
-                   "obs::Report (\"schema_version\")");
+                   "not a Chrome trace (\"traceEvents\"), bench "
+                   "report (\"bench_schema\"), profile (\"kind\"), "
+                   "or obs::Report (\"schema_version\")");
 }
 
 int
@@ -1133,7 +1215,8 @@ usage()
         "  record <target> [--out F]    record a binary trace\n"
         "    [--trace-format v1|v2] [--block-records N] [--max-insts N]\n"
         "  replay <file.trace> [--seek N]  profile from a trace\n"
-        "  validate <file.json>         check a Chrome trace or report\n"
+        "  validate <file.json>         check a Chrome trace, report,\n"
+        "                               BENCH_*.json, or profile doc\n"
         "  disasm <file.s|workload>     disassemble\n"
         "targets: a registered workload name or an .s assembly file\n"
         "contention (time and sweep; 0 = ideal backend):\n"
@@ -1146,7 +1229,60 @@ usage()
         "  --stats-json F   --stats-csv F   --interval N\n"
         "  --pipetrace F [--pipetrace-max N]   (time only)\n"
         "  --chrome-trace F [--chrome-trace-max N]   (time only)\n"
-        "  --quiet   --log-level debug|info|warn|quiet\n");
+        "  --quiet   --log-level debug|info|warn|quiet\n"
+        "host self-profiling (any command):\n"
+        "  --profile            print the host phase tree at exit\n"
+        "  --profile-json F     write it as JSON (\"-\" = stdout)\n");
+}
+
+/**
+ * Pre-scan --profile / --profile-json and arm the profiler before
+ * dispatch so subcommand code sees Profiler::enabled() from the
+ * first scope.  Returns the --profile-json path ("" = none).
+ */
+std::string
+applyProfileFlags(int argc, char **argv)
+{
+    std::string json_path;
+    bool enable = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--profile") == 0) {
+            enable = true;
+        } else if (std::strcmp(argv[i], "--profile-json") == 0 &&
+                   i + 1 < argc) {
+            json_path = argv[i + 1];
+            enable = true;
+        }
+    }
+    if (enable)
+        obs::Profiler::instance().enable();
+    return json_path;
+}
+
+/** End-of-command profile sinks: human tree + optional JSON file. */
+int
+finishProfile(const std::string &json_path, int rc)
+{
+    if (!obs::Profiler::enabled())
+        return rc;
+    obs::Profiler::Report report = obs::Profiler::instance().report();
+    obs::Profiler::instance().disable();
+    if (!quietOutput())
+        std::fputs(report.render().c_str(), stdout);
+    if (!json_path.empty()) {
+        if (json_path == "-") {
+            report.writeJson(std::cout, "arl_sim");
+        } else {
+            std::ofstream os(json_path);
+            if (!os.is_open()) {
+                warn("cannot write profile file '%s'",
+                     json_path.c_str());
+                return rc ? rc : 2;
+            }
+            report.writeJson(os, "arl_sim");
+        }
+    }
+    return rc;
 }
 
 /** Apply --quiet / --log-level before dispatching the subcommand. */
@@ -1180,11 +1316,12 @@ main(int argc, char **argv)
         return 1;
     }
     applyLogFlags(argc, argv);
+    std::string profile_json = applyProfileFlags(argc, argv);
     std::string command = argv[1];
     if (command == "list") {
         Args list_args(argc, argv, 2);
         list_args.parse({}, Args::Common::LogOnly);
-        return cmdList();
+        return finishProfile(profile_json, cmdList());
     }
     if (argc < 3) {
         usage();
@@ -1195,24 +1332,27 @@ main(int argc, char **argv)
         badUsage("command '" + command + "' needs a target before '" +
                  target + "'");
     Args args(argc, argv, 3);
-    if (command == "run")
-        return cmdRun(target, args);
-    if (command == "profile")
-        return cmdProfile(target, args);
-    if (command == "predict")
-        return cmdPredict(target, args);
-    if (command == "time")
-        return cmdTime(target, args);
-    if (command == "sweep")
-        return cmdSweep(target, args);
-    if (command == "record")
-        return cmdRecord(target, args);
-    if (command == "replay")
-        return cmdReplay(target, args);
-    if (command == "validate")
-        return cmdValidate(target, args);
-    if (command == "disasm")
-        return cmdDisasm(target, args);
-    usage();
-    return 1;
+    auto dispatch = [&]() -> int {
+        if (command == "run")
+            return cmdRun(target, args);
+        if (command == "profile")
+            return cmdProfile(target, args);
+        if (command == "predict")
+            return cmdPredict(target, args);
+        if (command == "time")
+            return cmdTime(target, args);
+        if (command == "sweep")
+            return cmdSweep(target, args);
+        if (command == "record")
+            return cmdRecord(target, args);
+        if (command == "replay")
+            return cmdReplay(target, args);
+        if (command == "validate")
+            return cmdValidate(target, args);
+        if (command == "disasm")
+            return cmdDisasm(target, args);
+        usage();
+        return 1;
+    };
+    return finishProfile(profile_json, dispatch());
 }

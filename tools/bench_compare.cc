@@ -1,0 +1,122 @@
+/**
+ * @file
+ * bench_compare — the benchmark-trajectory regression gate.
+ *
+ *   bench_compare <baseline.json> <current.json>
+ *                 [--mips-tol F] [--require-all]
+ *
+ * Diffs two BENCH_*.json documents (see obs/bench_schema.hh) over
+ * the intersection of their bench names:
+ *
+ *  - guest_insts / guest_cycles / counters must match EXACTLY —
+ *    they are deterministic, so any drift means simulated behaviour
+ *    changed and the baseline must be consciously regenerated;
+ *  - MIPS may regress by at most --mips-tol relative (default 0.05;
+ *    CI uses 0.5 to ride out shared-runner noise); gains always pass;
+ *  - wall clock is never gated directly (it is the inverse of MIPS).
+ *
+ * --require-all additionally fails when a baseline bench is missing
+ * from the current report (off by default so `arl_bench --quick`
+ * output can be gated against the full baseline).
+ *
+ * Exit codes: 0 pass, 1 regression or usage error, 2 unreadable or
+ * malformed input.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/bench_schema.hh"
+#include "obs/json.hh"
+
+using namespace arl;
+
+namespace
+{
+
+[[noreturn]] void
+badUsage(const char *message)
+{
+    std::fprintf(stderr, "bench_compare: %s\n", message);
+    std::fprintf(stderr,
+                 "usage: bench_compare <baseline.json> <current.json> "
+                 "[--mips-tol F] [--require-all]\n");
+    std::exit(1);
+}
+
+/** Load and schema-check one BENCH document; exits 2 on failure. */
+obs::BenchReport
+load(const std::string &path)
+{
+    std::ifstream file(path);
+    if (!file) {
+        std::fprintf(stderr, "bench_compare: cannot open %s\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    obs::JsonValue doc;
+    std::string error;
+    if (!obs::jsonParse(buffer.str(), doc, &error)) {
+        std::fprintf(stderr, "bench_compare: %s: %s\n", path.c_str(),
+                     error.c_str());
+        std::exit(2);
+    }
+    obs::BenchReport report;
+    if (!obs::parseBenchReport(doc, report, &error)) {
+        std::fprintf(stderr, "bench_compare: %s: %s\n", path.c_str(),
+                     error.c_str());
+        std::exit(2);
+    }
+    return report;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string baseline_path, current_path;
+    obs::CompareOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--mips-tol") == 0) {
+            if (i + 1 >= argc)
+                badUsage("--mips-tol needs a value");
+            char *end = nullptr;
+            opts.mipsTol = std::strtod(argv[++i], &end);
+            if (!end || *end != '\0' || opts.mipsTol < 0.0)
+                badUsage("--mips-tol wants a non-negative number");
+        } else if (std::strcmp(argv[i], "--require-all") == 0) {
+            opts.requireAll = true;
+        } else if (argv[i][0] == '-') {
+            badUsage("unknown flag");
+        } else if (baseline_path.empty()) {
+            baseline_path = argv[i];
+        } else if (current_path.empty()) {
+            current_path = argv[i];
+        } else {
+            badUsage("too many positional arguments");
+        }
+    }
+    if (baseline_path.empty() || current_path.empty())
+        badUsage("need a baseline and a current report");
+
+    obs::BenchReport baseline = load(baseline_path);
+    obs::BenchReport current = load(current_path);
+    obs::CompareResult result =
+        obs::compareBenchReports(baseline, current, opts);
+
+    for (const std::string &message : result.messages)
+        std::printf("%s\n", message.c_str());
+    std::printf("%s: %u bench(es) compared, baseline git %s vs "
+                "current git %s\n",
+                result.ok ? "PASS" : "FAIL", result.compared,
+                baseline.meta.gitSha.c_str(),
+                current.meta.gitSha.c_str());
+    return result.ok ? 0 : 1;
+}
