@@ -172,6 +172,49 @@ parseCpiStack(int argc, char **argv)
     return enabled;
 }
 
+/**
+ * Phase sampling: `--sampling` or ARL_BENCH_SAMPLING=1 runs every
+ * timing point through the phase-sampled estimator (clustered
+ * representative intervals instead of the full timed window).  This
+ * CHANGES bench numbers — cycles become extrapolated estimates — so
+ * it is off by default and announced on stdout when active.
+ *
+ *   --sampling         / ARL_BENCH_SAMPLING=1       enable
+ *   --interval-insts N / ARL_BENCH_INTERVAL_INSTS   interval length
+ *   --clusters K       / ARL_BENCH_CLUSTERS         cluster count
+ */
+inline void
+parseSampling(sweep::SweepSpec &spec, int argc, char **argv)
+{
+    const char *env = std::getenv("ARL_BENCH_SAMPLING");
+    spec.sampling = env && env[0] && env[0] != '0';
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--sampling") == 0)
+            spec.sampling = true;
+    if (!spec.sampling)
+        return;
+    auto env_or_flag = [&](const char *env_name,
+                           const char *flag) -> const char * {
+        const char *value = std::getenv(env_name);
+        if (value && !value[0])
+            value = nullptr;
+        for (int i = 1; i + 1 < argc; ++i)
+            if (std::strcmp(argv[i], flag) == 0)
+                value = argv[i + 1];
+        return value;
+    };
+    if (const char *v =
+            env_or_flag("ARL_BENCH_INTERVAL_INSTS", "--interval-insts"))
+        spec.samplingInterval = static_cast<InstCount>(std::atoll(v));
+    if (const char *v = env_or_flag("ARL_BENCH_CLUSTERS", "--clusters"))
+        spec.samplingClusters =
+            static_cast<unsigned>(std::atoi(v));
+    std::printf("phase sampling: interval %llu, clusters %u (cycles "
+                "are extrapolated estimates)\n",
+                (unsigned long long)spec.samplingInterval,
+                spec.samplingClusters);
+}
+
 /** All workloads × @p configs through the sweep engine. */
 inline sweep::SweepResult
 timingGrid(std::vector<ooo::MachineConfig> configs, unsigned scale,
@@ -181,6 +224,7 @@ timingGrid(std::vector<ooo::MachineConfig> configs, unsigned scale,
     spec.workloads = sweep::allWorkloadSpecs(scale, timed);
     spec.configs = std::move(configs);
     spec.cpiStack = parseCpiStack(argc, argv);
+    parseSampling(spec, argc, argv);
     ooo::ContentionKnobs knobs = parseContention(argc, argv);
     if (knobs.any()) {
         std::printf("contended backend: banks %u, mshrs %u, wb %u, "

@@ -82,6 +82,36 @@ Report::writeJson(std::ostream &os) const
             writeSamples(w, run.intervals.deltas);
             w.endObject();
         }
+        if (run.sampling.enabled) {
+            const SamplingReport &s = run.sampling;
+            w.key("sampling").beginObject();
+            w.field("interval_insts", s.intervalInsts);
+            w.field("clusters", s.clusters);
+            w.field("clusters_requested", s.clustersRequested);
+            w.field("intervals", s.intervals);
+            w.field("total_insts", s.totalInsts);
+            w.field("simulated_insts", s.simulatedInsts);
+            w.field("coverage_pct", s.coveragePct);
+            w.field("est_cpi", s.estCpi);
+            w.field("est_error_pct", s.estErrorPct);
+            if (s.measuredErrorPct >= 0.0)
+                w.field("measured_error_pct", s.measuredErrorPct);
+            w.key("representatives").beginArray();
+            for (const SamplingReport::Representative &rep :
+                 s.representatives) {
+                w.beginObject();
+                w.field("cluster", rep.cluster);
+                w.field("start", rep.start);
+                w.field("length", rep.length);
+                w.field("warmup", rep.warmup);
+                w.field("weight", rep.weight);
+                w.field("cycles", rep.cycles);
+                w.field("cpi", rep.cpi);
+                w.endObject();
+            }
+            w.endArray();
+            w.endObject();
+        }
         w.endObject();
     }
     w.endArray();

@@ -15,11 +15,22 @@
  *         "workload": "compress_like",
  *         "config": "(2+0)",
  *         "stats": { "ooo.cycles": ..., "ooo.ipc": ..., ... },
- *         "intervals": {            // only when sampling was enabled
+ *         "intervals": {            // only with interval sampling
  *           "every": 100000,
  *           "names": [...],
  *           "samples": [ {"at": ..., "values": [...]}, ... ],
  *           "deltas":  [ {"at": ..., "values": [...]}, ... ]
+ *         },
+ *         "sampling": {             // only for phase-sampled runs
+ *           "interval_insts": ..., "clusters": ...,
+ *           "clusters_requested": ..., "intervals": ...,
+ *           "total_insts": ..., "simulated_insts": ...,
+ *           "coverage_pct": ..., "est_cpi": ...,
+ *           "est_error_pct": ..., "measured_error_pct": ...,
+ *           "representatives": [
+ *             {"cluster": ..., "start": ..., "length": ...,
+ *              "warmup": ..., "weight": ..., "cycles": ...,
+ *              "cpi": ...}, ... ]
  *         }
  *       }
  *     ]
@@ -52,6 +63,39 @@ struct IntervalReport
     std::vector<IntervalSampler::Sample> deltas;
 };
 
+/**
+ * Phase-sampling section of one run (src/sampling).  Everything a
+ * reader needs to audit the estimate: the knobs, the coverage, the
+ * chosen representatives, and the estimated vs measured error.
+ */
+struct SamplingReport
+{
+    bool enabled = false;  ///< false = section omitted from JSON
+    std::uint64_t intervalInsts = 0;
+    std::uint64_t clusters = 0;           ///< effective k
+    std::uint64_t clustersRequested = 0;  ///< CLI k before clamping
+    std::uint64_t intervals = 0;
+    std::uint64_t totalInsts = 0;      ///< extrapolation population
+    std::uint64_t simulatedInsts = 0;  ///< timed + warmup actually run
+    double coveragePct = 0.0;          ///< timed / population
+    double estCpi = 0.0;
+    /** Dispersion-based confidence interval, percent (heuristic). */
+    double estErrorPct = 0.0;
+    /** |sampled - full| / full CPI, percent; < 0 = not verified. */
+    double measuredErrorPct = -1.0;
+    struct Representative
+    {
+        std::uint64_t cluster = 0;
+        std::uint64_t start = 0;   ///< first timed record
+        std::uint64_t length = 0;  ///< timed records
+        std::uint64_t warmup = 0;  ///< warmup records before start
+        double weight = 0.0;       ///< cluster population share
+        double cycles = 0.0;       ///< measured cycles
+        double cpi = 0.0;          ///< measured CPI
+    };
+    std::vector<Representative> representatives;
+};
+
 /** One (workload, config) run. */
 struct RunRecord
 {
@@ -59,6 +103,7 @@ struct RunRecord
     std::string config;
     StatsRegistry::Snapshot stats;
     IntervalReport intervals;
+    SamplingReport sampling;
 
     /** Capture registry snapshot + sampler state from @p hooks. */
     static RunRecord fromHooks(const std::string &workload,

@@ -115,17 +115,19 @@ OooCore::attachObs(obs::Hooks *hooks)
         return;
     obs::StatsRegistry &reg = hooks->registry;
 
-    reg.addFormula("ooo.cycles",
-                   [this] { return static_cast<double>(now); },
-                   "simulated cycles");
+    reg.addFormula(
+        "ooo.cycles",
+        [this] { return static_cast<double>(now - cycleBase); },
+        "simulated cycles");
     reg.addCounter("ooo.instructions", &stats.instructions,
                    "committed instructions");
     reg.addFormula(
         "ooo.ipc",
         [this] {
-            return now ? static_cast<double>(stats.instructions) /
-                             static_cast<double>(now)
-                       : 0.0;
+            const Cycle cycles = now - cycleBase;
+            return cycles ? static_cast<double>(stats.instructions) /
+                                static_cast<double>(cycles)
+                          : 0.0;
         },
         "committed instructions per cycle");
 
@@ -967,6 +969,40 @@ OooCore::warmup(InstCount insts, InstCount warm_last)
     tlb.hits = tlb.misses = 0;
 }
 
+void
+OooCore::statsFence()
+{
+    std::string name = std::move(stats.configName);
+    stats = OooStats{};
+    stats.configName = std::move(name);
+    cycleBase = now;
+    // Hit counters restart like warmup()'s epilogue, but contention
+    // state (bank/MSHR/bus timestamps, in-flight ROB entries) is
+    // deliberately left alone: carrying it into the measured window
+    // is the whole point of a detailed warmup.
+    hierarchy.l1().hits = hierarchy.l1().misses = 0;
+    hierarchy.l1().writebacks = 0;
+    if (hierarchy.hasLvc()) {
+        hierarchy.lvcCache().hits = hierarchy.lvcCache().misses = 0;
+        hierarchy.lvcCache().writebacks = 0;
+    }
+    hierarchy.l2().hits = hierarchy.l2().misses = 0;
+    hierarchy.l2().writebacks = 0;
+    tlb.hits = tlb.misses = 0;
+}
+
+OooStats
+OooCore::runSample(InstCount insts, InstCount detail_warmup)
+{
+    if (detail_warmup) {
+        commitTarget = stats.instructions + detail_warmup;
+        run(0);
+        statsFence();
+    }
+    commitTarget = insts ? stats.instructions + insts : 0;
+    return run(0);
+}
+
 OooStats
 OooCore::run(InstCount max_insts)
 {
@@ -1020,6 +1056,11 @@ OooCore::run(InstCount max_insts)
         }
         ++now;
 
+        // Phase-sampled window edge: clock stops at the target
+        // commit, in-flight successors are simply abandoned.
+        if (commitTarget && stats.instructions >= commitTarget)
+            break;
+
         // Forward-progress guard (an arl bug, not a guest bug).
         if (stats.instructions == last_committed) {
             if (++deadlock_guard > 200000)
@@ -1039,11 +1080,11 @@ OooCore::run(InstCount max_insts)
         }
     }
 
-    stats.cycles = now;
-    ARL_ASSERT(!cpiEnabled || stats.cpiStack.total() == now,
+    stats.cycles = now - cycleBase;
+    ARL_ASSERT(!cpiEnabled || stats.cpiStack.total() == stats.cycles,
                "CPI stack lost cycles: attributed %llu of %llu",
                (unsigned long long)stats.cpiStack.total(),
-               (unsigned long long)now);
+               (unsigned long long)stats.cycles);
     stats.l1Hits = hierarchy.l1().hits;
     stats.l1Misses = hierarchy.l1().misses;
     if (hierarchy.hasLvc()) {

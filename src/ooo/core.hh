@@ -171,6 +171,30 @@ class OooCore
     OooStats run(InstCount max_insts = 0);
 
     /**
+     * Phase-sampled measurement window: simulate until @p insts
+     * instructions have *committed*, with dispatch free to run past
+     * the window edge, and stop the clock at that commit instead of
+     * draining.  A window boundary must not charge the pipeline
+     * drain that a continuous run overlaps with successor
+     * instructions — with run(), that drain biases every sampled
+     * interval's CPI upward by ROB-depth cycles.  Near the end of
+     * the trace the pipeline can empty before the target; the cycles
+     * then include the genuine final drain, exactly like a full run.
+     * The returned stats may overshoot @p insts by at most the
+     * commit width; extrapolation scales by measured instructions.
+     *
+     * @param detail_warmup commits to run through the detailed
+     *        pipeline *before* the measured window, then discard
+     *        from the statistics.  Functional warmup leaves the ROB
+     *        empty and the contention backend cold, so each window
+     *        pays a fill transient a continuous run pays once; a
+     *        short detailed warmup absorbs it (SMARTS-style).  The
+     *        microarchitectural state survives the fence — only the
+     *        counters restart.
+     */
+    OooStats runSample(InstCount insts, InstCount detail_warmup = 0);
+
+    /**
      * Attach an observability context: registers every stat of this
      * core (and its caches, TLB, and ARPT) into @p hooks->registry
      * under the ooo. / cache. / predict. hierarchies, and enables
@@ -386,6 +410,16 @@ class OooCore
     std::optional<sim::StepInfo> pendingStep;
     bool traceExhausted = false;
     InstCount dispatchBudget = 0;    ///< 0 = unlimited
+    InstCount commitTarget = 0;      ///< runSample() stop; 0 = off
+    /** Clock value at the last statsFence(); reported cycles are
+     *  relative to it so a detailed warmup phase is untimed. */
+    Cycle cycleBase = 0;
+
+    /** Restart every statistic (core counters, CPI stack, cache and
+     *  TLB hit counters) without touching microarchitectural state.
+     *  The boundary between a detailed warmup and its measured
+     *  window. */
+    void statsFence();
 
     Cycle now = 0;
     OooStats stats;

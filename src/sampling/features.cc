@@ -1,0 +1,85 @@
+#include "sampling/features.hh"
+
+#include "common/logging.hh"
+#include "vm/layout.hh"
+
+namespace arl::sampling
+{
+
+const char *
+featureName(unsigned i)
+{
+    static const char *names[NumFeatures] = {
+        "data_refs_per_inst", "heap_refs_per_inst",
+        "stack_refs_per_inst", "loads_per_inst",
+        "stores_per_inst",    "region_transitions_per_ref",
+        "branches_per_inst",  "taken_per_branch",
+    };
+    return i < NumFeatures ? names[i] : "?";
+}
+
+std::vector<IntervalFeatures>
+extractFeatures(const trace::InMemoryTrace &t, InstCount interval_insts,
+                InstCount first, InstCount limit)
+{
+    if (interval_insts == 0)
+        fatal("sampling: interval length must be non-zero");
+    InstCount total = t.size();
+    if (first > total)
+        first = total;
+    if (limit && first + limit < total)
+        total = first + limit;
+
+    std::vector<IntervalFeatures> intervals;
+    intervals.reserve(
+        static_cast<std::size_t>((total - first) / interval_insts) + 1);
+
+    for (InstCount start = first; start < total;
+         start += interval_insts) {
+        InstCount length = std::min<InstCount>(interval_insts,
+                                               total - start);
+        std::uint64_t region_refs[vm::NumDataRegions] = {0, 0, 0};
+        std::uint64_t loads = 0, stores = 0, transitions = 0;
+        std::uint64_t branches = 0, taken = 0, mem_refs = 0;
+        // The first data reference of an interval has no predecessor
+        // to transition from; phases are fingerprinted independently.
+        unsigned prev_region = vm::NumDataRegions;
+        for (InstCount i = start; i < start + length; ++i) {
+            trace::RecordClass cls =
+                trace::classifyRecord(t.records[i]);
+            if (cls.isLoad)
+                ++loads;
+            if (cls.isStore)
+                ++stores;
+            if (cls.isBranch) {
+                ++branches;
+                if (cls.taken)
+                    ++taken;
+            }
+            if (cls.isMem && cls.region < vm::NumDataRegions) {
+                ++mem_refs;
+                ++region_refs[cls.region];
+                if (prev_region < vm::NumDataRegions &&
+                    cls.region != prev_region)
+                    ++transitions;
+                prev_region = cls.region;
+            }
+        }
+        IntervalFeatures iv;
+        iv.start = start;
+        iv.length = length;
+        double insts = static_cast<double>(length);
+        for (unsigned r = 0; r < vm::NumDataRegions; ++r)
+            iv.f[r] = region_refs[r] / insts;
+        iv.f[3] = loads / insts;
+        iv.f[4] = stores / insts;
+        iv.f[5] = mem_refs ? static_cast<double>(transitions) / mem_refs
+                           : 0.0;
+        iv.f[6] = branches / insts;
+        iv.f[7] = branches ? static_cast<double>(taken) / branches : 0.0;
+        intervals.push_back(iv);
+    }
+    return intervals;
+}
+
+} // namespace arl::sampling

@@ -1,0 +1,171 @@
+#include "sampling/kmeans.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.hh"
+
+namespace arl::sampling
+{
+
+namespace
+{
+
+using Vec = std::array<double, NumFeatures>;
+
+double
+dist2(const Vec &a, const Vec &b)
+{
+    double sum = 0.0;
+    for (unsigned d = 0; d < NumFeatures; ++d) {
+        double delta = a[d] - b[d];
+        sum += delta * delta;
+    }
+    return sum;
+}
+
+} // namespace
+
+KMeansResult
+cluster(const std::vector<IntervalFeatures> &intervals,
+        const KMeansConfig &config)
+{
+    KMeansResult result;
+    const std::size_t n = intervals.size();
+    if (n == 0)
+        return result;
+
+    // Features are already rates in [0, 1], but rescale per
+    // dimension anyway so no single feature can dominate the
+    // distance should that invariant ever loosen.
+    Vec scale;
+    scale.fill(0.0);
+    for (const IntervalFeatures &iv : intervals)
+        for (unsigned d = 0; d < NumFeatures; ++d)
+            scale[d] = std::max(scale[d], std::abs(iv.f[d]));
+    std::vector<Vec> pts(n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (unsigned d = 0; d < NumFeatures; ++d)
+            pts[i][d] = scale[d] > 0.0 ? intervals[i].f[d] / scale[d]
+                                       : 0.0;
+
+    // --- k-means++ seeding.  The D^2 draw naturally stops early
+    // when every point coincides with an existing centroid, which is
+    // exactly the "fewer distinct points than k" clamp.
+    const std::size_t k_req =
+        std::max<std::size_t>(1, std::min<std::size_t>(config.k, n));
+    Rng rng(config.seed);
+    std::vector<Vec> centroids;
+    centroids.reserve(k_req);
+    centroids.push_back(pts[rng.nextBounded(n)]);
+    std::vector<double> best_d2(n);
+    for (std::size_t i = 0; i < n; ++i)
+        best_d2[i] = dist2(pts[i], centroids[0]);
+    while (centroids.size() < k_req) {
+        double total = 0.0;
+        for (double d : best_d2)
+            total += d;
+        if (total <= 0.0)
+            break;
+        double target = rng.nextDouble() * total;
+        std::size_t chosen = n - 1;
+        double acc = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            acc += best_d2[i];
+            if (acc > target) {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push_back(pts[chosen]);
+        for (std::size_t i = 0; i < n; ++i)
+            best_d2[i] = std::min(best_d2[i],
+                                  dist2(pts[i], centroids.back()));
+    }
+    const std::size_t k = centroids.size();
+
+    // --- Lloyd iterations until the assignment is a fixed point.
+    std::vector<std::uint32_t> assign(n, 0);
+    for (unsigned iter = 0; iter < config.maxIterations; ++iter) {
+        result.iterations = iter + 1;
+        bool changed = iter == 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            std::uint32_t best = 0;
+            double best_dist = dist2(pts[i], centroids[0]);
+            for (std::size_t c = 1; c < k; ++c) {
+                double d = dist2(pts[i], centroids[c]);
+                if (d < best_dist) {
+                    best_dist = d;
+                    best = static_cast<std::uint32_t>(c);
+                }
+            }
+            if (assign[i] != best) {
+                assign[i] = best;
+                changed = true;
+            }
+        }
+        // Empty-cluster repair (deterministic): give cluster c the
+        // point currently farthest from its own centroid, lowest
+        // index on ties, so every cluster always has a member.
+        std::vector<std::uint64_t> sizes(k, 0);
+        for (std::uint32_t a : assign)
+            ++sizes[a];
+        for (std::size_t c = 0; c < k; ++c) {
+            if (sizes[c] != 0)
+                continue;
+            std::size_t worst = 0;
+            double worst_dist = -1.0;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (sizes[assign[i]] <= 1)
+                    continue;
+                double d = dist2(pts[i], centroids[assign[i]]);
+                if (d > worst_dist) {
+                    worst_dist = d;
+                    worst = i;
+                }
+            }
+            if (worst_dist < 0.0)
+                break;
+            --sizes[assign[worst]];
+            assign[worst] = static_cast<std::uint32_t>(c);
+            ++sizes[c];
+            changed = true;
+        }
+        for (std::size_t c = 0; c < k; ++c) {
+            Vec mean;
+            mean.fill(0.0);
+            for (std::size_t i = 0; i < n; ++i)
+                if (assign[i] == c)
+                    for (unsigned d = 0; d < NumFeatures; ++d)
+                        mean[d] += pts[i][d];
+            for (unsigned d = 0; d < NumFeatures; ++d)
+                mean[d] /= static_cast<double>(sizes[c]);
+            centroids[c] = mean;
+        }
+        if (!changed)
+            break;
+    }
+
+    result.k = static_cast<unsigned>(k);
+    result.assignment = std::move(assign);
+    result.centroids = centroids;
+    result.sizes.assign(k, 0);
+    result.representatives.assign(k, 0);
+    result.dispersion.assign(k, 0.0);
+    std::vector<double> best_rep(k, -1.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint32_t c = result.assignment[i];
+        double d = std::sqrt(dist2(pts[i], centroids[c]));
+        ++result.sizes[c];
+        result.dispersion[c] += d;
+        if (best_rep[c] < 0.0 || d < best_rep[c]) {
+            best_rep[c] = d;
+            result.representatives[c] = i;
+        }
+    }
+    for (std::size_t c = 0; c < k; ++c)
+        result.dispersion[c] /= static_cast<double>(result.sizes[c]);
+    return result;
+}
+
+} // namespace arl::sampling

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Deterministic seeded k-means over interval feature vectors.
+ *
+ * SimPoint-style phase classification: Lloyd iterations with
+ * k-means++ seeding drawn from the repository's own xorshift64*
+ * generator (common/random.hh), so the clustering — and therefore
+ * every sampled report downstream — is bit-identical across runs,
+ * hosts, and `--jobs` values.  All tie-breaks are by lowest index,
+ * never by pointer or iteration order of an unordered container.
+ *
+ * Degenerate inputs are first-class: k is clamped to the number of
+ * *distinct* points (all-identical vectors collapse to one cluster),
+ * a single interval yields a single cluster, and an empty input
+ * yields an empty result (callers reject it with a user error before
+ * ever getting here — see sampling::buildPlan).
+ */
+
+#ifndef ARL_SAMPLING_KMEANS_HH
+#define ARL_SAMPLING_KMEANS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sampling/features.hh"
+
+namespace arl::sampling
+{
+
+/** Clustering knobs. */
+struct KMeansConfig
+{
+    /** Requested cluster count (clamped to distinct points). */
+    unsigned k = 6;
+    /** Seed for the k-means++ draw; fixed default for repro. */
+    std::uint64_t seed = 0xA8C7;
+    /** Lloyd iteration cap (convergence usually comes first). */
+    unsigned maxIterations = 64;
+};
+
+/** Clustering of N intervals into k phases. */
+struct KMeansResult
+{
+    /** Effective cluster count (<= config.k). */
+    unsigned k = 0;
+    /** Lloyd iterations actually run. */
+    unsigned iterations = 0;
+    /** Cluster id per interval, in interval order. */
+    std::vector<std::uint32_t> assignment;
+    /** Final centroids (normalised feature space). */
+    std::vector<std::array<double, NumFeatures>> centroids;
+    /** Interval count per cluster. */
+    std::vector<std::uint64_t> sizes;
+    /**
+     * Representative interval per cluster: the member closest to the
+     * centroid (ties -> lowest interval index).
+     */
+    std::vector<std::size_t> representatives;
+    /**
+     * Mean member distance to the centroid, per cluster, in the
+     * normalised feature space — the homogeneity proxy behind the
+     * sampled estimate's confidence interval.
+     */
+    std::vector<double> dispersion;
+};
+
+/**
+ * Cluster @p intervals into (at most) @p config.k phases.
+ * Deterministic in (intervals, config); empty input -> empty result.
+ */
+KMeansResult cluster(const std::vector<IntervalFeatures> &intervals,
+                     const KMeansConfig &config);
+
+} // namespace arl::sampling
+
+#endif // ARL_SAMPLING_KMEANS_HH

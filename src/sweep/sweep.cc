@@ -3,9 +3,11 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -14,6 +16,7 @@
 #include "common/logging.hh"
 #include "obs/hooks.hh"
 #include "obs/profiler.hh"
+#include "sampling/sampling.hh"
 #include "trace/replay.hh"
 #include "workloads/workloads.hh"
 
@@ -106,11 +109,44 @@ struct Prepared
 {
     std::shared_ptr<const vm::Program> program;
     std::shared_ptr<const trace::InMemoryTrace> trace;
+    /** Phase-sampling decision (sampled sweeps only). */
+    sampling::SamplingPlan plan;
     double seconds = 0.0;
     bool cacheHit = false;
     std::uint64_t diskBytes = 0;
     double decodeSeconds = 0.0;
 };
+
+/**
+ * One phase-2 work item of the timing grid.  In exact mode every
+ * grid point is a single job (rep == Exact); in sampled mode a grid
+ * point fans out into one job per cluster representative plus an
+ * optional full-population verify job, merged deterministically by
+ * the coordinator afterwards.
+ */
+struct TimingJob
+{
+    static constexpr std::ptrdiff_t Exact = -1;
+    static constexpr std::ptrdiff_t Verify = -2;
+    std::size_t wi = 0;
+    std::size_t ci = 0;
+    std::ptrdiff_t rep = Exact;
+    /** Result slot: rep jobs index repRuns, verify jobs verifyRuns. */
+    std::size_t slot = 0;
+};
+
+/** Insert @p name into the sorted snapshot @p snapshot. */
+void
+insertStat(obs::StatsRegistry::Snapshot &snapshot,
+           const std::string &name, double value)
+{
+    auto it = std::lower_bound(
+        snapshot.begin(), snapshot.end(), name,
+        [](const auto &entry, const std::string &key) {
+            return entry.first < key;
+        });
+    snapshot.insert(it, {name, value});
+}
 
 } // namespace
 
@@ -141,6 +177,7 @@ runSweep(const SweepSpec &spec)
     const std::size_t nw = spec.workloads.size();
     const std::size_t nc = spec.configs.size();
     const bool region_grid = !spec.schemes.empty();
+    const bool sampled = spec.sampling && nc != 0;
     unsigned jobs = spec.jobs;
     if (jobs == 0)
         jobs = std::max(1u, std::thread::hardware_concurrency());
@@ -204,6 +241,24 @@ runSweep(const SweepSpec &spec)
                          cache_path.c_str());
             }
         }
+        if (sampled) {
+            // Plan once per workload: the fingerprint/cluster pass
+            // depends only on the record bytes, so every config of
+            // this row reuses the same representatives.  The
+            // population starts after the workload's warmup prefix,
+            // so the estimate extrapolates to exactly the window a
+            // full (non-sampled) timing point measures, and the
+            // earliest intervals warm from the prefix instead of
+            // starting cold.
+            sampling::SamplingConfig sc;
+            sc.intervalInsts = spec.samplingInterval;
+            sc.clusters = spec.samplingClusters;
+            sc.warmupInsts = spec.samplingWarmup;
+            std::string err;
+            if (!sampling::buildPlan(*p.trace, sc, w.warmup, w.timed,
+                                     p.plan, &err))
+                fatal("sweep: %s", err.c_str());
+        }
         p.seconds = secondsSince(start);
         prep[wi] = std::move(p);
     });
@@ -222,12 +277,42 @@ runSweep(const SweepSpec &spec)
             ++result.traceCacheMisses;
     }
 
-    // ---- Phase 2: shard the grid.  Job i < nw*nc is a timing
-    // point; the rest are one region-study pass per workload.
-    const std::size_t timing_jobs = nw * nc;
+    // ---- Phase 2: shard the grid.  Exact mode: one job per timing
+    // point.  Sampled mode: each point fans out into one job per
+    // cluster representative plus an optional full-population verify
+    // job; the coordinator folds them back together afterwards, in
+    // declaration order, so sampled reports keep the byte-identity
+    // guarantee across --jobs values.  Region passes ride at the
+    // end either way.
+    std::vector<TimingJob> tjobs;
+    std::vector<sampling::RepMeasurement> rep_meas;
+    std::vector<sampling::RepMeasurement> verify_meas;
+    for (std::size_t wi = 0; wi < nw; ++wi) {
+        for (std::size_t ci = 0; ci < nc; ++ci) {
+            if (!sampled) {
+                tjobs.push_back({wi, ci, TimingJob::Exact, 0});
+                continue;
+            }
+            for (std::size_t r = 0; r < prep[wi].plan.reps.size();
+                 ++r) {
+                tjobs.push_back({wi, ci,
+                                 static_cast<std::ptrdiff_t>(r),
+                                 rep_meas.size()});
+                rep_meas.emplace_back();
+            }
+            if (spec.samplingVerify) {
+                tjobs.push_back(
+                    {wi, ci, TimingJob::Verify, verify_meas.size()});
+                verify_meas.emplace_back();
+            }
+        }
+    }
+    std::vector<obs::StatsRegistry::Snapshot> rep_snaps(
+        rep_meas.size());
+    const std::size_t timing_jobs = tjobs.size();
     const std::size_t total_jobs =
         timing_jobs + (region_grid ? nw : 0);
-    result.timing.resize(timing_jobs);
+    result.timing.resize(nw * nc);
     if (region_grid)
         result.region.resize(nw);
     std::vector<double> job_seconds(total_jobs, 0.0);
@@ -237,19 +322,23 @@ runSweep(const SweepSpec &spec)
     // while the grid drains.
     std::vector<std::atomic<std::size_t>> remaining(nw);
     for (std::size_t wi = 0; wi < nw; ++wi)
-        remaining[wi] = nc + (region_grid ? 1 : 0);
+        remaining[wi] = region_grid ? 1 : 0;
+    for (const TimingJob &tj : tjobs)
+        remaining[tj.wi].fetch_add(1, std::memory_order_relaxed);
     std::atomic<std::uint64_t> seek_skipped{0};
 
     runJobs(total_jobs, jobs, [&](std::size_t job) {
         Clock::time_point start = Clock::now();
-        std::size_t wi = job < timing_jobs ? job / nc : job - timing_jobs;
+        std::size_t wi =
+            job < timing_jobs ? tjobs[job].wi : job - timing_jobs;
         const WorkloadSpec &w = spec.workloads[wi];
         auto trace_handle = prep[wi].trace;
 
-        if (job < timing_jobs) {
+        if (job < timing_jobs && tjobs[job].rep == TimingJob::Exact) {
+            const TimingJob &tj = tjobs[job];
             obs::ProfScope prof("sweep/simulate",
                                 obs::ProfScope::Mode::Absolute);
-            ooo::MachineConfig config = spec.configs[job % nc];
+            ooo::MachineConfig config = spec.configs[tj.ci];
             if (spec.cpiStack)
                 config.cpiStack = true;
             auto source =
@@ -287,7 +376,68 @@ runSweep(const SweepSpec &spec)
             prof.addGuestInsts(w.warmup - ff_skip +
                                point.stats.instructions);
             prof.addGuestCycles(point.stats.cycles);
-            result.timing[job] = std::move(point);
+            result.timing[tj.wi * nc + tj.ci] = std::move(point);
+        } else if (job < timing_jobs && tjobs[job].rep >= 0) {
+            // One phase representative: seek to the warmup window,
+            // warm functionally, then time only the interval.
+            const TimingJob &tj = tjobs[job];
+            obs::ProfScope prof("sweep/sample",
+                                obs::ProfScope::Mode::Absolute);
+            ooo::MachineConfig config = spec.configs[tj.ci];
+            if (spec.cpiStack)
+                config.cpiStack = true;
+            const sampling::Representative &rep =
+                prep[wi].plan.reps[static_cast<std::size_t>(tj.rep)];
+            auto source =
+                std::make_shared<trace::ReplaySource>(trace_handle);
+            if (rep.warmupStart) {
+                source->seekTo(rep.warmupStart);
+                seek_skipped.fetch_add(rep.warmupStart,
+                                       std::memory_order_relaxed);
+            }
+            ooo::OooCore core(config, prep[wi].program, source);
+            obs::Hooks hooks;
+            core.attachObs(&hooks);
+            // The warmup window splits into a functional prefix and
+            // a short detailed tail; runSample fences the statistics
+            // between the tail and the timed interval, so the window
+            // starts with a full ROB and live contention state but
+            // clean counters.
+            const InstCount warm = rep.start - rep.warmupStart;
+            if (warm > rep.detail)
+                core.warmup(warm - rep.detail, 0);
+            ooo::OooStats stats =
+                core.runSample(rep.length, rep.detail);
+            hooks.finalize();
+            rep_meas[tj.slot] = {stats.cycles, stats.instructions};
+            rep_snaps[tj.slot] = std::move(hooks.finalSnapshot);
+            prof.addGuestInsts(rep.start - rep.warmupStart +
+                               stats.instructions);
+            prof.addGuestCycles(stats.cycles);
+        } else if (job < timing_jobs) {
+            // Verify: the exact flow an unsampled timing point runs
+            // (functional warmup, then the full timed window), so
+            // the measured error compares the estimate against the
+            // number the sampled run replaces.
+            const TimingJob &tj = tjobs[job];
+            obs::ProfScope prof("sweep/verify",
+                                obs::ProfScope::Mode::Absolute);
+            ooo::MachineConfig config = spec.configs[tj.ci];
+            if (spec.cpiStack)
+                config.cpiStack = true;
+            auto source =
+                std::make_shared<trace::ReplaySource>(trace_handle);
+            ooo::OooCore core(config, prep[wi].program, source);
+            InstCount window = w.warmup;
+            if (w.warmupWindow && w.warmupWindow < window)
+                window = w.warmupWindow;
+            if (w.warmup)
+                core.warmup(w.warmup, window);
+            ooo::OooStats stats = core.run(w.timed);
+            verify_meas[tj.slot] = {stats.cycles,
+                                    stats.instructions};
+            prof.addGuestInsts(w.warmup + stats.instructions);
+            prof.addGuestCycles(stats.cycles);
         } else {
             obs::ProfScope prof("sweep/regionstudy",
                                 obs::ProfScope::Mode::Absolute);
@@ -367,6 +517,63 @@ runSweep(const SweepSpec &spec)
             result.serialSecondsEstimate += s;
         result.seekSkippedRecords =
             seek_skipped.load(std::memory_order_relaxed);
+        if (sampled) {
+            // Fold per-representative measurements back into one
+            // extrapolated point per grid cell.  Cursor order here
+            // mirrors the job-construction loop exactly, so merged
+            // output depends only on the spec.
+            std::size_t rep_cursor = 0, verify_cursor = 0;
+            for (std::size_t wi = 0; wi < nw; ++wi) {
+                const sampling::SamplingPlan &plan = prep[wi].plan;
+                const std::size_t nreps = plan.reps.size();
+                for (std::size_t ci = 0; ci < nc; ++ci) {
+                    std::vector<sampling::RepMeasurement> meas(
+                        rep_meas.begin() + rep_cursor,
+                        rep_meas.begin() + rep_cursor + nreps);
+                    std::vector<obs::StatsRegistry::Snapshot> snaps(
+                        rep_snaps.begin() + rep_cursor,
+                        rep_snaps.begin() + rep_cursor + nreps);
+                    rep_cursor += nreps;
+                    sampling::SampledEstimate est =
+                        sampling::extrapolate(plan, meas);
+                    TimingPoint point;
+                    point.workload = spec.workloads[wi].name;
+                    point.config = spec.configs[ci].name;
+                    point.stats.configName = spec.configs[ci].name;
+                    point.stats.cycles = static_cast<Cycle>(
+                        std::llround(est.cycles));
+                    point.stats.instructions = plan.totalInsts;
+                    point.snapshot = sampling::mergeSnapshots(
+                        plan, est, meas, snaps);
+                    point.sampling = est.report;
+                    if (spec.samplingVerify) {
+                        const sampling::RepMeasurement &full =
+                            verify_meas[verify_cursor++];
+                        double full_cpi =
+                            full.instructions
+                                ? static_cast<double>(full.cycles) /
+                                      full.instructions
+                                : 0.0;
+                        double err =
+                            full_cpi > 0.0
+                                ? 100.0 *
+                                      std::abs(est.cpi - full_cpi) /
+                                      full_cpi
+                                : 0.0;
+                        point.sampling.measuredErrorPct = err;
+                        insertStat(point.snapshot,
+                                   "sampling.full_cycles",
+                                   static_cast<double>(full.cycles));
+                        insertStat(point.snapshot,
+                                   "sampling.full_cpi", full_cpi);
+                        insertStat(point.snapshot,
+                                   "sampling.measured_error_pct",
+                                   err);
+                    }
+                    result.timing[wi * nc + ci] = std::move(point);
+                }
+            }
+        }
     }
     result.wallSeconds = secondsSince(wall_start);
     return result;
@@ -382,6 +589,7 @@ SweepResult::toReport(const std::string &command) const
         record.workload = point.workload;
         record.config = point.config;
         record.stats = point.snapshot;
+        record.sampling = point.sampling;
         report.runs.push_back(std::move(record));
     }
     for (const RegionPoint &point : region) {

@@ -128,6 +128,33 @@ struct SweepSpec
      * only — timing numbers are unchanged, reports gain keys.
      */
     bool cpiStack = false;
+    /**
+     * Phase-sampled timing (src/sampling): fingerprint the trace in
+     * fixed-length intervals, cluster the intervals into phases, and
+     * detail-simulate only each phase's representative window,
+     * extrapolating whole-run CPI with a confidence interval.  The
+     * population per point is the timed window after the workload's
+     * warmup prefix — exactly the records an unsampled timing point
+     * measures — so estimates are comparable with full-run goldens,
+     * and a verify run repeats the unsampled flow (functional
+     * warmup, then the timed window) for the measured error.
+     * Deterministic and byte-identical across --jobs values, like
+     * the exact path.
+     */
+    bool sampling = false;
+    /** Sampling interval length in instructions. */
+    InstCount samplingInterval = 10000;
+    /** Requested phase count k (clamped to distinct intervals). */
+    unsigned samplingClusters = 6;
+    /** Warmup before each representative window (the tail runs
+     *  through the detailed pipeline, the rest is functional). */
+    InstCount samplingWarmup = 5000;
+    /**
+     * Also run the full population per sampled timing point and
+     * record the measured CPI error next to the estimate.  Costs
+     * what sampling saved; for tests, benches and walkthroughs.
+     */
+    bool samplingVerify = false;
 };
 
 /** Result of one timing grid point. */
@@ -138,6 +165,8 @@ struct TimingPoint
     ooo::OooStats stats;
     /** Frozen per-job registry (the --stats-json record body). */
     obs::StatsRegistry::Snapshot snapshot;
+    /** Phase-sampling audit trail (enabled only in sampled mode). */
+    obs::SamplingReport sampling;
 };
 
 /** Result of one workload's region-study pass. */

@@ -94,6 +94,24 @@ fromRecord(const TraceRecord &record, InstCount seq)
     return step;
 }
 
+RecordClass
+classifyRecord(const TraceRecord &record)
+{
+    isa::DecodedInst inst;
+    if (!isa::decode(record.instWord, inst))
+        fatal("trace: undecodable instruction word 0x%08x",
+              record.instWord);
+    const isa::OpInfo &info = inst.info();
+    RecordClass cls;
+    cls.isLoad = info.isLoad;
+    cls.isStore = info.isStore;
+    cls.isMem = info.isLoad || info.isStore;
+    cls.isBranch = info.isBranch;
+    cls.taken = record.flags & FlagTaken;
+    cls.region = record.region;
+    return cls;
+}
+
 TraceWriter::TraceWriter(const std::string &path_in,
                          const std::string &program, TraceFormat format,
                          std::uint32_t block_records)

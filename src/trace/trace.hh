@@ -120,6 +120,26 @@ TraceRecord toRecord(const sim::StepInfo &step);
  */
 sim::StepInfo fromRecord(const TraceRecord &record, InstCount seq);
 
+/**
+ * Cheap per-record classification for fast functional passes that
+ * only need the instruction's kind, not a full StepInfo (e.g. the
+ * phase-sampling feature extractor walks millions of records and
+ * wants one table lookup per record, not a reconstitution).
+ */
+struct RecordClass
+{
+    bool isMem = false;
+    bool isLoad = false;
+    bool isStore = false;
+    bool isBranch = false;
+    bool taken = false;
+    /** vm::Region of the access (Unknown when not a data access). */
+    std::uint8_t region = 0;
+};
+
+/** Classify @p record; fatal on an undecodable instruction word. */
+RecordClass classifyRecord(const TraceRecord &record);
+
 namespace v2
 {
 class Writer;

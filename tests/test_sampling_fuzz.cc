@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Seeded fuzz layer of the sampling test pyramid: random phased
+ * ProgramBuilder programs (loop nests over global arrays with random
+ * strides, trip counts, and load/store/ALU mixes) are traced, phase
+ * sampled through the same plan/measure/extrapolate pipeline the
+ * sweep engine runs, and checked against their own full detailed
+ * simulation:
+ *
+ *  - the sampled CPI stays within a configured bound of the full-run
+ *    CPI on machine configurations from both ends of the fig8 grid;
+ *  - the sampled estimate is bit-identical across repeated runs and
+ *    across the order representatives are measured in (the property
+ *    that makes the sweep's merge independent of job scheduling).
+ *
+ * Everything reproduces from the printed seed alone.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "builder/program_builder.hh"
+#include "common/random.hh"
+#include "isa/registers.hh"
+#include "ooo/config.hh"
+#include "ooo/core.hh"
+#include "sampling/sampling.hh"
+#include "trace/replay.hh"
+
+using namespace arl;
+
+namespace r = isa::reg;
+using builder::Label;
+using builder::ProgramBuilder;
+
+namespace
+{
+
+constexpr double kMaxCpiErrorPct = 5.0;
+constexpr std::size_t kArrayWords = 1024;
+
+/**
+ * A random phased program: an outer loop over 2-4 inner "phase"
+ * loops, each scanning one global array with its own stride,
+ * trip count, store share, and ALU-filler depth.  Distinct phases
+ * give the clusterer real structure to find; the LCG-free regular
+ * control keeps the functional run short and halting guaranteed.
+ */
+std::shared_ptr<vm::Program>
+buildFuzzProgram(std::uint64_t seed)
+{
+    Rng rng(seed);
+    ProgramBuilder b("sampling_fuzz");
+
+    const unsigned arrays = 2 + static_cast<unsigned>(rng.nextBounded(3));
+    for (unsigned a = 0; a < arrays; ++a)
+        b.globalArray("arr" + std::to_string(a), kArrayWords);
+
+    b.emitStartStub("main");
+    b.beginFunction("main", 2, {r::S0});
+
+    struct Phase
+    {
+        unsigned array;
+        unsigned stride;      // words
+        unsigned trips;
+        unsigned fillers;     // extra ALU ops per trip
+        bool stores;
+    };
+    const unsigned phases = 2 + static_cast<unsigned>(rng.nextBounded(3));
+    std::vector<Phase> plan;
+    for (unsigned p = 0; p < phases; ++p) {
+        Phase ph;
+        ph.array = static_cast<unsigned>(rng.nextBounded(arrays));
+        ph.stride = 1u << rng.nextBounded(3);  // 1, 2, or 4 words
+        const unsigned max_trips =
+            static_cast<unsigned>(kArrayWords) / ph.stride;
+        ph.trips = max_trips / 2 +
+                   static_cast<unsigned>(rng.nextBounded(max_trips / 2));
+        ph.fillers = static_cast<unsigned>(rng.nextBounded(4));
+        ph.stores = rng.nextBounded(2) != 0;
+        plan.push_back(ph);
+    }
+
+    // Normalise total work to ~120k dynamic instructions whatever
+    // the draw, so every seed is long enough to sample and short
+    // enough to fully simulate twice.
+    std::uint64_t per_outer = 0;
+    for (const Phase &ph : plan)
+        per_outer += static_cast<std::uint64_t>(ph.trips) *
+                     (4 + ph.fillers + (ph.stores ? 2 : 0));
+    const unsigned outer = static_cast<unsigned>(std::clamp<
+        std::uint64_t>(120000 / std::max<std::uint64_t>(per_outer, 1),
+                       4, 64));
+    b.li(r::S0, static_cast<std::int32_t>(outer));
+    Label outer_loop = b.label();
+    b.bind(outer_loop);
+    for (const Phase &ph : plan) {
+        b.la(r::T2, "arr" + std::to_string(ph.array));
+        b.li(r::T4, static_cast<std::int32_t>(ph.trips));
+        Label scan = b.label();
+        b.bind(scan);
+        b.lw(r::T5, 0, r::T2);
+        for (unsigned f = 0; f < ph.fillers; ++f)
+            b.add(r::T6, r::T5, r::T4);
+        if (ph.stores) {
+            b.addi(r::T5, r::T5, 1);
+            b.sw(r::T5, 0, r::T2);
+        }
+        b.addi(r::T2, r::T2,
+               static_cast<std::int32_t>(ph.stride * 4));
+        b.addi(r::T4, r::T4, -1);
+        b.bgtz(r::T4, scan);
+    }
+    b.addi(r::S0, r::S0, -1);
+    b.bgtz(r::S0, outer_loop);
+
+    b.li(r::V0, 0);
+    b.fnReturn();
+    b.endFunction();
+    return b.finish();
+}
+
+/** Cycles and instructions of a full cold detailed run. */
+ooo::OooStats
+fullRun(const ooo::MachineConfig &config,
+        std::shared_ptr<const vm::Program> program,
+        std::shared_ptr<const trace::InMemoryTrace> trace)
+{
+    auto source = std::make_shared<trace::ReplaySource>(trace);
+    ooo::OooCore core(config, program, source);
+    return core.run(0);
+}
+
+/** Measure one representative exactly the way the sweep does. */
+sampling::RepMeasurement
+measureRep(const ooo::MachineConfig &config,
+           std::shared_ptr<const vm::Program> program,
+           std::shared_ptr<const trace::InMemoryTrace> trace,
+           const sampling::Representative &rep)
+{
+    auto source = std::make_shared<trace::ReplaySource>(trace);
+    if (rep.warmupStart)
+        source->seekTo(rep.warmupStart);
+    ooo::OooCore core(config, program, source);
+    const InstCount warm = rep.start - rep.warmupStart;
+    if (warm > rep.detail)
+        core.warmup(warm - rep.detail, 0);
+    ooo::OooStats stats = core.runSample(rep.length, rep.detail);
+    return {stats.cycles, stats.instructions};
+}
+
+} // namespace
+
+TEST(SamplingFuzz, SampledCpiTracksFullRunOnRandomPrograms)
+{
+    const ooo::MachineConfig configs[] = {
+        ooo::MachineConfig::nPlusM(2, 0),
+        ooo::MachineConfig::nPlusM(3, 3),
+    };
+    for (std::uint64_t seed : {0x51u, 0x52u, 0x53u}) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        auto program = buildFuzzProgram(seed);
+        auto trace = trace::recordToMemory(
+            program, 0, trace::DefaultBlockRecords);
+        ASSERT_TRUE(trace->complete)
+            << "fuzz program must halt on its own";
+        ASSERT_GE(trace->records.size(), 50000u)
+            << "fuzz program too short to sample meaningfully";
+
+        sampling::SamplingConfig sc;
+        sc.intervalInsts = 5000;
+        sc.clusters = 6;
+        sc.warmupInsts = 5000;
+        sampling::SamplingPlan sample_plan;
+        std::string error;
+        ASSERT_TRUE(sampling::buildPlan(*trace, sc, 0, 0, sample_plan,
+                                        &error))
+            << error;
+
+        for (const ooo::MachineConfig &config : configs) {
+            SCOPED_TRACE(config.name);
+            ooo::OooStats full = fullRun(config, program, trace);
+            ASSERT_GT(full.instructions, 0u);
+            const double full_cpi =
+                static_cast<double>(full.cycles) /
+                static_cast<double>(full.instructions);
+
+            std::vector<sampling::RepMeasurement> meas;
+            for (const auto &rep : sample_plan.reps)
+                meas.push_back(
+                    measureRep(config, program, trace, rep));
+            sampling::SampledEstimate est =
+                sampling::extrapolate(sample_plan, meas);
+
+            const double err_pct =
+                100.0 * std::abs(est.cpi - full_cpi) / full_cpi;
+            EXPECT_LT(err_pct, kMaxCpiErrorPct)
+                << "sampled CPI " << est.cpi << " vs full " << full_cpi;
+        }
+    }
+}
+
+TEST(SamplingFuzz, EstimateIsDeterministicAndOrderIndependent)
+{
+    const std::uint64_t seed = 0xF00D;
+    auto program = buildFuzzProgram(seed);
+    auto trace =
+        trace::recordToMemory(program, 0, trace::DefaultBlockRecords);
+    ASSERT_TRUE(trace->complete);
+
+    sampling::SamplingConfig sc;
+    sc.intervalInsts = 5000;
+    sc.clusters = 5;
+    sampling::SamplingPlan first, second;
+    std::string error;
+    ASSERT_TRUE(sampling::buildPlan(*trace, sc, 0, 0, first, &error))
+        << error;
+    ASSERT_TRUE(sampling::buildPlan(*trace, sc, 0, 0, second, &error))
+        << error;
+    ASSERT_EQ(first.reps.size(), second.reps.size());
+    for (std::size_t i = 0; i < first.reps.size(); ++i) {
+        EXPECT_EQ(first.reps[i].start, second.reps[i].start);
+        EXPECT_EQ(first.reps[i].interval, second.reps[i].interval);
+        EXPECT_EQ(first.reps[i].clusterInsts,
+                  second.reps[i].clusterInsts);
+    }
+
+    const ooo::MachineConfig config = ooo::MachineConfig::nPlusM(2, 0);
+    // Measure forward, then in reverse order — the sweep's workers
+    // may pick representative jobs in any order, so each measurement
+    // must depend only on its own window.
+    std::vector<sampling::RepMeasurement> forward(first.reps.size());
+    for (std::size_t i = 0; i < first.reps.size(); ++i)
+        forward[i] = measureRep(config, program, trace, first.reps[i]);
+    std::vector<sampling::RepMeasurement> reversed(first.reps.size());
+    for (std::size_t i = first.reps.size(); i-- > 0;)
+        reversed[i] =
+            measureRep(config, program, trace, first.reps[i]);
+    for (std::size_t i = 0; i < first.reps.size(); ++i) {
+        EXPECT_EQ(forward[i].cycles, reversed[i].cycles) << i;
+        EXPECT_EQ(forward[i].instructions, reversed[i].instructions)
+            << i;
+    }
+
+    sampling::SampledEstimate a = sampling::extrapolate(first, forward);
+    sampling::SampledEstimate b =
+        sampling::extrapolate(second, reversed);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.cpi, b.cpi);
+    EXPECT_EQ(a.estErrorPct, b.estErrorPct);
+}

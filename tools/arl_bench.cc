@@ -17,9 +17,9 @@
  *
  *   arl_bench [--quick] [--out F] [--quiet] [--log-level L]
  *
- *   --quick   run only the fast subset (replay_core, trace_codec)
- *             with the same knobs, so its records still compare
- *             exactly against the full baseline.
+ *   --quick   run only the fast subset (replay_core, trace_codec,
+ *             sampled) with the same knobs, so its records still
+ *             compare exactly against the full baseline.
  *   --out F   output path (default BENCH_0006.json; "-" = stdout).
  *
  * ARL_UPDATE_BENCH=1 in the environment writes the report to the
@@ -63,6 +63,8 @@ constexpr InstCount kTimedInsts = 100000;
 constexpr InstCount kStudyInsts = 200000;
 /** Pinned trace-codec recording length. */
 constexpr InstCount kCodecInsts = 300000;
+/** Pinned sampled-bench timed window (big enough for ~20 intervals). */
+constexpr InstCount kSampledInsts = 200000;
 
 sweep::WorkloadSpec
 workload(const char *name, InstCount timed, InstCount study = 0)
@@ -166,6 +168,72 @@ benchRegionFig4()
     return sweepBench("region_fig4", spec);
 }
 
+/**
+ * Phase-sampled timing against its own full-run verification: two
+ * workloads × two fig8 corner configs through the sampled sweep with
+ * the verify pass on.  Deterministic counters record the sampled vs
+ * full instruction counts, the instruction-level speedup, and the
+ * worst measured CPI error — so the regression gate catches both an
+ * accuracy regression and a coverage (speedup) regression.
+ */
+obs::BenchCase
+benchSampled()
+{
+    sweep::SweepSpec spec;
+    spec.jobs = 1;
+    spec.workloads = {workload("go_like", kSampledInsts),
+                      workload("li_like", kSampledInsts)};
+    spec.configs = {ooo::MachineConfig::nPlusM(2, 0),
+                    ooo::MachineConfig::nPlusM(3, 3)};
+    spec.sampling = true;       // pinned knobs: 10000 / 6 / 5000
+    spec.samplingVerify = true;
+
+    obs::BenchCase bench;
+    bench.name = "sampled";
+    Clock::time_point start = Clock::now();
+    sweep::SweepResult result = sweep::runSweep(spec);
+    bench.wallSeconds = secondsSince(start);
+
+    // Guest work = trace recording plus the detailed-pipeline
+    // instructions actually simulated: the representatives (with
+    // their detailed warmup tails) and the full verify pass.  The
+    // extrapolated population deliberately does NOT count — the
+    // whole point is that it was never simulated.
+    bench.guestInsts = result.traceInstructions;
+    double max_error_pct = 0.0;
+    std::uint64_t sampled_insts = 0;
+    std::uint64_t full_insts = 0;
+    for (const sweep::TimingPoint &point : result.timing) {
+        const obs::SamplingReport &s = point.sampling;
+        if (!s.enabled || s.measuredErrorPct < 0.0)
+            fatal("sampled: point lost its sampling+verify report");
+        bench.guestInsts += s.simulatedInsts + s.totalInsts;
+        bench.guestCycles += point.stats.cycles;
+        sampled_insts += s.simulatedInsts;
+        full_insts += s.totalInsts;
+        if (s.measuredErrorPct > max_error_pct)
+            max_error_pct = s.measuredErrorPct;
+    }
+    bench.mips = bench.wallSeconds > 0.0
+                     ? bench.guestInsts / 1e6 / bench.wallSeconds
+                     : 0.0;
+    bench.counters.emplace_back("timing_points",
+                                static_cast<double>(
+                                    result.timing.size()));
+    bench.counters.emplace_back("sampled_insts",
+                                static_cast<double>(sampled_insts));
+    bench.counters.emplace_back("full_insts",
+                                static_cast<double>(full_insts));
+    bench.counters.emplace_back("insts_speedup",
+                                sampled_insts
+                                    ? static_cast<double>(full_insts) /
+                                          sampled_insts
+                                    : 0.0);
+    bench.counters.emplace_back("max_measured_error_pct",
+                                max_error_pct);
+    return bench;
+}
+
 obs::BenchCase
 benchTraceCodec()
 {
@@ -246,6 +314,7 @@ main(int argc, char **argv)
     obs::BenchReport report;
     report.benches.push_back(benchReplayCore());
     report.benches.push_back(benchTraceCodec());
+    report.benches.push_back(benchSampled());
     if (!quick) {
         report.benches.push_back(benchSweepFig8());
         report.benches.push_back(benchContended());

@@ -633,6 +633,86 @@ parseContentionKnobs(const Args &args)
     return knobs;
 }
 
+/** The phase-sampling flags shared by time and sweep. */
+const std::vector<FlagSpec> kSamplingFlags = {
+    {"sampling", FlagKind::Bool},
+    {"interval-insts", FlagKind::Int},
+    {"clusters", FlagKind::Int},
+    {"sampling-warmup", FlagKind::Int},
+    {"sampling-verify", FlagKind::Bool},
+};
+
+/**
+ * Fill @p spec's phase-sampling knobs from @p args.
+ * @return 0 on success, 1 (message printed) on a bad combination.
+ */
+int
+parseSamplingFlags(const Args &args, sweep::SweepSpec &spec)
+{
+    spec.sampling = args.has("sampling");
+    if (!spec.sampling) {
+        for (const char *name :
+             {"interval-insts", "clusters", "sampling-warmup"})
+            if (!args.flag(name, "").empty()) {
+                std::fprintf(stderr,
+                             "arl_sim: --%s requires --sampling\n",
+                             name);
+                return 1;
+            }
+        if (args.has("sampling-verify")) {
+            std::fprintf(stderr, "arl_sim: --sampling-verify "
+                                 "requires --sampling\n");
+            return 1;
+        }
+        return 0;
+    }
+    spec.samplingInterval = static_cast<InstCount>(
+        args.flagInt("interval-insts", 10000));
+    spec.samplingClusters =
+        static_cast<unsigned>(args.flagInt("clusters", 6));
+    spec.samplingWarmup = static_cast<InstCount>(
+        args.flagInt("sampling-warmup", 5000));
+    spec.samplingVerify = args.has("sampling-verify");
+    if (spec.samplingInterval == 0) {
+        std::fprintf(stderr, "arl_sim: --interval-insts must be "
+                             "> 0\n");
+        return 1;
+    }
+    if (spec.samplingClusters == 0) {
+        std::fprintf(stderr, "arl_sim: --clusters must be > 0\n");
+        return 1;
+    }
+    return 0;
+}
+
+/** Per-point phase-sampling summary table (time and sweep). */
+void
+printSampledTable(const std::vector<sweep::TimingPoint> &points)
+{
+    std::printf("%-15s %-12s %3s %6s %7s %7s %8s\n", "workload",
+                "config", "k", "cov%", "est+-%", "meas+-%",
+                "speedup");
+    for (const auto &point : points) {
+        const obs::SamplingReport &s = point.sampling;
+        if (!s.enabled)
+            continue;
+        double speedup =
+            s.simulatedInsts ? static_cast<double>(s.totalInsts) /
+                                   s.simulatedInsts
+                             : 0.0;
+        char measured[16];
+        if (s.measuredErrorPct >= 0.0)
+            std::snprintf(measured, sizeof measured, "%7.2f",
+                          s.measuredErrorPct);
+        else
+            std::snprintf(measured, sizeof measured, "%7s", "-");
+        std::printf("%-15s %-12s %3llu %5.1f%% %7.2f %s %7.1fx\n",
+                    point.workload.c_str(), point.config.c_str(),
+                    (unsigned long long)s.clusters, s.coveragePct,
+                    s.estErrorPct, measured, speedup);
+    }
+}
+
 int
 cmdTime(const std::string &target, Args &args)
 {
@@ -645,6 +725,8 @@ cmdTime(const std::string &target, Args &args)
     };
     accepted.insert(accepted.end(), kContentionFlags.begin(),
                     kContentionFlags.end());
+    accepted.insert(accepted.end(), kSamplingFlags.begin(),
+                    kSamplingFlags.end());
     args.parse(accepted);
     ObsOptions opts = ObsOptions::parse(args);
     unsigned scale = static_cast<unsigned>(args.flagInt("scale", 1));
@@ -679,6 +761,50 @@ cmdTime(const std::string &target, Args &args)
         if (args.has("cpi-stack"))
             config.cpiStack = true;
         config.applyContention(knobs);
+    }
+
+    // Phase-sampled timing is routed through the sweep engine (it
+    // owns the representative scheduling and the deterministic
+    // merge); a single-workload grid keeps the CLI surface the same.
+    sweep::SweepSpec sampling_spec;
+    if (int rc = parseSamplingFlags(args, sampling_spec))
+        return rc;
+    if (sampling_spec.sampling) {
+        if (!opts.tracePath.empty() || !opts.chromePath.empty() ||
+            opts.interval)
+            warn("--sampling: pipetrace/chrome-trace/interval sinks "
+                 "do not apply to sampled runs; ignoring them");
+        sampling_spec.configs = configs;
+        sampling_spec.jobs = 1;
+        sweep::WorkloadSpec w;
+        w.name = info.name;
+        w.scale = scale;
+        w.warmup = info.warmupInsts;
+        w.timed = timed;
+        sampling_spec.workloads.push_back(std::move(w));
+        sweep::SweepResult result =
+            core::Experiment::sweep(sampling_spec);
+        obs::Report report;
+        report.command = "time";
+        for (const auto &point : result.timing) {
+            obs::RunRecord record;
+            record.workload = point.workload;
+            record.config = point.config;
+            record.stats = point.snapshot;
+            record.sampling = point.sampling;
+            report.runs.push_back(std::move(record));
+        }
+        if (!quietOutput()) {
+            std::printf("%-12s %12s %6s\n", "config", "cycles(est)",
+                        "IPC");
+            for (const auto &point : result.timing)
+                std::printf("%-12s %12llu %6.2f\n",
+                            point.config.c_str(),
+                            (unsigned long long)point.stats.cycles,
+                            point.stats.ipc());
+            printSampledTable(result.timing);
+        }
+        return emitReport(report, opts);
     }
 
     if (!opts.tracePath.empty() && configs.size() > 1)
@@ -761,6 +887,8 @@ cmdSweep(const std::string &target, Args &args)
     };
     accepted.insert(accepted.end(), kContentionFlags.begin(),
                     kContentionFlags.end());
+    accepted.insert(accepted.end(), kSamplingFlags.begin(),
+                    kSamplingFlags.end());
     args.parse(accepted);
     ObsOptions opts = ObsOptions::parse(args);
     unsigned scale = static_cast<unsigned>(args.flagInt("scale", 1));
@@ -779,6 +907,8 @@ cmdSweep(const std::string &target, Args &args)
     }
     spec.seekFastForward = args.has("seek-ff");
     spec.cpiStack = args.has("cpi-stack");
+    if (int rc = parseSamplingFlags(args, spec))
+        return rc;
     spec.checkpointEvery = static_cast<InstCount>(
         args.flagInt("checkpoint-every", 0));
     // --seek-ff needs a bounded warming window to have a prefix to
@@ -851,12 +981,14 @@ cmdSweep(const std::string &target, Args &args)
 
     if (!result.timing.empty() && !quietOutput()) {
         std::printf("%-15s %-12s %10s %6s\n", "workload", "config",
-                    "cycles", "IPC");
+                    spec.sampling ? "cycles(est)" : "cycles", "IPC");
         for (const auto &point : result.timing)
             std::printf("%-15s %-12s %10llu %6.2f\n",
                         point.workload.c_str(), point.config.c_str(),
                         (unsigned long long)point.stats.cycles,
                         point.stats.ipc());
+        if (spec.sampling)
+            printSampledTable(result.timing);
     }
     if (!quietOutput()) {
         for (const auto &point : result.region) {
@@ -1091,6 +1223,51 @@ validateChromeTrace(const std::string &path, const obs::JsonValue &doc)
     return 0;
 }
 
+/**
+ * Validate one run's "sampling" section: the numeric summary fields
+ * and a non-empty representatives array whose length matches the
+ * reported cluster count.  @return "" when valid, else the problem.
+ */
+std::string
+checkSamplingSection(const obs::JsonValue &section)
+{
+    if (!section.isObject())
+        return "\"sampling\" is not an object";
+    for (const char *key :
+         {"interval_insts", "clusters", "clusters_requested",
+          "intervals", "total_insts", "simulated_insts",
+          "coverage_pct", "est_cpi", "est_error_pct"}) {
+        const obs::JsonValue *field = section.find(key);
+        if (!field || !field->isNumber())
+            return std::string("sampling: bad or missing \"") + key +
+                   "\"";
+    }
+    const obs::JsonValue *reps = section.find("representatives");
+    if (!reps || !reps->isArray())
+        return "sampling: \"representatives\" is not an array";
+    if (reps->array.empty())
+        return "sampling: no representatives";
+    if (section.find("clusters")->number !=
+        static_cast<double>(reps->array.size()))
+        return "sampling: \"clusters\" disagrees with the "
+               "representatives array";
+    for (std::size_t r = 0; r < reps->array.size(); ++r) {
+        const obs::JsonValue &rep = reps->array[r];
+        if (!rep.isObject())
+            return "sampling: representative " + std::to_string(r) +
+                   " is not an object";
+        for (const char *key : {"cluster", "start", "length",
+                                "warmup", "weight", "cycles", "cpi"}) {
+            const obs::JsonValue *field = rep.find(key);
+            if (!field || !field->isNumber())
+                return "sampling: representative " +
+                       std::to_string(r) + ": bad or missing \"" +
+                       key + "\"";
+        }
+    }
+    return "";
+}
+
 /** Validate an obs::Report document (schema_version + runs array). */
 int
 validateReport(const std::string &path, const obs::JsonValue &doc)
@@ -1098,6 +1275,7 @@ validateReport(const std::string &path, const obs::JsonValue &doc)
     const obs::JsonValue *runs = doc.find("runs");
     if (!runs || !runs->isArray())
         return invalid(path, "\"runs\" is not an array");
+    std::size_t sampled = 0;
     for (std::size_t i = 0; i < runs->array.size(); ++i) {
         const obs::JsonValue &run = runs->array[i];
         const std::string at = "run " + std::to_string(i);
@@ -1112,10 +1290,21 @@ validateReport(const std::string &path, const obs::JsonValue &doc)
         const obs::JsonValue *stats = run.find("stats");
         if (!stats || !stats->isObject())
             return invalid(path, at + ": bad or missing \"stats\"");
+        if (const obs::JsonValue *section = run.find("sampling")) {
+            std::string problem = checkSamplingSection(*section);
+            if (!problem.empty())
+                return invalid(path, at + ": " + problem);
+            ++sampled;
+        }
     }
-    if (!quietOutput())
-        std::printf("%s: valid report (%zu runs)\n", path.c_str(),
-                    runs->array.size());
+    if (!quietOutput()) {
+        if (sampled)
+            std::printf("%s: valid report (%zu runs, %zu sampled)\n",
+                        path.c_str(), runs->array.size(), sampled);
+        else
+            std::printf("%s: valid report (%zu runs)\n", path.c_str(),
+                        runs->array.size());
+    }
     return 0;
 }
 
@@ -1225,6 +1414,16 @@ usage()
         "cycle accounting (time and sweep):\n"
         "  --cpi-stack   force ooo.cpi_stack.* / load-to-use histogram\n"
         "                on ideal configs (contended always account)\n"
+        "phase sampling (time and sweep):\n"
+        "  --sampling                cluster trace intervals, simulate\n"
+        "                            one representative per phase,\n"
+        "                            extrapolate whole-run CPI\n"
+        "  --interval-insts N        interval length (default 10000)\n"
+        "  --clusters K              phase count k (default 6)\n"
+        "  --sampling-warmup N       warmup before each representative\n"
+        "                            window (default 5000)\n"
+        "  --sampling-verify         also run the full population and\n"
+        "                            report the measured CPI error\n"
         "observability (any simulating command; F = \"-\" for stdout):\n"
         "  --stats-json F   --stats-csv F   --interval N\n"
         "  --pipetrace F [--pipetrace-max N]   (time only)\n"
