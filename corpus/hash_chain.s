@@ -1,0 +1,56 @@
+# hash_probe: separate chaining — 256 static bucket heads, 512 heap
+# nodes pushed onto (key mod 256) chains, then every chain walked.
+# Mixes a data-region bucket array with heap chain traversal.
+        .data
+bkt:    .space 1024             # 256 head pointers
+        .text
+main:   la   $t0, bkt
+        li   $t1, 256
+        li   $t2, 0
+clr:    beq  $t2, $t1, fill
+        sw   $zero, 0($t0)
+        addi $t0, $t0, 4
+        addi $t2, $t2, 1
+        j    clr
+fill:   li   $s0, 1             # i = 1 .. 512
+        li   $s1, 513
+        li   $s3, 40503         # a small odd key multiplier
+ins:    beq  $s0, $s1, walk
+        mul  $s4, $s0, $s3      # key = 40503 * i
+        li   $t5, 255
+        and  $t6, $s4, $t5      # bucket = key mod 256
+        sll  $t6, $t6, 2
+        la   $t7, bkt
+        add  $s5, $t6, $t7      # &bkt[bucket]
+        li   $a0, 8
+        li   $v0, 13            # malloc a chain node
+        syscall
+        sw   $s4, 0($v0)        # node->key
+        lw   $t8, 0($s5)
+        sw   $t8, 4($v0)        # node->next = old head
+        sw   $v0, 0($s5)        # head = node
+        addi $s0, $s0, 1
+        j    ins
+walk:   li   $s0, 0             # bucket index
+        li   $t1, 256
+        li   $s2, 0             # acc (masked to stay small)
+bloop:  beq  $s0, $t1, done
+        sll  $t6, $s0, 2
+        la   $t7, bkt
+        add  $t6, $t6, $t7
+        lw   $t0, 0($t6)        # chain head
+chain:  beq  $t0, $zero, bnext
+        lw   $t4, 0($t0)        # node->key
+        add  $s2, $s2, $t4
+        li   $t5, 1048575
+        and  $s2, $s2, $t5      # keep the checksum in 20 bits
+        lw   $t0, 4($t0)        # chase next
+        j    chain
+bnext:  addi $s0, $s0, 1
+        j    bloop
+done:   li   $v0, 1             # print_int(checksum)
+        move $a0, $s2
+        syscall
+        li   $v0, 10            # exit(0)
+        li   $a0, 0
+        syscall

@@ -1,0 +1,40 @@
+# hash_probe: open-addressing inserts — 512 multiplicative-hashed
+# keys into a 1024-slot static table with linear probing; prints the
+# total probe count (a load-dependent irregular access stream).
+        .data
+tab:    .space 4096
+        .text
+main:   la   $t0, tab
+        li   $t1, 1024          # slots
+        li   $t2, 0
+clr:    beq  $t2, $t1, fill
+        sw   $zero, 0($t0)      # empty slot = 0
+        addi $t0, $t0, 4
+        addi $t2, $t2, 1
+        j    clr
+fill:   li   $s0, 1             # i = 1 .. 512 (keys are nonzero)
+        li   $s1, 513
+        li   $s2, 0             # total probes
+        li   $s3, -1640531527   # 2654435761 as a signed word
+ins:    beq  $s0, $s1, done
+        mul  $t3, $s0, $s3      # key = i * 2654435761 (mod 2^32)
+        srl  $t4, $t3, 22       # slot = top 10 bits
+probe:  addi $s2, $s2, 1
+        li   $t5, 1023
+        and  $t4, $t4, $t5
+        sll  $t6, $t4, 2
+        la   $t7, tab
+        add  $t6, $t6, $t7
+        lw   $t8, 0($t6)        # occupied?
+        beq  $t8, $zero, place
+        addi $t4, $t4, 1        # linear probe
+        j    probe
+place:  sw   $t3, 0($t6)
+        addi $s0, $s0, 1
+        j    ins
+done:   li   $v0, 1             # print_int(total probes)
+        move $a0, $s2
+        syscall
+        li   $v0, 10            # exit(0)
+        li   $a0, 0
+        syscall

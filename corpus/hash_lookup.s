@@ -1,0 +1,56 @@
+# hash_probe: build the same open-addressing table as hash_insert,
+# then re-probe all 512 keys; prints insert + lookup probe totals
+# combined (lookups retrace the insert displacement chains).
+        .data
+tab:    .space 4096
+        .text
+main:   la   $t0, tab
+        li   $t1, 1024          # slots
+        li   $t2, 0
+clr:    beq  $t2, $t1, fill
+        sw   $zero, 0($t0)
+        addi $t0, $t0, 4
+        addi $t2, $t2, 1
+        j    clr
+fill:   li   $s0, 1             # insert keys for i = 1 .. 512
+        li   $s1, 513
+        li   $s2, 0             # probe total
+        li   $s3, -1640531527   # 2654435761 as a signed word
+ins:    beq  $s0, $s1, look
+        mul  $t3, $s0, $s3
+        srl  $t4, $t3, 22
+iprob:  addi $s2, $s2, 1
+        li   $t5, 1023
+        and  $t4, $t4, $t5
+        sll  $t6, $t4, 2
+        la   $t7, tab
+        add  $t6, $t6, $t7
+        lw   $t8, 0($t6)
+        beq  $t8, $zero, place
+        addi $t4, $t4, 1
+        j    iprob
+place:  sw   $t3, 0($t6)
+        addi $s0, $s0, 1
+        j    ins
+look:   li   $s0, 1             # re-probe every key
+lkup:   beq  $s0, $s1, done
+        mul  $t3, $s0, $s3
+        srl  $t4, $t3, 22
+lprob:  addi $s2, $s2, 1
+        li   $t5, 1023
+        and  $t4, $t4, $t5
+        sll  $t6, $t4, 2
+        la   $t7, tab
+        add  $t6, $t6, $t7
+        lw   $t8, 0($t6)
+        beq  $t8, $t3, found    # hit: stop probing
+        addi $t4, $t4, 1
+        j    lprob
+found:  addi $s0, $s0, 1
+        j    lkup
+done:   li   $v0, 1             # print_int(probe total)
+        move $a0, $s2
+        syscall
+        li   $v0, 10            # exit(0)
+        li   $a0, 0
+        syscall

@@ -1,0 +1,44 @@
+# mixed_phase: four alternating rounds over one array — a unit-stride
+# pass, then a stride-8 pass — so the access pattern itself cycles.
+        .data
+arr:    .space 16384
+        .text
+main:   la   $t0, arr
+        li   $t1, 4096          # elements
+        li   $t2, 0
+init:   beq  $t2, $t1, rounds
+        sw   $t2, 0($t0)
+        addi $t0, $t0, 4
+        addi $t2, $t2, 1
+        j    init
+rounds: li   $s0, 0             # round
+        li   $s1, 4
+        li   $s2, 0             # acc
+round:  beq  $s0, $s1, done
+        la   $t0, arr           # -- unit-stride pass
+        li   $t2, 0
+unit:   beq  $t2, $t1, gapp
+        lw   $t4, 0($t0)
+        add  $s2, $s2, $t4
+        addi $t0, $t0, 4
+        addi $t2, $t2, 1
+        j    unit
+gapp:   la   $t0, arr           # -- stride-8 pass
+        li   $t2, 0
+gap:    slt  $t5, $t2, $t1
+        beq  $t5, $zero, rnext
+        lw   $t4, 0($t0)
+        add  $s2, $s2, $t4
+        addi $t0, $t0, 32
+        addi $t2, $t2, 8
+        j    gap
+rnext:  li   $t6, 1048575
+        and  $s2, $s2, $t6      # keep the checksum in 20 bits
+        addi $s0, $s0, 1
+        j    round
+done:   li   $v0, 1             # print_int(checksum)
+        move $a0, $s2
+        syscall
+        li   $v0, 10            # exit(0)
+        li   $a0, 0
+        syscall

@@ -1,0 +1,36 @@
+# mixed_phase: 4096 random-index probes of a static array driven by
+# the deterministic guest rand syscall — irregular but reproducible.
+        .data
+arr:    .space 4096
+        .text
+main:   la   $t0, arr
+        li   $t1, 1024          # elements
+        li   $t2, 0
+init:   beq  $t2, $t1, walk
+        sw   $t2, 0($t0)
+        addi $t0, $t0, 4
+        addi $t2, $t2, 1
+        j    init
+walk:   li   $s0, 0             # steps
+        li   $s1, 4096
+        li   $s2, 0             # acc
+wloop:  beq  $s0, $s1, done
+        li   $v0, 17            # rand() -> $v0 (deterministic)
+        syscall
+        li   $t3, 1023
+        and  $t4, $v0, $t3      # index = rand mod 1024
+        sll  $t4, $t4, 2
+        la   $t5, arr
+        add  $t4, $t4, $t5
+        lw   $t6, 0($t4)        # probe
+        add  $s2, $s2, $t6
+        li   $t7, 1048575
+        and  $s2, $s2, $t7      # keep the checksum in 20 bits
+        addi $s0, $s0, 1
+        j    wloop
+done:   li   $v0, 1             # print_int(checksum)
+        move $a0, $s2
+        syscall
+        li   $v0, 10            # exit(0)
+        li   $a0, 0
+        syscall

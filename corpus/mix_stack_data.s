@@ -1,0 +1,47 @@
+# mixed_phase: per-element helper calls — every array element is
+# passed through a function whose frame spills to the stack, giving a
+# steady half-data / half-stack reference mix.
+        .data
+arr:    .space 4096
+        .text
+main:   la   $t0, arr
+        li   $t1, 1024          # elements
+        li   $t2, 0
+init:   beq  $t2, $t1, apply
+        sw   $t2, 0($t0)
+        addi $t0, $t0, 4
+        addi $t2, $t2, 1
+        j    init
+apply:  la   $s0, arr
+        li   $s1, 0             # i
+        li   $s2, 0             # acc
+aloop:  li   $t3, 1024
+        beq  $s1, $t3, done
+        lw   $a0, 0($s0)        # data load
+        jal  scale              # stack-spilling helper
+        add  $s2, $s2, $v0
+        li   $t6, 1048575
+        and  $s2, $s2, $t6      # keep the checksum in 20 bits
+        addi $s0, $s0, 4
+        addi $s1, $s1, 1
+        j    aloop
+done:   li   $v0, 1             # print_int(checksum)
+        move $a0, $s2
+        syscall
+        li   $v0, 10            # exit(0)
+        li   $a0, 0
+        syscall
+
+# scale($a0) -> $v0 = 3 * $a0 + 1, via a deliberately spilled frame
+scale:  addi $sp, $sp, -8
+        sw   $a0, 0($sp)        # spill (stack store)
+        li   $t4, 3
+        mul  $t0, $a0, $t4
+        sw   $t0, 4($sp)        # spill the product too
+        lw   $t1, 4($sp)        # reload (stack loads)
+        lw   $t2, 0($sp)
+        sub  $t3, $t1, $t2      # 3a - a = 2a
+        add  $v0, $t3, $t2      # 2a + a = 3a
+        addi $v0, $v0, 1
+        addi $sp, $sp, 8
+        jr   $ra

@@ -1,0 +1,46 @@
+# mixed_phase: a streaming phase (unit-stride reduce over a static
+# array) followed by a pointer-chase phase (heap linked list) — the
+# region mix flips from data to heap partway through.
+        .data
+arr:    .space 4096
+        .text
+main:   la   $t0, arr           # ---- phase 1: stream
+        li   $t1, 1024
+        li   $t2, 0
+init:   beq  $t2, $t1, sum
+        sw   $t2, 0($t0)
+        addi $t0, $t0, 4
+        addi $t2, $t2, 1
+        j    init
+sum:    la   $t0, arr
+        li   $t2, 0
+        li   $s6, 0             # acc
+sloop:  beq  $t2, $t1, phase2
+        lw   $t4, 0($t0)
+        add  $s6, $s6, $t4
+        addi $t0, $t0, 4
+        addi $t2, $t2, 1
+        j    sloop
+phase2: li   $s0, 0             # ---- phase 2: build + chase a list
+        li   $s1, 512
+        li   $s2, 0
+build:  beq  $s2, $s1, walk
+        li   $a0, 8
+        li   $v0, 13            # malloc(8)
+        syscall
+        sw   $s2, 0($v0)
+        sw   $s0, 4($v0)
+        move $s0, $v0
+        addi $s2, $s2, 1
+        j    build
+walk:   beq  $s0, $zero, done
+        lw   $t1, 0($s0)
+        add  $s6, $s6, $t1
+        lw   $s0, 4($s0)
+        j    walk
+done:   li   $v0, 1             # print_int(stream + chase acc)
+        move $a0, $s6
+        syscall
+        li   $v0, 10            # exit(0)
+        li   $a0, 0
+        syscall

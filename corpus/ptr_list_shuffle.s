@@ -1,0 +1,37 @@
+# pointer_chase: one heap block as a 512-node array, linked in a
+# shuffled order (i -> (i + 257) mod 512, a single 512-cycle), then
+# chased for a full lap.  Consecutive hops span ~2KB.
+        .text
+main:   li   $a0, 4096          # 512 nodes * 8 bytes
+        li   $v0, 13            # malloc
+        syscall
+        move $s0, $v0           # base
+        li   $s1, 512
+        li   $t2, 0             # i
+link:   beq  $t2, $s1, walk
+        sll  $t3, $t2, 3
+        add  $t3, $t3, $s0      # &node[i]
+        sw   $t2, 0($t3)        # node[i].value = i
+        addi $t4, $t2, 257      # successor index
+        li   $t5, 511
+        and  $t4, $t4, $t5      # mod 512
+        sll  $t4, $t4, 3
+        add  $t4, $t4, $s0
+        sw   $t4, 4($t3)        # node[i].next = &node[(i+257)%512]
+        addi $t2, $t2, 1
+        j    link
+walk:   move $t0, $s0           # cursor = &node[0]
+        li   $t1, 0             # acc
+        li   $t2, 0             # steps
+chase:  beq  $t2, $s1, done
+        lw   $t3, 0($t0)
+        add  $t1, $t1, $t3
+        lw   $t0, 4($t0)
+        addi $t2, $t2, 1
+        j    chase
+done:   li   $v0, 1             # print_int(acc)
+        move $a0, $t1
+        syscall
+        li   $v0, 10            # exit(0)
+        li   $a0, 0
+        syscall

@@ -1,0 +1,27 @@
+# pointer_chase: build a 512-node heap linked list (value, next) by
+# consing onto the head, then traverse it summing values.
+        .text
+main:   li   $s0, 0             # head = null
+        li   $s1, 512           # node count
+        li   $s2, 0             # i
+build:  beq  $s2, $s1, walk
+        li   $a0, 8
+        li   $v0, 13            # malloc(8)
+        syscall
+        sw   $s2, 0($v0)        # node->value = i
+        sw   $s0, 4($v0)        # node->next = head
+        move $s0, $v0
+        addi $s2, $s2, 1
+        j    build
+walk:   li   $t0, 0             # acc
+next:   beq  $s0, $zero, done
+        lw   $t1, 0($s0)
+        add  $t0, $t0, $t1
+        lw   $s0, 4($s0)        # the chase: next pointer feeds the
+        j    next               # following load address
+done:   li   $v0, 1             # print_int(acc)
+        move $a0, $t0
+        syscall
+        li   $v0, 10            # exit(0)
+        li   $a0, 0
+        syscall

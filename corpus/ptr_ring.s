@@ -1,0 +1,38 @@
+# pointer_chase: 128 individually malloc'd nodes closed into a ring,
+# then chased for 4096 steps (32 laps) — a small pointer working set
+# revisited far more often than it is built.
+        .text
+main:   li   $a0, 8
+        li   $v0, 13            # malloc the first node
+        syscall
+        move $s0, $v0           # ring head
+        move $s1, $v0           # tail cursor
+        sw   $zero, 0($s0)      # head->value = 0
+        li   $s2, 1             # nodes built so far
+        li   $s3, 128           # ring size
+build:  beq  $s2, $s3, close
+        li   $a0, 8
+        li   $v0, 13
+        syscall
+        sw   $s2, 0($v0)        # node->value = i
+        sw   $v0, 4($s1)        # tail->next = node
+        move $s1, $v0
+        addi $s2, $s2, 1
+        j    build
+close:  sw   $s0, 4($s1)        # tail->next = head
+        move $t0, $s0           # cursor
+        li   $t1, 0             # acc
+        li   $t2, 0             # steps
+        li   $t3, 4096
+chase:  beq  $t2, $t3, done
+        lw   $t4, 0($t0)
+        add  $t1, $t1, $t4
+        lw   $t0, 4($t0)
+        addi $t2, $t2, 1
+        j    chase
+done:   li   $v0, 1             # print_int(acc)
+        move $a0, $t1
+        syscall
+        li   $v0, 10            # exit(0)
+        li   $a0, 0
+        syscall

@@ -1,0 +1,51 @@
+# pointer_chase: recursive sum over an implicit 511-node heap binary
+# tree (children of i at 2i+1 / 2i+2) — heap loads interleaved with
+# call-frame stack traffic.
+        .text
+main:   li   $a0, 2048          # 511 values * 4 bytes, rounded up
+        li   $v0, 13            # malloc
+        syscall
+        move $s0, $v0           # tree base
+        li   $t1, 511
+        li   $t2, 0             # i
+init:   beq  $t2, $t1, walk
+        sll  $t3, $t2, 2
+        add  $t3, $t3, $s0
+        sw   $t2, 0($t3)        # val[i] = i
+        addi $t2, $t2, 1
+        j    init
+walk:   li   $a0, 0             # root index
+        jal  sum
+        move $a0, $v0
+        li   $v0, 1             # print_int(tree sum)
+        syscall
+        li   $v0, 10            # exit(0)
+        li   $a0, 0
+        syscall
+
+# sum($a0 = node index) -> $v0: val[i] + sum(2i+1) + sum(2i+2)
+sum:    li   $t0, 511
+        slt  $t1, $a0, $t0
+        bne  $t1, $zero, rec
+        li   $v0, 0             # index out of range: empty subtree
+        jr   $ra
+rec:    addi $sp, $sp, -12
+        sw   $ra, 0($sp)
+        sw   $s1, 4($sp)
+        sw   $a0, 8($sp)
+        sll  $t2, $a0, 2
+        add  $t2, $t2, $s0
+        lw   $s1, 0($t2)        # val[i]
+        sll  $a0, $a0, 1
+        addi $a0, $a0, 1        # left child 2i+1
+        jal  sum
+        add  $s1, $s1, $v0
+        lw   $a0, 8($sp)
+        sll  $a0, $a0, 1
+        addi $a0, $a0, 2        # right child 2i+2
+        jal  sum
+        add  $v0, $s1, $v0
+        lw   $ra, 0($sp)
+        lw   $s1, 4($sp)
+        addi $sp, $sp, 12
+        jr   $ra

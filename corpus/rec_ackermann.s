@@ -1,0 +1,38 @@
+# recursion: Ackermann(3, 3) = 61 — ~2.4k calls with deeply nested
+# frames; the most stack-intensive program in the corpus.
+        .text
+main:   li   $a0, 3
+        li   $a1, 3
+        jal  ack
+        move $a0, $v0
+        li   $v0, 1             # print_int(A(3,3)) = 61
+        syscall
+        li   $v0, 10            # exit(0)
+        li   $a0, 0
+        syscall
+
+# ack($a0 = m, $a1 = n) -> $v0
+ack:    bne  $a0, $zero, am
+        addi $v0, $a1, 1        # A(0, n) = n + 1
+        jr   $ra
+am:     bne  $a1, $zero, amn
+        addi $sp, $sp, -4       # A(m, 0) = A(m-1, 1)
+        sw   $ra, 0($sp)
+        addi $a0, $a0, -1
+        li   $a1, 1
+        jal  ack
+        lw   $ra, 0($sp)
+        addi $sp, $sp, 4
+        jr   $ra
+amn:    addi $sp, $sp, -8       # A(m, n) = A(m-1, A(m, n-1))
+        sw   $ra, 0($sp)
+        sw   $a0, 4($sp)
+        addi $a1, $a1, -1
+        jal  ack
+        lw   $a0, 4($sp)
+        addi $a0, $a0, -1
+        move $a1, $v0
+        jal  ack
+        lw   $ra, 0($sp)
+        addi $sp, $sp, 8
+        jr   $ra

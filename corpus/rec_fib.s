@@ -1,0 +1,32 @@
+# recursion: naive doubly-recursive fib(18) — thousands of small call
+# frames, so nearly every memory reference is stack traffic.
+        .text
+main:   li   $a0, 18
+        jal  fib
+        move $a0, $v0
+        li   $v0, 1             # print_int(fib(18)) = 2584
+        syscall
+        li   $v0, 10            # exit(0)
+        li   $a0, 0
+        syscall
+
+# fib($a0) -> $v0
+fib:    li   $t0, 2
+        slt  $t1, $a0, $t0      # n < 2 ?
+        beq  $t1, $zero, frec
+        move $v0, $a0
+        jr   $ra
+frec:   addi $sp, $sp, -12
+        sw   $ra, 0($sp)
+        sw   $a0, 4($sp)
+        addi $a0, $a0, -1
+        jal  fib
+        sw   $v0, 8($sp)        # fib(n-1)
+        lw   $a0, 4($sp)
+        addi $a0, $a0, -2
+        jal  fib
+        lw   $t2, 8($sp)
+        add  $v0, $v0, $t2
+        lw   $ra, 0($sp)
+        addi $sp, $sp, 12
+        jr   $ra

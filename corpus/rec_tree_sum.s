@@ -1,0 +1,54 @@
+# recursion: divide-and-conquer reduction of a 1024-word static array
+# — recursive halving mixes stack frames with data-region leaf loads.
+        .data
+arr:    .space 4096
+        .text
+main:   la   $t0, arr
+        li   $t1, 1024          # elements
+        li   $t2, 0             # i
+        li   $t9, 5
+init:   beq  $t2, $t1, go
+        mul  $t3, $t2, $t9      # arr[i] = 5 * i
+        sw   $t3, 0($t0)
+        addi $t0, $t0, 4
+        addi $t2, $t2, 1
+        j    init
+go:     li   $a0, 0             # lo
+        li   $a1, 1024          # hi (exclusive)
+        jal  dsum
+        move $a0, $v0
+        li   $v0, 1             # print_int(sum)
+        syscall
+        li   $v0, 10            # exit(0)
+        li   $a0, 0
+        syscall
+
+# dsum($a0 = lo, $a1 = hi) -> $v0 = sum(arr[lo..hi))
+dsum:   sub  $t0, $a1, $a0
+        li   $t1, 1
+        bne  $t0, $t1, split
+        la   $t2, arr           # single element: load the leaf
+        sll  $t3, $a0, 2
+        add  $t2, $t2, $t3
+        lw   $v0, 0($t2)
+        jr   $ra
+split:  addi $sp, $sp, -16
+        sw   $ra, 0($sp)
+        sw   $a0, 4($sp)
+        sw   $a1, 8($sp)
+        add  $t2, $a0, $a1
+        srl  $t2, $t2, 1        # mid
+        move $a1, $t2
+        jal  dsum               # left half
+        sw   $v0, 12($sp)
+        lw   $a0, 4($sp)
+        lw   $a1, 8($sp)
+        add  $t2, $a0, $a1
+        srl  $t2, $t2, 1
+        move $a0, $t2
+        jal  dsum               # right half
+        lw   $t3, 12($sp)
+        add  $v0, $v0, $t3
+        lw   $ra, 0($sp)
+        addi $sp, $sp, 16
+        jr   $ra

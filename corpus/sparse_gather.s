@@ -1,0 +1,40 @@
+# sparse_indirect: gather val[idx[i]] where idx[i] = (31 * i) mod 1024
+# — a sequential index stream driving a scattered value stream.
+        .data
+idx:    .space 4096
+val:    .space 4096
+        .text
+main:   la   $t0, idx
+        la   $t1, val
+        li   $t2, 1024          # elements
+        li   $t3, 0             # i
+        li   $t9, 31
+init:   beq  $t3, $t2, gather
+        mul  $t4, $t3, $t9
+        li   $t5, 1023
+        and  $t4, $t4, $t5      # (31 * i) mod 1024
+        sw   $t4, 0($t0)
+        sw   $t3, 0($t1)        # val[i] = i
+        addi $t0, $t0, 4
+        addi $t1, $t1, 4
+        addi $t3, $t3, 1
+        j    init
+gather: la   $t0, idx
+        la   $t1, val
+        li   $t3, 0
+        li   $t6, 0             # acc
+loop:   beq  $t3, $t2, done
+        lw   $t4, 0($t0)        # index load (sequential)
+        sll  $t4, $t4, 2
+        add  $t4, $t4, $t1
+        lw   $t5, 0($t4)        # value load (scattered)
+        add  $t6, $t6, $t5
+        addi $t0, $t0, 4
+        addi $t3, $t3, 1
+        j    loop
+done:   li   $v0, 1             # print_int(acc)
+        move $a0, $t6
+        syscall
+        li   $v0, 10            # exit(0)
+        li   $a0, 0
+        syscall

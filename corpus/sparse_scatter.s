@@ -1,0 +1,49 @@
+# sparse_indirect: scatter out[idx[i]] += i through a permutation
+# index stream (31 is odd, so (31 * i) mod 1024 visits every slot).
+        .data
+idx:    .space 4096
+out:    .space 4096
+        .text
+main:   la   $t0, idx
+        la   $t1, out
+        li   $t2, 1024          # elements
+        li   $t3, 0             # i
+        li   $t9, 31
+init:   beq  $t3, $t2, scat
+        mul  $t4, $t3, $t9
+        li   $t5, 1023
+        and  $t4, $t4, $t5
+        sw   $t4, 0($t0)
+        sw   $zero, 0($t1)      # out[i] = 0
+        addi $t0, $t0, 4
+        addi $t1, $t1, 4
+        addi $t3, $t3, 1
+        j    init
+scat:   la   $t0, idx
+        la   $t1, out
+        li   $t3, 0
+sloop:  beq  $t3, $t2, sum
+        lw   $t4, 0($t0)        # index load
+        sll  $t4, $t4, 2
+        add  $t4, $t4, $t1
+        lw   $t5, 0($t4)        # read-modify-write at the target
+        add  $t5, $t5, $t3
+        sw   $t5, 0($t4)
+        addi $t0, $t0, 4
+        addi $t3, $t3, 1
+        j    sloop
+sum:    la   $t1, out
+        li   $t3, 0
+        li   $t6, 0             # acc
+rloop:  beq  $t3, $t2, done
+        lw   $t5, 0($t1)
+        add  $t6, $t6, $t5
+        addi $t1, $t1, 4
+        addi $t3, $t3, 1
+        j    rloop
+done:   li   $v0, 1             # print_int(acc)
+        move $a0, $t6
+        syscall
+        li   $v0, 10            # exit(0)
+        li   $a0, 0
+        syscall

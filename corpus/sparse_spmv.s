@@ -1,0 +1,41 @@
+# sparse_indirect: CSR-style y = A*x with 256 rows of 4 synthetic
+# nonzeros each; column indices (7i + 61j) mod 256 gather from x.
+        .data
+x:      .space 1024
+        .text
+main:   la   $t0, x
+        li   $t1, 256           # vector length
+        li   $t2, 0             # i
+init:   beq  $t2, $t1, spmv
+        sw   $t2, 0($t0)        # x[i] = i
+        addi $t0, $t0, 4
+        addi $t2, $t2, 1
+        j    init
+spmv:   la   $t0, x
+        li   $t2, 0             # row i
+        li   $s0, 0             # total acc (sum of all y[i])
+        li   $s1, 7
+        li   $s2, 61
+orow:   beq  $t2, $t1, done
+        li   $t3, 0             # j: nonzero within the row
+        li   $t4, 4
+        mul  $t5, $t2, $s1      # row's base column term
+irow:   beq  $t3, $t4, rnext
+        mul  $t6, $t3, $s2
+        add  $t6, $t6, $t5      # col = (7i + 61j) ...
+        li   $t7, 255
+        and  $t6, $t6, $t7      # ... mod 256
+        sll  $t6, $t6, 2
+        add  $t6, $t6, $t0
+        lw   $t8, 0($t6)        # gather x[col]
+        add  $s0, $s0, $t8
+        addi $t3, $t3, 1
+        j    irow
+rnext:  addi $t2, $t2, 1
+        j    orow
+done:   li   $v0, 1             # print_int(acc)
+        move $a0, $s0
+        syscall
+        li   $v0, 10            # exit(0)
+        li   $a0, 0
+        syscall

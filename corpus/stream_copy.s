@@ -1,0 +1,41 @@
+# streaming: unit-stride copy between two static arrays, then reduce
+# the destination.
+        .data
+src:    .space 4096
+dst:    .space 4096
+        .text
+main:   la   $t0, src
+        li   $t1, 1024          # element count
+        li   $t2, 0             # i
+        li   $t9, 3
+init:   beq  $t2, $t1, copy
+        mul  $t3, $t2, $t9      # src[i] = 3 * i
+        sw   $t3, 0($t0)
+        addi $t0, $t0, 4
+        addi $t2, $t2, 1
+        j    init
+copy:   la   $t0, src
+        la   $t4, dst
+        li   $t2, 0
+cloop:  beq  $t2, $t1, sum
+        lw   $t3, 0($t0)
+        sw   $t3, 0($t4)
+        addi $t0, $t0, 4
+        addi $t4, $t4, 4
+        addi $t2, $t2, 1
+        j    cloop
+sum:    la   $t4, dst
+        li   $t2, 0
+        li   $t5, 0             # acc
+sloop:  beq  $t2, $t1, done
+        lw   $t3, 0($t4)
+        add  $t5, $t5, $t3
+        addi $t4, $t4, 4
+        addi $t2, $t2, 1
+        j    sloop
+done:   li   $v0, 1             # print_int(acc)
+        move $a0, $t5
+        syscall
+        li   $v0, 10            # exit(0)
+        li   $a0, 0
+        syscall

@@ -1,0 +1,31 @@
+# streaming: forward unit-stride init, then a backward unit-stride
+# reduction (negative stride keeps the stream prefetch-unfriendly).
+        .data
+arr:    .space 4096
+        .text
+main:   la   $t0, arr
+        li   $t1, 1024          # element count
+        li   $t2, 0             # i
+        li   $t9, 7
+init:   beq  $t2, $t1, rev
+        mul  $t3, $t2, $t9      # arr[i] = 7 * i
+        sw   $t3, 0($t0)
+        addi $t0, $t0, 4
+        addi $t2, $t2, 1
+        j    init
+rev:    la   $t0, arr
+        addi $t0, $t0, 4092     # &arr[1023]
+        li   $t2, 0
+        li   $t3, 0             # acc
+loop:   beq  $t2, $t1, done
+        lw   $t4, 0($t0)
+        add  $t3, $t3, $t4
+        addi $t0, $t0, -4
+        addi $t2, $t2, 1
+        j    loop
+done:   li   $v0, 1             # print_int(acc)
+        move $a0, $t3
+        syscall
+        li   $v0, 10            # exit(0)
+        li   $a0, 0
+        syscall

@@ -1,0 +1,58 @@
+# streaming: FP triad a[i] = b[i] + 2.0 * c[i] over 512-word static
+# arrays, then an integer checksum of the converted result.
+        .data
+a:      .space 2048
+b:      .space 2048
+c:      .space 2048
+        .text
+main:   la   $t0, b
+        la   $t1, c
+        li   $t2, 512           # element count
+        li   $t3, 0             # i
+init:   beq  $t3, $t2, triad
+        mtc1 $f0, $t3           # b[i] = float(i)
+        cvt.s.w $f0, $f0
+        swc1 $f0, 0($t0)
+        addi $t4, $t3, 1        # c[i] = float(i + 1)
+        mtc1 $f1, $t4
+        cvt.s.w $f1, $f1
+        swc1 $f1, 0($t1)
+        addi $t0, $t0, 4
+        addi $t1, $t1, 4
+        addi $t3, $t3, 1
+        j    init
+triad:  la   $t0, a
+        la   $t1, b
+        la   $t5, c
+        li   $t3, 0
+        li   $t6, 2             # the triad scalar, as float
+        mtc1 $f2, $t6
+        cvt.s.w $f2, $f2
+tloop:  beq  $t3, $t2, sum
+        lwc1 $f0, 0($t1)
+        lwc1 $f1, 0($t5)
+        fmul.s $f3, $f1, $f2
+        fadd.s $f4, $f0, $f3
+        swc1 $f4, 0($t0)
+        addi $t0, $t0, 4
+        addi $t1, $t1, 4
+        addi $t5, $t5, 4
+        addi $t3, $t3, 1
+        j    tloop
+sum:    la   $t0, a
+        li   $t3, 0
+        li   $t7, 0             # int acc
+sloop:  beq  $t3, $t2, done
+        lwc1 $f0, 0($t0)
+        cvt.w.s $f0, $f0
+        mfc1 $t4, $f0
+        add  $t7, $t7, $t4
+        addi $t0, $t0, 4
+        addi $t3, $t3, 1
+        j    sloop
+done:   li   $v0, 1             # print_int(acc)
+        move $a0, $t7
+        syscall
+        li   $v0, 10            # exit(0)
+        li   $a0, 0
+        syscall

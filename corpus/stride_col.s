@@ -1,0 +1,35 @@
+# strided: column-major walk of a 64x64 row-major matrix — a fixed
+# 256-byte stride between consecutive references.
+        .data
+mat:    .space 16384
+        .text
+main:   la   $t0, mat
+        li   $t1, 4096          # elements
+        li   $t2, 0             # i
+init:   beq  $t2, $t1, cols
+        sw   $t2, 0($t0)
+        addi $t0, $t0, 4
+        addi $t2, $t2, 1
+        j    init
+cols:   li   $t3, 0             # col
+        li   $t5, 0             # acc
+        li   $t6, 64            # dimension
+cloop:  beq  $t3, $t6, done
+        la   $t0, mat
+        sll  $t4, $t3, 2
+        add  $t0, $t0, $t4      # &mat[0][col]
+        li   $t2, 0             # row
+rloop:  beq  $t2, $t6, cnext
+        lw   $t4, 0($t0)
+        add  $t5, $t5, $t4
+        addi $t0, $t0, 256      # next row, same column
+        addi $t2, $t2, 1
+        j    rloop
+cnext:  addi $t3, $t3, 1
+        j    cloop
+done:   li   $v0, 1             # print_int(acc)
+        move $a0, $t5
+        syscall
+        li   $v0, 10            # exit(0)
+        li   $a0, 0
+        syscall

@@ -1,0 +1,36 @@
+# strided: repeated diagonal sweeps of a 64x64 matrix (260-byte
+# stride) starting from each of the first 16 columns.
+        .data
+mat:    .space 16384
+        .text
+main:   la   $t0, mat
+        li   $t1, 4096          # elements
+        li   $t2, 0             # i
+init:   beq  $t2, $t1, diag
+        sw   $t2, 0($t0)
+        addi $t0, $t0, 4
+        addi $t2, $t2, 1
+        j    init
+diag:   li   $t3, 0             # starting column
+        li   $t5, 0             # acc
+        li   $t6, 16            # sweeps
+        li   $t7, 48            # diagonal length (stays in range)
+dloop:  beq  $t3, $t6, done
+        la   $t0, mat
+        sll  $t4, $t3, 2
+        add  $t0, $t0, $t4      # &mat[0][start]
+        li   $t2, 0
+sweep:  beq  $t2, $t7, dnext
+        lw   $t4, 0($t0)
+        add  $t5, $t5, $t4
+        addi $t0, $t0, 260      # down one row, right one column
+        addi $t2, $t2, 1
+        j    sweep
+dnext:  addi $t3, $t3, 1
+        j    dloop
+done:   li   $v0, 1             # print_int(acc)
+        move $a0, $t5
+        syscall
+        li   $v0, 10            # exit(0)
+        li   $a0, 0
+        syscall

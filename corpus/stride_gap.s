@@ -1,0 +1,29 @@
+# strided: init a 4096-word array, then reduce every 8th element
+# (32-byte gaps — one touch per cache line on most geometries).
+        .data
+arr:    .space 16384
+        .text
+main:   la   $t0, arr
+        li   $t1, 4096          # elements
+        li   $t2, 0             # i
+init:   beq  $t2, $t1, gap
+        sw   $t2, 0($t0)
+        addi $t0, $t0, 4
+        addi $t2, $t2, 1
+        j    init
+gap:    la   $t0, arr
+        li   $t2, 0             # i, stepping by 8
+        li   $t3, 0             # acc
+loop:   slt  $t4, $t2, $t1
+        beq  $t4, $zero, done
+        lw   $t4, 0($t0)
+        add  $t3, $t3, $t4
+        addi $t0, $t0, 32       # 8 elements forward
+        addi $t2, $t2, 8
+        j    loop
+done:   li   $v0, 1             # print_int(acc)
+        move $a0, $t3
+        syscall
+        li   $v0, 10            # exit(0)
+        li   $a0, 0
+        syscall

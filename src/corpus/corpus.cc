@@ -1,0 +1,395 @@
+#include "corpus/corpus.hh"
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "assembler/assembler.hh"
+#include "obs/json.hh"
+#include "profile/region_profiler.hh"
+#include "sim/simulator.hh"
+
+namespace arl::corpus
+{
+
+namespace
+{
+
+/** Read a whole file; false (with @p error) when unreadable. */
+bool
+readFile(const std::string &path, std::string &out, std::string *error)
+{
+    std::ifstream file(path, std::ios::binary);
+    if (!file) {
+        if (error)
+            *error = path + ": cannot open";
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    out = buffer.str();
+    return true;
+}
+
+/** "dir/stream_sum.s" -> "stream_sum". */
+std::string
+stemOf(const std::string &filename)
+{
+    std::size_t dot = filename.rfind('.');
+    return dot == std::string::npos ? filename
+                                    : filename.substr(0, dot);
+}
+
+bool
+manifestError(const std::string &path, const std::string &what,
+              std::string *error)
+{
+    if (error)
+        *error = path + ": " + what;
+    return false;
+}
+
+/** Parse one "<region>_pct": [min, max] member of "fingerprint". */
+bool
+parsePctBounds(const obs::JsonValue &fingerprint, const char *key,
+               PctBounds &out, const std::string &path,
+               std::string *error)
+{
+    const obs::JsonValue *bounds = fingerprint.find(key);
+    if (!bounds)
+        return true;  // absent = unconstrained [0, 100]
+    if (!bounds->isArray() || bounds->array.size() != 2 ||
+        !bounds->array[0].isNumber() || !bounds->array[1].isNumber())
+        return manifestError(
+            path, std::string("\"") + key + "\" must be [min, max]",
+            error);
+    out.minPct = bounds->array[0].number;
+    out.maxPct = bounds->array[1].number;
+    if (out.minPct < 0.0 || out.maxPct > 100.0 ||
+        out.minPct > out.maxPct)
+        return manifestError(
+            path,
+            std::string("\"") + key + "\" bounds out of order or "
+            "outside [0, 100]",
+            error);
+    return true;
+}
+
+/** Percent of @p refs that @p part represents (0 when refs == 0). */
+double
+pct(std::uint64_t part, std::uint64_t refs)
+{
+    return refs ? 100.0 * static_cast<double>(part) / refs : 0.0;
+}
+
+void
+addCheck(GradeResult &result, const char *name, bool pass,
+         std::string detail = "")
+{
+    result.checks.push_back({name, pass, std::move(detail)});
+}
+
+/**
+ * Precise first-divergence diff of expected vs actual output.
+ * Quotes a short window around the mismatch so the message stays
+ * readable for long outputs.
+ */
+std::string
+outputDiff(const std::string &expected, const std::string &actual)
+{
+    std::size_t at = 0;
+    while (at < expected.size() && at < actual.size() &&
+           expected[at] == actual[at])
+        ++at;
+    auto window = [&](const std::string &s) {
+        std::string w = s.substr(at, 24);
+        if (at + 24 < s.size())
+            w += "...";
+        return at < s.size() ? "\"" + w + "\"" : "<end of output>";
+    };
+    std::ostringstream diff;
+    diff << "first mismatch at byte " << at << ": expected "
+         << window(expected) << ", got " << window(actual)
+         << " (lengths " << expected.size() << " vs "
+         << actual.size() << ")";
+    return diff.str();
+}
+
+} // namespace
+
+bool
+loadManifest(const std::string &path, Manifest &out, std::string *error)
+{
+    std::string text;
+    if (!readFile(path, text, error))
+        return false;
+    obs::JsonValue doc;
+    std::string parse_error;
+    if (!obs::jsonParse(text, doc, &parse_error))
+        return manifestError(path, parse_error, error);
+    if (!doc.isObject())
+        return manifestError(path, "top level is not an object", error);
+
+    for (const char *key : {"name", "family"}) {
+        const obs::JsonValue *field = doc.find(key);
+        if (!field || !field->isString() || field->string.empty())
+            return manifestError(
+                path, std::string("bad or missing \"") + key + "\"",
+                error);
+    }
+    out.name = doc.find("name")->string;
+    out.family = doc.find("family")->string;
+    if (const obs::JsonValue *desc = doc.find("description");
+        desc && desc->isString())
+        out.description = desc->string;
+
+    const obs::JsonValue *expect = doc.find("expect");
+    if (!expect || !expect->isObject())
+        return manifestError(path, "bad or missing \"expect\"", error);
+    for (const char *key : {"exit_code", "min_insts", "max_insts"}) {
+        const obs::JsonValue *field = expect->find(key);
+        if (!field || !field->isNumber())
+            return manifestError(
+                path,
+                std::string("expect: bad or missing \"") + key + "\"",
+                error);
+    }
+    const obs::JsonValue *output = expect->find("output");
+    if (!output || !output->isString())
+        return manifestError(path, "expect: bad or missing \"output\"",
+                             error);
+    out.exitCode = static_cast<int>(expect->find("exit_code")->number);
+    out.output = output->string;
+    out.minInsts =
+        static_cast<InstCount>(expect->find("min_insts")->number);
+    out.maxInsts =
+        static_cast<InstCount>(expect->find("max_insts")->number);
+    if (out.maxInsts == 0 || out.minInsts > out.maxInsts)
+        return manifestError(
+            path, "expect: need 0 < min_insts <= max_insts", error);
+
+    if (const obs::JsonValue *fingerprint = doc.find("fingerprint")) {
+        if (!fingerprint->isObject())
+            return manifestError(path, "\"fingerprint\" is not an "
+                                       "object", error);
+        static const char *keys[vm::NumDataRegions] = {
+            "data_pct", "heap_pct", "stack_pct"};
+        for (unsigned r = 0; r < vm::NumDataRegions; ++r)
+            if (!parsePctBounds(*fingerprint, keys[r], out.regions[r],
+                                path, error))
+                return false;
+    }
+
+    if (const obs::JsonValue *warmup = doc.find("warmup_insts")) {
+        if (!warmup->isNumber() || warmup->number < 0)
+            return manifestError(path, "bad \"warmup_insts\"", error);
+        out.warmupInsts = static_cast<InstCount>(warmup->number);
+    }
+    return true;
+}
+
+bool
+discoverCorpus(const std::string &dir, std::vector<Entry> &out,
+               std::string *error)
+{
+    DIR *handle = opendir(dir.c_str());
+    if (!handle) {
+        if (error)
+            *error = dir + ": cannot open directory";
+        return false;
+    }
+    std::vector<std::string> sources, manifests;
+    while (const dirent *ent = readdir(handle)) {
+        std::string name = ent->d_name;
+        if (name.size() > 2 && name.substr(name.size() - 2) == ".s")
+            sources.push_back(name);
+        else if (name.size() > 5 &&
+                 name.substr(name.size() - 5) == ".json")
+            manifests.push_back(name);
+    }
+    closedir(handle);
+    std::sort(sources.begin(), sources.end());
+    std::sort(manifests.begin(), manifests.end());
+
+    if (sources.empty()) {
+        if (error)
+            *error = dir + ": no .s workloads found";
+        return false;
+    }
+    for (const std::string &manifest : manifests) {
+        const std::string stem = stemOf(manifest);
+        if (!std::binary_search(sources.begin(), sources.end(),
+                                stem + ".s")) {
+            if (error)
+                *error = dir + "/" + manifest +
+                         ": orphan manifest (no " + stem + ".s)";
+            return false;
+        }
+    }
+
+    std::vector<Entry> entries;
+    for (const std::string &source : sources) {
+        Entry entry;
+        entry.name = stemOf(source);
+        entry.sourcePath = dir + "/" + source;
+        entry.manifestPath = dir + "/" + entry.name + ".json";
+        if (!std::binary_search(manifests.begin(), manifests.end(),
+                                entry.name + ".json")) {
+            if (error)
+                *error = entry.sourcePath + ": missing sidecar "
+                         "manifest " + entry.name + ".json";
+            return false;
+        }
+        if (!loadManifest(entry.manifestPath, entry.manifest, error))
+            return false;
+        if (entry.manifest.name != entry.name) {
+            if (error)
+                *error = entry.manifestPath +
+                         ": manifest/program mismatch (manifest "
+                         "names \"" + entry.manifest.name +
+                         "\", file stem is \"" + entry.name + "\")";
+            return false;
+        }
+        entries.push_back(std::move(entry));
+    }
+    out = std::move(entries);
+    return true;
+}
+
+std::shared_ptr<vm::Program>
+assembleEntry(const Entry &entry, std::string *error)
+{
+    std::string source;
+    if (!readFile(entry.sourcePath, source, error))
+        return nullptr;
+    assembler::AsmResult result =
+        assembler::assemble(source, entry.name);
+    if (!result.ok()) {
+        if (error)
+            *error = entry.sourcePath + ": " +
+                     (result.errors.empty()
+                          ? "assembly failed"
+                          : result.errors[0].format());
+        return nullptr;
+    }
+    return result.program;
+}
+
+bool
+GradeResult::pass() const
+{
+    for (const Check &check : checks)
+        if (!check.pass)
+            return false;
+    return !checks.empty();
+}
+
+std::string
+GradeResult::failureDiff() const
+{
+    std::ostringstream diff;
+    for (const Check &check : checks)
+        if (!check.pass)
+            diff << name << ": " << check.name << ": " << check.detail
+                 << "\n";
+    return diff.str();
+}
+
+GradeResult
+gradeEntry(const Entry &entry)
+{
+    GradeResult result;
+    result.name = entry.name;
+    result.family = entry.manifest.family;
+    const Manifest &m = entry.manifest;
+
+    std::string error;
+    std::shared_ptr<vm::Program> program =
+        assembleEntry(entry, &error);
+    addCheck(result, "assemble", program != nullptr, error);
+    if (!program)
+        return result;
+
+    sim::Simulator simulator(program);
+    profile::RegionProfiler profiler;
+    // Cap just past the manifest's upper bound: a runaway program
+    // fails its "halt" check instead of hanging the grader.
+    result.instructions = simulator.run(
+        m.maxInsts + 1,
+        [&](const sim::StepInfo &step) { profiler.observe(step); });
+    result.exitCode =
+        static_cast<int>(simulator.process().exitCode);
+    const profile::RegionProfile profile = profiler.profile();
+    const std::uint64_t refs = profile.dynamicTotal();
+    for (unsigned r = 0; r < vm::NumDataRegions; ++r)
+        result.regionPct[r] = pct(profile.regionRefs[r], refs);
+
+    addCheck(result, "halt", simulator.halted(),
+             "did not halt within max_insts = " +
+                 std::to_string(m.maxInsts) + " (+1) instructions");
+    if (simulator.halted()) {
+        addCheck(result, "exit_code", result.exitCode == m.exitCode,
+                 "expected exit " + std::to_string(m.exitCode) +
+                     ", got " + std::to_string(result.exitCode));
+        addCheck(result, "output",
+                 simulator.process().output == m.output,
+                 outputDiff(m.output, simulator.process().output));
+        addCheck(result, "insts",
+                 result.instructions >= m.minInsts &&
+                     result.instructions <= m.maxInsts,
+                 "executed " + std::to_string(result.instructions) +
+                     " instructions, outside [" +
+                     std::to_string(m.minInsts) + ", " +
+                     std::to_string(m.maxInsts) + "]");
+    }
+
+    static const char *names[vm::NumDataRegions] = {"data", "heap",
+                                                    "stack"};
+    for (unsigned r = 0; r < vm::NumDataRegions; ++r) {
+        const PctBounds &bounds = m.regions[r];
+        char detail[128];
+        std::snprintf(detail, sizeof detail,
+                      "%s refs %.2f%% outside [%.2f%%, %.2f%%]",
+                      names[r], result.regionPct[r], bounds.minPct,
+                      bounds.maxPct);
+        addCheck(result,
+                 (std::string("fingerprint.") + names[r]).c_str(),
+                 result.regionPct[r] >= bounds.minPct &&
+                     result.regionPct[r] <= bounds.maxPct,
+                 detail);
+    }
+    return result;
+}
+
+bool
+corpusWorkloadSpecs(const std::string &dir, InstCount timed,
+                    std::vector<sweep::WorkloadSpec> &out,
+                    std::string *error)
+{
+    std::vector<Entry> entries;
+    if (!discoverCorpus(dir, entries, error))
+        return false;
+    std::vector<sweep::WorkloadSpec> specs;
+    for (const Entry &entry : entries) {
+        // Assemble once up front: a malformed .s is a reportable
+        // user error here, not a mid-sweep abort from a worker.
+        if (!assembleEntry(entry, error))
+            return false;
+        sweep::WorkloadSpec spec;
+        spec.name = entry.name;
+        spec.scale = 1;
+        spec.warmup = entry.manifest.warmupInsts;
+        spec.timed = timed;
+        spec.sourcePath = entry.sourcePath;
+        specs.push_back(std::move(spec));
+    }
+    out.insert(out.end(), specs.begin(), specs.end());
+    return true;
+}
+
+} // namespace arl::corpus

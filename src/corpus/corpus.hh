@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Checked-in `.s` workload corpus: discovery, conformance grading,
+ * and the --workload-dir sweep axis.
+ *
+ * A corpus directory holds assembly workloads authored in the
+ * arl dialect (src/assembler), each with a JSON sidecar manifest
+ * (`foo.s` + `foo.json`) declaring the program's access-pattern
+ * family and its conformance envelope:
+ *
+ *   {
+ *     "name": "stream_sum",            // must match the file stem
+ *     "family": "streaming",
+ *     "description": "...",
+ *     "expect": {
+ *       "exit_code": 0,
+ *       "output": "524800",            // exact architectural output
+ *       "min_insts": 123456,           // dynamic icount bounds
+ *       "max_insts": 123456
+ *     },
+ *     "fingerprint": {                 // % of memory refs per region
+ *       "data_pct":  [85, 100],
+ *       "heap_pct":  [0, 5],
+ *       "stack_pct": [0, 10]
+ *     },
+ *     "warmup_insts": 2000             // sweep fast-forward prefix
+ *   }
+ *
+ * The grader (gradeEntry / `arl_sim grade <dir>`) assembles each
+ * program, executes it functionally under a region profiler, and
+ * diffs the run against its manifest: assembly, halt, exit code,
+ * byte-exact output, instruction-count bounds, and the region-access
+ * fingerprint all must conform.  Failures carry precise diff
+ * messages (first mismatching output byte, measured vs expected
+ * bounds).
+ *
+ * corpusWorkloadSpecs() turns a graded directory into sweep
+ * WorkloadSpecs (sorted by filename, so merged sweep reports are
+ * deterministic) — the `--workload-dir` axis that lets user-authored
+ * programs join every sweep grid next to the compiled-in analogues.
+ */
+
+#ifndef ARL_CORPUS_CORPUS_HH
+#define ARL_CORPUS_CORPUS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "sweep/sweep.hh"
+#include "vm/program.hh"
+
+namespace arl::corpus
+{
+
+/** Inclusive percentage bounds for one region's reference share. */
+struct PctBounds
+{
+    double minPct = 0.0;
+    double maxPct = 100.0;
+};
+
+/** Parsed sidecar manifest of one corpus program. */
+struct Manifest
+{
+    std::string name;         ///< must equal the `.s` file stem
+    std::string family;       ///< access-pattern family tag
+    std::string description;
+    int exitCode = 0;         ///< expected guest exit status
+    std::string output;       ///< expected process output, byte-exact
+    InstCount minInsts = 0;   ///< dynamic instruction lower bound
+    InstCount maxInsts = 0;   ///< dynamic instruction upper bound (>0)
+    /** Expected D/H/S shares of dynamic memory references. */
+    PctBounds regions[vm::NumDataRegions];
+    /** Fast-forward prefix when the program joins a sweep grid. */
+    InstCount warmupInsts = 0;
+};
+
+/**
+ * Parse @p path into @p out.
+ * @return false (with @p error set) on I/O, JSON, or schema errors.
+ */
+bool loadManifest(const std::string &path, Manifest &out,
+                  std::string *error);
+
+/** One discovered corpus program. */
+struct Entry
+{
+    std::string name;          ///< file stem ("stream_sum")
+    std::string sourcePath;    ///< the `.s` file
+    std::string manifestPath;  ///< the sidecar `.json`
+    Manifest manifest;
+};
+
+/**
+ * Scan @p dir for `.s` programs with sidecar manifests, sorted by
+ * filename (the deterministic sweep-merge order).
+ *
+ * Errors (all reported through @p error, returning false): a
+ * missing or unreadable directory, a directory with no `.s` files,
+ * a `.s` without its sidecar manifest (or an orphan manifest), an
+ * unparsable manifest, and a manifest whose "name" disagrees with
+ * the file stem (a manifest/program mismatch).
+ */
+bool discoverCorpus(const std::string &dir, std::vector<Entry> &out,
+                    std::string *error);
+
+/**
+ * Assemble @p entry's source.
+ * @return null (with @p error carrying the first diagnostic) on
+ *         read or assembly failure.
+ */
+std::shared_ptr<vm::Program> assembleEntry(const Entry &entry,
+                                           std::string *error);
+
+/** One conformance check of one program. */
+struct Check
+{
+    std::string name;    ///< "assemble", "halt", "exit_code", ...
+    bool pass = false;
+    std::string detail;  ///< precise diff message when failing
+};
+
+/** Grading outcome of one corpus program. */
+struct GradeResult
+{
+    std::string name;
+    std::string family;
+    InstCount instructions = 0;
+    int exitCode = 0;
+    /** Measured D/H/S shares of memory references (percent). */
+    double regionPct[vm::NumDataRegions] = {0.0, 0.0, 0.0};
+    std::vector<Check> checks;
+
+    bool pass() const;
+    /** All failing checks, one precise message per line. */
+    std::string failureDiff() const;
+};
+
+/**
+ * Assemble, run, and diff @p entry against its manifest.  Execution
+ * is capped just past the manifest's max_insts so a runaway program
+ * fails its "halt" check instead of hanging the grader.
+ */
+GradeResult gradeEntry(const Entry &entry);
+
+/**
+ * Build one sweep WorkloadSpec per corpus program in @p dir (sorted
+ * by filename): name and warmup from the manifest, @p timed as the
+ * per-point timed budget, and sourcePath set so the sweep engine
+ * assembles the file instead of consulting the workload registry.
+ * Every program is assembled once here, so a malformed `.s` surfaces
+ * as a CLI-reportable error instead of a mid-sweep abort.
+ *
+ * @return false (with @p error set) on any discovery or assembly
+ *         problem.
+ */
+bool corpusWorkloadSpecs(const std::string &dir, InstCount timed,
+                         std::vector<sweep::WorkloadSpec> &out,
+                         std::string *error);
+
+} // namespace arl::corpus
+
+#endif // ARL_CORPUS_CORPUS_HH

@@ -9,10 +9,14 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <memory>
+#include <sstream>
 #include <thread>
 
+#include "assembler/assembler.hh"
+#include "common/crc32.hh"
 #include "common/logging.hh"
 #include "obs/hooks.hh"
 #include "obs/profiler.hh"
@@ -91,17 +95,58 @@ traceNeed(const WorkloadSpec &w, bool timing_grid, bool region_grid)
 /**
  * Cache file name.  v1 keeps the historical key so pre-existing
  * caches still hit; v2 entries are tagged (a format is part of the
- * bytes being cached, so the two never alias).
+ * bytes being cached, so the two never alias).  Corpus workloads
+ * (sourcePath set) carry the source bytes' CRC32 in the key — the
+ * registry namespace is never aliased and editing the `.s` file
+ * invalidates its entry.
  */
 std::string
 traceCacheKey(const WorkloadSpec &w, InstCount need,
-              trace::TraceFormat format)
+              trace::TraceFormat format, const std::string &source)
 {
-    std::string key = w.name + "-s" + std::to_string(w.scale) + "-";
+    std::string key;
+    if (!w.sourcePath.empty()) {
+        char crc[16];
+        std::snprintf(crc, sizeof crc, "%08x",
+                      crc32(source.data(), source.size()));
+        key = "corpus-" + w.name + "-" + crc + "-";
+    } else {
+        key = w.name + "-s" + std::to_string(w.scale) + "-";
+    }
     key += need ? "n" + std::to_string(need) : "full";
     if (format != trace::TraceFormat::V1)
         key += std::string("-") + trace::formatName(format);
     return key + ".arlt";
+}
+
+/**
+ * Build one workload's Program: registry by name, or — for corpus
+ * rows — read and assemble the spec's source file.  Assembly errors
+ * are fatal here: the CLI front ends pre-validate corpus directories
+ * (corpus::corpusWorkloadSpecs), so a failure at this point means
+ * the file changed underneath a running sweep.
+ */
+std::shared_ptr<const vm::Program>
+buildProgram(const WorkloadSpec &w, std::string *source_out)
+{
+    if (w.sourcePath.empty())
+        return workloads::buildWorkload(w.name, w.scale);
+    std::ifstream file(w.sourcePath, std::ios::binary);
+    if (!file)
+        fatal("sweep: cannot open workload source '%s'",
+              w.sourcePath.c_str());
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    std::string source = buffer.str();
+    assembler::AsmResult result = assembler::assemble(source, w.name);
+    if (!result.ok())
+        fatal("sweep: %s: %s", w.sourcePath.c_str(),
+              result.errors.empty()
+                  ? "assembly failed"
+                  : result.errors[0].format().c_str());
+    if (source_out)
+        *source_out = std::move(source);
+    return result.program;
 }
 
 /** Per-workload artifacts shared (read-only) by its grid jobs. */
@@ -209,12 +254,14 @@ runSweep(const SweepSpec &spec)
         Clock::time_point start = Clock::now();
         const WorkloadSpec &w = spec.workloads[wi];
         Prepared p;
-        p.program = workloads::buildWorkload(w.name, w.scale);
+        std::string source;
+        p.program = buildProgram(w, &source);
         InstCount need = traceNeed(w, nc != 0, region_grid);
         std::string cache_path;
         if (!cache_dir.empty()) {
             cache_path = cache_dir + "/" +
-                         traceCacheKey(w, need, spec.traceFormat);
+                         traceCacheKey(w, need, spec.traceFormat,
+                                       source);
             trace::TraceLoadStats load_stats;
             auto cached = trace::loadTrace(cache_path, &load_stats);
             if (cached && cached->program == p.program->name) {

@@ -52,8 +52,16 @@ namespace arl::sweep
 /** One workload row of the grid. */
 struct WorkloadSpec
 {
-    /** Registered workload name (workloads::buildWorkload). */
+    /** Registered workload name (workloads::buildWorkload), or the
+     *  display name of a corpus program when sourcePath is set. */
     std::string name;
+    /**
+     * When non-empty, assemble this `.s` file (the --workload-dir
+     * corpus axis) instead of consulting the workload registry.
+     * Trace-cache entries are keyed by the source bytes' CRC32, so
+     * editing the file invalidates its cache entry.
+     */
+    std::string sourcePath;
     unsigned scale = 1;
     /** Functional fast-forward before the timed window (§4). */
     InstCount warmup = 0;

@@ -1,0 +1,450 @@
+/**
+ * @file
+ * Corpus conformance + sweep-integration tests.
+ *
+ * Three layers:
+ *  1. Conformance — every checked-in corpus program passes its sidecar
+ *     manifest under the grader, the corpus spans the required
+ *     family/program counts, and deliberately wrong manifests or
+ *     broken programs fail with precise diff messages.
+ *  2. Differential — per access-pattern family, a --workload-dir
+ *     sweep produces byte-identical merged reports at jobs 1 and
+ *     jobs 8, and a trace-cache replay equals the live recording.
+ *  3. Golden — a pinned 4-program corpus sweep must serialize to
+ *     exactly tests/golden/sweep_corpus_small.json (regenerate with
+ *     ARL_UPDATE_GOLDEN=1 when a change is intentional).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.hh"
+#include "obs/report.hh"
+#include "ooo/config.hh"
+#include "sweep/sweep.hh"
+
+using namespace arl;
+
+namespace
+{
+
+std::string
+corpusDir()
+{
+    return ARL_CORPUS_DIR;
+}
+
+/** Fresh scratch directory under the gtest temp root; any contents
+ * left by a previous run are removed so cache tests start cold. */
+std::string
+scratchDir(const std::string &name)
+{
+    std::string dir = ::testing::TempDir() + "corpus_" + name;
+    std::filesystem::remove_all(dir);
+    mkdir(dir.c_str(), 0777);
+    return dir;
+}
+
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << path;
+    out << text;
+}
+
+std::string
+readFileOrEmpty(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+/** A minimal conforming program: print 7, exit 0 (~7 insts). */
+const char *kTinyProgram = R"(main:   li   $a0, 7
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        li   $a0, 0
+        syscall
+)";
+
+std::string
+tinyManifest(const std::string &name, const std::string &output,
+             InstCount min_insts, InstCount max_insts)
+{
+    std::ostringstream m;
+    m << "{\n"
+      << "  \"name\": \"" << name << "\",\n"
+      << "  \"family\": \"test\",\n"
+      << "  \"expect\": {\n"
+      << "    \"exit_code\": 0,\n"
+      << "    \"output\": \"" << output << "\",\n"
+      << "    \"min_insts\": " << min_insts << ",\n"
+      << "    \"max_insts\": " << max_insts << "\n"
+      << "  }\n"
+      << "}\n";
+    return m.str();
+}
+
+bool
+checkFailed(const corpus::GradeResult &grade, const std::string &name)
+{
+    for (const corpus::Check &check : grade.checks)
+        if (check.name == name && !check.pass)
+            return true;
+    return false;
+}
+
+/** WorkloadSpecs for one family (filename order is kept). */
+std::vector<sweep::WorkloadSpec>
+familySpecs(const std::vector<corpus::Entry> &entries,
+            const std::string &family, InstCount timed)
+{
+    std::vector<sweep::WorkloadSpec> specs;
+    for (const corpus::Entry &entry : entries) {
+        if (entry.manifest.family != family)
+            continue;
+        sweep::WorkloadSpec w;
+        w.name = entry.name;
+        w.sourcePath = entry.sourcePath;
+        w.warmup = entry.manifest.warmupInsts;
+        w.timed = timed;
+        specs.push_back(std::move(w));
+    }
+    return specs;
+}
+
+std::string
+reportBytes(const sweep::SweepResult &result)
+{
+    std::ostringstream out;
+    result.toReport().writeJson(out);
+    return out.str();
+}
+
+} // namespace
+
+TEST(CorpusConformance, EveryCheckedInProgramPassesItsManifest)
+{
+    std::vector<corpus::Entry> entries;
+    std::string error;
+    ASSERT_TRUE(corpus::discoverCorpus(corpusDir(), entries, &error))
+        << error;
+
+    // The corpus contract: at least 20 programs over at least 5
+    // access-pattern families.
+    EXPECT_GE(entries.size(), 20u);
+    std::set<std::string> families;
+    for (const corpus::Entry &entry : entries)
+        families.insert(entry.manifest.family);
+    EXPECT_GE(families.size(), 5u);
+
+    for (const corpus::Entry &entry : entries) {
+        corpus::GradeResult grade = corpus::gradeEntry(entry);
+        EXPECT_TRUE(grade.pass())
+            << entry.name << " fails conformance:\n"
+            << grade.failureDiff();
+    }
+}
+
+TEST(CorpusConformance, FingerprintsSeparateFamilies)
+{
+    // The family tags must mean something physically: pointer-chase
+    // programs are heap-dominant, recursion programs stack-dominant,
+    // streaming programs data-dominant.  (The fuzz suite asserts the
+    // same separation on randomly generated programs.)
+    std::vector<corpus::Entry> entries;
+    std::string error;
+    ASSERT_TRUE(corpus::discoverCorpus(corpusDir(), entries, &error))
+        << error;
+    for (const corpus::Entry &entry : entries) {
+        corpus::GradeResult grade = corpus::gradeEntry(entry);
+        if (grade.family == "streaming" || grade.family == "strided" ||
+            grade.family == "sparse_indirect") {
+            EXPECT_GT(grade.regionPct[0], 50.0) << entry.name;
+        } else if (grade.family == "recursion") {
+            EXPECT_GT(grade.regionPct[2], 50.0) << entry.name;
+        } else if (entry.name.rfind("ptr_list", 0) == 0 ||
+                   entry.name == "ptr_ring") {
+            EXPECT_GT(grade.regionPct[1], 50.0) << entry.name;
+        }
+    }
+}
+
+TEST(CorpusConformance, WrongManifestFailsWithPreciseDiff)
+{
+    const std::string dir = scratchDir("wrong_manifest");
+    writeFile(dir + "/tiny.s", kTinyProgram);
+    // Wrong expected output: the program prints "7".
+    writeFile(dir + "/tiny.json", tinyManifest("tiny", "8", 1, 100));
+
+    std::vector<corpus::Entry> entries;
+    std::string error;
+    ASSERT_TRUE(corpus::discoverCorpus(dir, entries, &error)) << error;
+    ASSERT_EQ(entries.size(), 1u);
+
+    corpus::GradeResult grade = corpus::gradeEntry(entries[0]);
+    EXPECT_FALSE(grade.pass());
+    EXPECT_TRUE(checkFailed(grade, "output"));
+    // The diff pinpoints the first mismatching byte and both values.
+    EXPECT_NE(grade.failureDiff().find("first mismatch at byte 0"),
+              std::string::npos)
+        << grade.failureDiff();
+    EXPECT_NE(grade.failureDiff().find("\"8\""), std::string::npos);
+    EXPECT_NE(grade.failureDiff().find("\"7\""), std::string::npos);
+}
+
+TEST(CorpusConformance, InstructionBoundsViolationFails)
+{
+    const std::string dir = scratchDir("insts_bounds");
+    writeFile(dir + "/tiny.s", kTinyProgram);
+    // The program needs ~6 dynamic instructions; demand thousands.
+    writeFile(dir + "/tiny.json",
+              tinyManifest("tiny", "7", 5000, 6000));
+
+    std::vector<corpus::Entry> entries;
+    std::string error;
+    ASSERT_TRUE(corpus::discoverCorpus(dir, entries, &error)) << error;
+    corpus::GradeResult grade = corpus::gradeEntry(entries[0]);
+    EXPECT_FALSE(grade.pass());
+    EXPECT_TRUE(checkFailed(grade, "insts"));
+    EXPECT_NE(grade.failureDiff().find("outside [5000, 6000]"),
+              std::string::npos)
+        << grade.failureDiff();
+}
+
+TEST(CorpusConformance, MiscompiledProgramFailsItsAssembleCheck)
+{
+    const std::string dir = scratchDir("miscompiled");
+    writeFile(dir + "/broken.s", "main:   frobnicate $t0, $t1\n");
+    writeFile(dir + "/broken.json",
+              tinyManifest("broken", "7", 1, 100));
+
+    std::vector<corpus::Entry> entries;
+    std::string error;
+    ASSERT_TRUE(corpus::discoverCorpus(dir, entries, &error)) << error;
+    corpus::GradeResult grade = corpus::gradeEntry(entries[0]);
+    EXPECT_FALSE(grade.pass());
+    EXPECT_TRUE(checkFailed(grade, "assemble"));
+    EXPECT_NE(grade.failureDiff().find("frobnicate"),
+              std::string::npos)
+        << grade.failureDiff();
+}
+
+TEST(CorpusConformance, RunawayProgramFailsHaltNotHangs)
+{
+    const std::string dir = scratchDir("runaway");
+    writeFile(dir + "/spin.s", "main:   j    main\n");
+    writeFile(dir + "/spin.json", tinyManifest("spin", "", 1, 500));
+
+    std::vector<corpus::Entry> entries;
+    std::string error;
+    ASSERT_TRUE(corpus::discoverCorpus(dir, entries, &error)) << error;
+    corpus::GradeResult grade = corpus::gradeEntry(entries[0]);
+    EXPECT_FALSE(grade.pass());
+    EXPECT_TRUE(checkFailed(grade, "halt"));
+}
+
+TEST(CorpusDiscovery, MismatchAndOrphanManifestsAreErrors)
+{
+    {
+        // Manifest "name" disagreeing with the file stem.
+        const std::string dir = scratchDir("mismatch");
+        writeFile(dir + "/tiny.s", kTinyProgram);
+        writeFile(dir + "/tiny.json",
+                  tinyManifest("other", "7", 1, 100));
+        std::vector<corpus::Entry> entries;
+        std::string error;
+        EXPECT_FALSE(corpus::discoverCorpus(dir, entries, &error));
+        EXPECT_NE(error.find("manifest/program mismatch"),
+                  std::string::npos)
+            << error;
+    }
+    {
+        // A manifest with no program.
+        const std::string dir = scratchDir("orphan");
+        writeFile(dir + "/tiny.s", kTinyProgram);
+        writeFile(dir + "/tiny.json",
+                  tinyManifest("tiny", "7", 1, 100));
+        writeFile(dir + "/ghost.json",
+                  tinyManifest("ghost", "7", 1, 100));
+        std::vector<corpus::Entry> entries;
+        std::string error;
+        EXPECT_FALSE(corpus::discoverCorpus(dir, entries, &error));
+        EXPECT_NE(error.find("orphan manifest"), std::string::npos)
+            << error;
+    }
+    {
+        // A program with no manifest.
+        const std::string dir = scratchDir("nosidecar");
+        writeFile(dir + "/tiny.s", kTinyProgram);
+        std::vector<corpus::Entry> entries;
+        std::string error;
+        EXPECT_FALSE(corpus::discoverCorpus(dir, entries, &error));
+        EXPECT_NE(error.find("missing sidecar"), std::string::npos)
+            << error;
+    }
+    {
+        // A directory with no workloads at all.
+        const std::string dir = scratchDir("empty");
+        std::vector<corpus::Entry> entries;
+        std::string error;
+        EXPECT_FALSE(corpus::discoverCorpus(dir, entries, &error));
+        EXPECT_NE(error.find("no .s workloads"), std::string::npos)
+            << error;
+    }
+}
+
+TEST(CorpusSweep, EveryFamilyIsJobsDeterministic)
+{
+    std::vector<corpus::Entry> entries;
+    std::string error;
+    ASSERT_TRUE(corpus::discoverCorpus(corpusDir(), entries, &error))
+        << error;
+    std::set<std::string> families;
+    for (const corpus::Entry &entry : entries)
+        families.insert(entry.manifest.family);
+
+    for (const std::string &family : families) {
+        sweep::SweepSpec spec;
+        spec.workloads = familySpecs(entries, family, 20000);
+        ASSERT_FALSE(spec.workloads.empty()) << family;
+        spec.configs = {ooo::MachineConfig::nPlusM(2, 0)};
+
+        spec.jobs = 1;
+        const std::string serial = reportBytes(sweep::runSweep(spec));
+        spec.jobs = 8;
+        const std::string parallel =
+            reportBytes(sweep::runSweep(spec));
+        EXPECT_EQ(serial, parallel)
+            << "family '" << family
+            << "' sweep output depends on worker count";
+    }
+}
+
+TEST(CorpusSweep, CacheReplayEqualsLiveRun)
+{
+    // Cold run records and fills the cache; the warm run replays the
+    // on-disk traces.  Both must serialize identically, per program.
+    std::vector<corpus::Entry> entries;
+    std::string error;
+    ASSERT_TRUE(corpus::discoverCorpus(corpusDir(), entries, &error))
+        << error;
+
+    sweep::SweepSpec spec;
+    std::string specs_error;
+    ASSERT_TRUE(corpus::corpusWorkloadSpecs(corpusDir(), 20000,
+                                            spec.workloads,
+                                            &specs_error))
+        << specs_error;
+    spec.configs = {ooo::MachineConfig::nPlusM(2, 0)};
+    spec.jobs = 2;
+    spec.traceCacheDir = scratchDir("trace_cache");
+
+    sweep::SweepResult cold = sweep::runSweep(spec);
+    EXPECT_EQ(cold.traceCacheHits, 0u);
+    EXPECT_EQ(cold.traceCacheMisses, spec.workloads.size());
+
+    sweep::SweepResult warm = sweep::runSweep(spec);
+    EXPECT_EQ(warm.traceCacheHits, spec.workloads.size());
+    EXPECT_EQ(warm.traceCacheMisses, 0u);
+
+    EXPECT_EQ(reportBytes(cold), reportBytes(warm))
+        << "replay-from-cache differs from the live run";
+}
+
+TEST(CorpusSweep, EditingASourceInvalidatesItsCacheEntry)
+{
+    // The cache key carries the source bytes' CRC32: after editing
+    // the program, the old entry must not hit.
+    const std::string dir = scratchDir("edit_inval");
+    writeFile(dir + "/tiny.s", kTinyProgram);
+    writeFile(dir + "/tiny.json", tinyManifest("tiny", "7", 1, 100));
+
+    sweep::SweepSpec spec;
+    std::string error;
+    ASSERT_TRUE(corpus::corpusWorkloadSpecs(dir, 0, spec.workloads,
+                                            &error))
+        << error;
+    spec.configs = {ooo::MachineConfig::nPlusM(2, 0)};
+    spec.traceCacheDir = scratchDir("edit_inval_cache");
+
+    sweep::SweepResult first = sweep::runSweep(spec);
+    EXPECT_EQ(first.traceCacheMisses, 1u);
+
+    // Edit: print 9 instead of 7 (same length, new bytes).
+    std::string edited = kTinyProgram;
+    std::replace(edited.begin(), edited.end(), '7', '9');
+    writeFile(dir + "/tiny.s", edited);
+
+    sweep::SweepResult second = sweep::runSweep(spec);
+    EXPECT_EQ(second.traceCacheHits, 0u)
+        << "stale cache entry survived a source edit";
+    EXPECT_EQ(second.traceCacheMisses, 1u);
+}
+
+TEST(CorpusGolden, SmallCorpusSweepReportPinned)
+{
+    // One program from each of four families × two configs, pinned
+    // byte for byte.  Catches drift in the assembler, the functional
+    // simulator, trace record/replay, and the OoO model as seen
+    // through corpus-sourced workloads.
+    sweep::SweepSpec spec;
+    for (const char *name : {"stream_sum", "ptr_list_sum",
+                             "sparse_gather", "rec_fib"}) {
+        std::vector<corpus::Entry> entries;
+        std::string error;
+        ASSERT_TRUE(corpus::discoverCorpus(corpusDir(), entries,
+                                           &error))
+            << error;
+        const corpus::Entry *found = nullptr;
+        for (const corpus::Entry &entry : entries)
+            if (entry.name == name)
+                found = &entry;
+        ASSERT_NE(found, nullptr) << name;
+        sweep::WorkloadSpec w;
+        w.name = found->name;
+        w.sourcePath = found->sourcePath;
+        w.warmup = found->manifest.warmupInsts;
+        w.timed = 20000;
+        spec.workloads.push_back(std::move(w));
+    }
+    spec.configs = {ooo::MachineConfig::nPlusM(2, 0),
+                    ooo::MachineConfig::nPlusM(3, 3)};
+    spec.jobs = 2;
+
+    const std::string actual = reportBytes(sweep::runSweep(spec));
+    ASSERT_FALSE(actual.empty());
+
+    const std::string path =
+        std::string(ARL_GOLDEN_DIR) + "/sweep_corpus_small.json";
+    if (std::getenv("ARL_UPDATE_GOLDEN")) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << actual;
+        out.close();
+        FAIL() << "golden file regenerated at " << path
+               << "; rerun without ARL_UPDATE_GOLDEN and commit it";
+    }
+    const std::string expected = readFileOrEmpty(path);
+    ASSERT_FALSE(expected.empty())
+        << "missing " << path
+        << " — generate it with ARL_UPDATE_GOLDEN=1";
+    EXPECT_EQ(expected, actual)
+        << "corpus sweep drifted from the committed golden; if "
+           "intentional, regenerate with ARL_UPDATE_GOLDEN=1";
+}

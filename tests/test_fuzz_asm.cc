@@ -27,6 +27,8 @@
 #include "builder/program_builder.hh"
 #include "common/random.hh"
 #include "isa/inst.hh"
+#include "profile/region_profiler.hh"
+#include "sim/simulator.hh"
 #include "vm/program.hh"
 
 using namespace arl;
@@ -222,6 +224,254 @@ TEST(FuzzAssembler, RandomProgramsReassembleByteIdentical)
         for (std::size_t i = 0; i < prog->text.size(); ++i)
             ASSERT_EQ(result.program->text[i], prog->text[i])
                 << "word " << i << " in:\n" << source;
+    }
+}
+
+namespace
+{
+
+/** Region-reference percentages of an assembled program's execution. */
+struct RunFingerprint {
+    double pct[vm::NumDataRegions] = {0.0, 0.0, 0.0};
+    std::string output;
+    bool halted = false;
+};
+
+RunFingerprint
+runAndFingerprint(const std::shared_ptr<vm::Program> &prog,
+                  InstCount cap)
+{
+    sim::Simulator simulator(prog);
+    profile::RegionProfiler profiler;
+    simulator.run(cap, [&](const sim::StepInfo &step) {
+        profiler.observe(step);
+    });
+    RunFingerprint fp;
+    fp.halted = simulator.halted();
+    fp.output = simulator.process().output;
+    const profile::RegionProfile profile = profiler.profile();
+    const std::uint64_t refs = profile.dynamicTotal();
+    for (unsigned r = 0; r < vm::NumDataRegions; ++r)
+        fp.pct[r] = refs == 0
+                        ? 0.0
+                        : 100.0 * static_cast<double>(
+                                      profile.regionRefs[r]) /
+                              static_cast<double>(refs);
+    return fp;
+}
+
+/**
+ * Generate a random pointer-chase program in corpus dialect: build a
+ * @p nodes-long singly linked list on the heap (one Malloc per node,
+ * payload = node index), then chase it @p laps times summing
+ * payloads.  Prints the sum and exits 0.
+ */
+std::string
+genPointerChase(unsigned nodes, unsigned laps)
+{
+    std::ostringstream s;
+    s << "main:   li   $s0, 0\n"        // head
+      << "        li   $s1, 0\n"        // prev
+      << "        li   $t0, 0\n"        // i
+      << "        li   $t1, " << nodes << "\n"
+      << "build:  beq  $t0, $t1, winit\n"
+      << "        li   $v0, 13\n"       // malloc(8)
+      << "        li   $a0, 8\n"
+      << "        syscall\n"
+      << "        sw   $t0, 0($v0)\n"   // payload = i
+      << "        sw   $zero, 4($v0)\n" // next = null
+      << "        beq  $s1, $zero, first\n"
+      << "        sw   $v0, 4($s1)\n"   // prev->next = node
+      << "        j    linked\n"
+      << "first:  move $s0, $v0\n"
+      << "linked: move $s1, $v0\n"
+      << "        addi $t0, $t0, 1\n"
+      << "        j    build\n"
+      << "winit:  li   $t5, " << laps << "\n"
+      << "        li   $t6, 0\n"        // acc
+      << "lap:    beq  $t5, $zero, done\n"
+      << "        move $t2, $s0\n"
+      << "walk:   beq  $t2, $zero, lend\n"
+      << "        lw   $t3, 0($t2)\n"
+      << "        add  $t6, $t6, $t3\n"
+      << "        lw   $t2, 4($t2)\n"   // chase the link
+      << "        j    walk\n"
+      << "lend:   addi $t5, $t5, -1\n"
+      << "        j    lap\n"
+      << "done:   li   $v0, 1\n"
+      << "        move $a0, $t6\n"
+      << "        syscall\n"
+      << "        li   $v0, 10\n"
+      << "        li   $a0, 0\n"
+      << "        syscall\n";
+    return s.str();
+}
+
+/**
+ * Generate a random sparse-indirect gather: a static .word table
+ * holding @p perm (a random permutation of 0..N-1) drives indexed
+ * loads from a value table initialized to val[i] = 3i.  Prints the
+ * gathered sum and exits 0.
+ */
+std::string
+genSparseGather(const std::vector<unsigned> &perm)
+{
+    const std::size_t n = perm.size();
+    std::ostringstream s;
+    s << "        .data\n" << "idx:";
+    for (std::size_t i = 0; i < n; ++i)
+        s << (i ? ", " : "    .word ") << perm[i];
+    s << "\nval:    .space " << n * 4 << "\n"
+      << "        .text\n"
+      << "main:   la   $t0, val\n"     // val[i] = 3i
+      << "        li   $t1, " << n << "\n"
+      << "        li   $t2, 0\n"
+      << "        li   $t7, 0\n"
+      << "init:   beq  $t2, $t1, gather\n"
+      << "        sw   $t7, 0($t0)\n"
+      << "        addi $t7, $t7, 3\n"
+      << "        addi $t0, $t0, 4\n"
+      << "        addi $t2, $t2, 1\n"
+      << "        j    init\n"
+      << "gather: la   $t0, idx\n"
+      << "        la   $t4, val\n"
+      << "        li   $t2, 0\n"
+      << "        li   $t6, 0\n"       // acc
+      << "gloop:  beq  $t2, $t1, done\n"
+      << "        lw   $t3, 0($t0)\n"  // index load
+      << "        sll  $t3, $t3, 2\n"
+      << "        add  $t3, $t3, $t4\n"
+      << "        lw   $t5, 0($t3)\n"  // dependent gather load
+      << "        add  $t6, $t6, $t5\n"
+      << "        addi $t0, $t0, 4\n"
+      << "        addi $t2, $t2, 1\n"
+      << "        j    gloop\n"
+      << "done:   li   $v0, 1\n"
+      << "        move $a0, $t6\n"
+      << "        syscall\n"
+      << "        li   $v0, 10\n"
+      << "        li   $a0, 0\n"
+      << "        syscall\n";
+    return s.str();
+}
+
+/** Fixed streaming reference: sum a sequential static array. */
+std::string
+genStreamingReference(unsigned n)
+{
+    std::ostringstream s;
+    s << "        .data\n"
+      << "arr:    .space " << n * 4 << "\n"
+      << "        .text\n"
+      << "main:   la   $t0, arr\n"
+      << "        li   $t1, " << n << "\n"
+      << "        li   $t2, 0\n"
+      << "init:   beq  $t2, $t1, sum\n"
+      << "        sw   $t2, 0($t0)\n"
+      << "        addi $t0, $t0, 4\n"
+      << "        addi $t2, $t2, 1\n"
+      << "        j    init\n"
+      << "sum:    la   $t0, arr\n"
+      << "        li   $t2, 0\n"
+      << "        li   $t6, 0\n"
+      << "sloop:  beq  $t2, $t1, done\n"
+      << "        lw   $t3, 0($t0)\n"
+      << "        add  $t6, $t6, $t3\n"
+      << "        addi $t0, $t0, 4\n"
+      << "        addi $t2, $t2, 1\n"
+      << "        j    sloop\n"
+      << "done:   li   $v0, 1\n"
+      << "        move $a0, $t6\n"
+      << "        syscall\n"
+      << "        li   $v0, 10\n"
+      << "        li   $a0, 0\n"
+      << "        syscall\n";
+    return s.str();
+}
+
+/** Assemble, check the text round-trips, run, and fingerprint. */
+RunFingerprint
+assembleRoundTripAndRun(const std::string &source,
+                        const std::string &name)
+{
+    auto result = assembler::assemble(source, name);
+    EXPECT_TRUE(result.ok())
+        << source << "\nfirst error: "
+        << (result.errors.empty() ? "?" : result.errors[0].format());
+    if (!result.ok())
+        return RunFingerprint{};
+
+    // Round trip: the disassembled text must reassemble to the same
+    // encodings (data directives aren't needed — label addresses are
+    // already resolved into lui/ori immediates).
+    std::string round = disassembleWithLabels(*result.program);
+    auto again = assembler::assemble(round, name + "-roundtrip");
+    EXPECT_TRUE(again.ok())
+        << round << "\nfirst error: "
+        << (again.errors.empty() ? "?" : again.errors[0].format());
+    if (again.ok() &&
+        again.program->text.size() == result.program->text.size())
+        for (std::size_t i = 0; i < result.program->text.size(); ++i)
+            EXPECT_EQ(again.program->text[i],
+                      result.program->text[i])
+                << "word " << i << " in:\n" << round;
+
+    return runAndFingerprint(result.program, 1000000);
+}
+
+} // namespace
+
+TEST(FuzzCorpusPatterns, RandomPointerChaseIsHeapDominant)
+{
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        Rng rng(0xc0a5e + seed);
+        const unsigned nodes = 16 + rng.nextBounded(49);
+        const unsigned laps = 4 + rng.nextBounded(13);
+
+        RunFingerprint chase = assembleRoundTripAndRun(
+            genPointerChase(nodes, laps), "fuzz-chase");
+        ASSERT_TRUE(chase.halted);
+        // Sum of payloads 0..nodes-1, once per lap.
+        const std::uint64_t expected =
+            static_cast<std::uint64_t>(laps) * nodes * (nodes - 1) / 2;
+        EXPECT_EQ(chase.output, std::to_string(expected));
+        EXPECT_GT(chase.pct[1], 60.0) << "heap refs";
+
+        RunFingerprint stream = assembleRoundTripAndRun(
+            genStreamingReference(64 + rng.nextBounded(192)),
+            "fuzz-stream");
+        ASSERT_TRUE(stream.halted);
+        EXPECT_GT(stream.pct[0], 90.0) << "data refs";
+        // The fingerprints must separate the families cleanly.
+        EXPECT_GT(chase.pct[1] - stream.pct[1], 50.0);
+        EXPECT_GT(stream.pct[0] - chase.pct[0], 50.0);
+    }
+}
+
+TEST(FuzzCorpusPatterns, RandomSparseGatherIsDataDominantAndCorrect)
+{
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        Rng rng(0x5ca77e4 + seed);
+        const unsigned n = 32 + rng.nextBounded(97);
+
+        // Seeded Fisher-Yates permutation of 0..n-1.
+        std::vector<unsigned> perm(n);
+        for (unsigned i = 0; i < n; ++i)
+            perm[i] = i;
+        for (unsigned i = n - 1; i > 0; --i)
+            std::swap(perm[i], perm[rng.nextBounded(i + 1)]);
+
+        RunFingerprint gather = assembleRoundTripAndRun(
+            genSparseGather(perm), "fuzz-gather");
+        ASSERT_TRUE(gather.halted);
+        // Gathering a permutation of val[i] = 3i sums to 3·n(n-1)/2.
+        const std::uint64_t expected =
+            3ull * n * (n - 1) / 2;
+        EXPECT_EQ(gather.output, std::to_string(expected));
+        EXPECT_GT(gather.pct[0], 90.0) << "data refs";
+        EXPECT_LT(gather.pct[1], 5.0) << "heap refs";
     }
 }
 

@@ -19,7 +19,10 @@
  *
  *   --quick   run only the fast subset (replay_core, trace_codec,
  *             sampled) with the same knobs, so its records still
- *             compare exactly against the full baseline.
+ *             compare exactly against the full baseline.  The full
+ *             suite adds sweep_fig8, contended, region_fig4, and
+ *             corpus (the checked-in corpus/ via --workload-dir;
+ *             override the directory with ARL_BENCH_WORKLOAD_DIR).
  *   --out F   output path (default BENCH_0006.json; "-" = stdout).
  *
  * ARL_UPDATE_BENCH=1 in the environment writes the report to the
@@ -38,6 +41,7 @@
 
 #include "common/logging.hh"
 #include "core/experiment.hh"
+#include "corpus/corpus.hh"
 #include "obs/bench_schema.hh"
 #include "obs/profiler.hh"
 #include "sweep/sweep.hh"
@@ -234,6 +238,33 @@ benchSampled()
     return bench;
 }
 
+/**
+ * The whole checked-in corpus through the --workload-dir sweep path:
+ * file discovery, assembly, per-program trace recording, and one
+ * timing config.  Exercises the assembler front end at benchmark
+ * scale, which no other bench touches.  ARL_BENCH_WORKLOAD_DIR
+ * overrides the directory (defaults to the source-tree corpus/).
+ */
+obs::BenchCase
+benchCorpus()
+{
+    const char *env = std::getenv("ARL_BENCH_WORKLOAD_DIR");
+    const std::string dir = env && *env ? env : ARL_CORPUS_DIR;
+
+    sweep::SweepSpec spec;
+    spec.jobs = 1;
+    std::string error;
+    if (!corpus::corpusWorkloadSpecs(dir, kTimedInsts,
+                                     spec.workloads, &error))
+        fatal("corpus: %s", error.c_str());
+    spec.configs = {ooo::MachineConfig::nPlusM(2, 0)};
+    obs::BenchCase bench = sweepBench("corpus", spec);
+    bench.counters.emplace_back("programs",
+                                static_cast<double>(
+                                    spec.workloads.size()));
+    return bench;
+}
+
 obs::BenchCase
 benchTraceCodec()
 {
@@ -319,6 +350,7 @@ main(int argc, char **argv)
         report.benches.push_back(benchSweepFig8());
         report.benches.push_back(benchContended());
         report.benches.push_back(benchRegionFig4());
+        report.benches.push_back(benchCorpus());
     }
     report.meta = obs::hostMeta();
     report.peakRssKb = obs::peakRssKb();

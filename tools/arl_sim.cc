@@ -21,19 +21,30 @@
  *
  *   arl_sim time <workload> [--config "(N+M)"] [--l1-lat N]
  *       [--insts N] [--all-configs] [--scale N] [--no-vp] [--no-ff]
- *       [--warmup-window N] [--cpi-stack] [contention flags]
+ *       [--warmup-window N] [--cpi-stack] [--workload-dir DIR]
+ *       [contention flags]
  *       The paper's §4 timing methodology (warmup + timed window).
  *       --warmup-window warms microarchitectural state only from the
  *       last N fast-forward instructions (0 = all).  --cpi-stack
  *       forces per-cycle stall attribution (ooo.cpi_stack.*) on
- *       ideal configs; contended configs always account.
+ *       ideal configs; contended configs always account.  With
+ *       --workload-dir the target names a corpus program (by file
+ *       stem) instead of a registry workload.
  *
- *   arl_sim sweep <workload[,workload...]|all> [--jobs N]
+ *   arl_sim grade <dir> [--stats-json F] [--stats-csv F]
+ *       Conformance-grade a workload corpus: assemble, run, and diff
+ *       every `.s` against its sidecar JSON manifest (exit code,
+ *       byte-exact output, instruction-count bounds, region-access
+ *       fingerprint).  Exit 0 when every program conforms, 1 when
+ *       the directory is unusable, 2 when any check fails (precise
+ *       diffs on stderr).
+ *
+ *   arl_sim sweep <workload[,workload...]|all|none> [--jobs N]
  *       [--trace-cache DIR] [--trace-format v1|v2]
  *       [--seek-ff] [--warmup-window N] [--checkpoint-every N]
  *       [--configs fig8|"(N+M),..."|none]
  *       [--schemes fig4|none] [--insts N] [--study-insts N] [--scale N]
- *       [--timing-json F]
+ *       [--timing-json F] [--workload-dir DIR]
  *       The parallel sweep engine: trace each workload once, replay
  *       the workload × config (and × scheme) grid across N worker
  *       threads.  --stats-json output is byte-identical for every
@@ -101,6 +112,7 @@
  * Exit codes: 0 success, 1 usage error, 2 input error.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -113,6 +125,7 @@
 #include "assembler/assembler.hh"
 #include "common/logging.hh"
 #include "core/experiment.hh"
+#include "corpus/corpus.hh"
 #include "isa/inst.hh"
 #include "obs/bench_schema.hh"
 #include "obs/hooks.hh"
@@ -722,6 +735,7 @@ cmdTime(const std::string &target, Args &args)
         {"scale", FlagKind::Int},      {"no-vp", FlagKind::Bool},
         {"no-ff", FlagKind::Bool},     {"warmup-window", FlagKind::Int},
         {"verbose", FlagKind::Bool},   {"cpi-stack", FlagKind::Bool},
+        {"workload-dir", FlagKind::String},
     };
     accepted.insert(accepted.end(), kContentionFlags.begin(),
                     kContentionFlags.end());
@@ -730,8 +744,43 @@ cmdTime(const std::string &target, Args &args)
     args.parse(accepted);
     ObsOptions opts = ObsOptions::parse(args);
     unsigned scale = static_cast<unsigned>(args.flagInt("scale", 1));
-    const auto &info = workloads::workloadByName(target);
-    core::Experiment experiment(info.build(scale));
+    // With --workload-dir the target is resolved inside the corpus
+    // (by file stem) instead of the compiled-in registry; the
+    // manifest supplies the warmup prefix.
+    std::string workload_dir = args.flag("workload-dir", "");
+    std::shared_ptr<const vm::Program> program;
+    std::string source_path;
+    InstCount workload_warmup = 0;
+    if (!workload_dir.empty()) {
+        std::vector<corpus::Entry> entries;
+        std::string error;
+        if (!corpus::discoverCorpus(workload_dir, entries, &error)) {
+            std::fprintf(stderr, "arl_sim: %s\n", error.c_str());
+            return 1;
+        }
+        const corpus::Entry *found = nullptr;
+        for (const corpus::Entry &entry : entries)
+            if (entry.name == target)
+                found = &entry;
+        if (!found) {
+            std::fprintf(stderr,
+                         "arl_sim: no workload '%s' in corpus '%s'\n",
+                         target.c_str(), workload_dir.c_str());
+            return 1;
+        }
+        program = corpus::assembleEntry(*found, &error);
+        if (!program) {
+            std::fprintf(stderr, "arl_sim: %s\n", error.c_str());
+            return 1;
+        }
+        source_path = found->sourcePath;
+        workload_warmup = found->manifest.warmupInsts;
+    } else {
+        const auto &info = workloads::workloadByName(target);
+        program = info.build(scale);
+        workload_warmup = info.warmupInsts;
+    }
+    core::Experiment experiment(program);
     InstCount timed =
         static_cast<InstCount>(args.flagInt("insts", 400000));
     auto warmup_window =
@@ -777,9 +826,10 @@ cmdTime(const std::string &target, Args &args)
         sampling_spec.configs = configs;
         sampling_spec.jobs = 1;
         sweep::WorkloadSpec w;
-        w.name = info.name;
+        w.name = target;
+        w.sourcePath = source_path;
         w.scale = scale;
-        w.warmup = info.warmupInsts;
+        w.warmup = workload_warmup;
         w.timed = timed;
         sampling_spec.workloads.push_back(std::move(w));
         sweep::SweepResult result =
@@ -833,9 +883,9 @@ cmdTime(const std::string &target, Args &args)
             obs::ProfScope prof("time/simulate",
                                 obs::ProfScope::Mode::Absolute);
             results.push_back(experiment.timingStudy(
-                configs[i], info.warmupInsts, timed, &hooks, nullptr,
+                configs[i], workload_warmup, timed, &hooks, nullptr,
                 warmup_window));
-            prof.addGuestInsts(info.warmupInsts +
+            prof.addGuestInsts(workload_warmup +
                                results.back().instructions);
             prof.addGuestCycles(results.back().cycles);
         }
@@ -884,6 +934,7 @@ cmdSweep(const std::string &target, Args &args)
         {"scale", FlagKind::Int},
         {"timing-json", FlagKind::String},
         {"cpi-stack", FlagKind::Bool},
+        {"workload-dir", FlagKind::String},
     };
     accepted.insert(accepted.end(), kContentionFlags.begin(),
                     kContentionFlags.end());
@@ -956,10 +1007,19 @@ cmdSweep(const std::string &target, Args &args)
 
     InstCount study =
         static_cast<InstCount>(args.flagInt("study-insts", 0));
+    std::string workload_dir = args.flag("workload-dir", "");
     if (target == "all") {
         spec.workloads = sweep::allWorkloadSpecs(scale, timed);
         for (auto &w : spec.workloads)
             w.studyInsts = study;
+    } else if (target == "none") {
+        // Corpus-only grid: every workload row comes from
+        // --workload-dir.
+        if (workload_dir.empty()) {
+            std::fprintf(stderr, "arl_sim: sweep target 'none' needs "
+                         "--workload-dir\n");
+            return 1;
+        }
     } else {
         std::stringstream stream(target);
         std::string name;
@@ -973,6 +1033,20 @@ cmdSweep(const std::string &target, Args &args)
             w.studyInsts = study;
             spec.workloads.push_back(std::move(w));
         }
+    }
+    if (!workload_dir.empty()) {
+        // Corpus programs join the grid after the registry rows, in
+        // filename order, so merged reports stay deterministic.
+        std::size_t first_corpus = spec.workloads.size();
+        std::string error;
+        if (!corpus::corpusWorkloadSpecs(workload_dir, timed,
+                                         spec.workloads, &error)) {
+            std::fprintf(stderr, "arl_sim: %s\n", error.c_str());
+            return 1;
+        }
+        for (std::size_t i = first_corpus; i < spec.workloads.size();
+             ++i)
+            spec.workloads[i].studyInsts = study;
     }
     for (auto &w : spec.workloads)
         w.warmupWindow = warmup_window;
@@ -1050,6 +1124,88 @@ cmdSweep(const std::string &target, Args &args)
         return 0;
     obs::Report stats_report = result.toReport("sweep");
     return emitReport(stats_report, opts);
+}
+
+/**
+ * Conformance-grade a corpus directory: assemble, run, and diff every
+ * checked-in `.s` program against its sidecar manifest.  Exit 0 when
+ * all programs conform, 1 when the directory itself is unusable
+ * (missing, no workloads, orphan or mismatched manifests), 2 when any
+ * program fails a check — with one precise diff line per failing
+ * check on stderr.
+ */
+int
+cmdGrade(const std::string &dir, Args &args)
+{
+    args.parse({});
+    ObsOptions opts = ObsOptions::parse(args);
+
+    std::vector<corpus::Entry> entries;
+    std::string error;
+    if (!corpus::discoverCorpus(dir, entries, &error)) {
+        std::fprintf(stderr, "arl_sim: %s\n", error.c_str());
+        return 1;
+    }
+
+    obs::Report report;
+    report.command = "grade";
+    std::vector<std::string> families;
+    unsigned failed = 0;
+    if (!quietOutput())
+        std::printf("%-20s %-16s %9s %6s %6s %6s  %s\n", "program",
+                    "family", "insts", "data%", "heap%", "stack%",
+                    "result");
+    for (const corpus::Entry &entry : entries) {
+        obs::ProfScope prof("grade/program",
+                            obs::ProfScope::Mode::Absolute);
+        corpus::GradeResult grade = corpus::gradeEntry(entry);
+        prof.addGuestInsts(grade.instructions);
+        const bool pass = grade.pass();
+        failed += !pass;
+        if (std::find(families.begin(), families.end(),
+                      grade.family) == families.end())
+            families.push_back(grade.family);
+        if (!quietOutput())
+            std::printf("%-20s %-16s %9llu %6.1f %6.1f %6.1f  %s\n",
+                        grade.name.c_str(), grade.family.c_str(),
+                        (unsigned long long)grade.instructions,
+                        grade.regionPct[0], grade.regionPct[1],
+                        grade.regionPct[2], pass ? "PASS" : "FAIL");
+        if (!pass)
+            std::fputs(grade.failureDiff().c_str(), stderr);
+        if (opts.wantsReport()) {
+            obs::StatsRegistry registry;
+            registry.counter("corpus.pass") = pass ? 1 : 0;
+            registry.counter("corpus.instructions") =
+                grade.instructions;
+            registry.counter("corpus.exit_code") =
+                static_cast<std::uint64_t>(grade.exitCode);
+            registry.counter("corpus.checks") = grade.checks.size();
+            std::uint64_t failing = 0;
+            for (const corpus::Check &check : grade.checks)
+                failing += !check.pass;
+            registry.counter("corpus.checks_failed") = failing;
+            static const char *names[vm::NumDataRegions] = {
+                "data", "heap", "stack"};
+            for (unsigned r = 0; r < vm::NumDataRegions; ++r)
+                registry.gauge(std::string("corpus.refs_pct.") +
+                               names[r]) = grade.regionPct[r];
+            obs::RunRecord record;
+            record.workload = grade.name;
+            record.config = "grade";
+            record.stats = registry.snapshot();
+            report.runs.push_back(std::move(record));
+        }
+    }
+    if (!quietOutput())
+        std::printf("grade: %zu programs across %zu families, "
+                    "%u failing\n",
+                    entries.size(), families.size(), failed);
+
+    int rc = 0;
+    if (opts.wantsReport())
+        rc = emitReport(report, opts);
+    return failed ? 2 : rc;
 }
 
 int
@@ -1396,11 +1552,16 @@ usage()
         "  profile <target>             §3 characterisation\n"
         "  predict <target> [flags]     one predictor config\n"
         "  time <workload> [flags]      §4 timing study\n"
-        "  sweep <w[,w...]|all> [flags] parallel experiment sweep\n"
+        "  sweep <w[,w...]|all|none> [flags] parallel experiment sweep\n"
         "    [--jobs N] [--trace-cache DIR] [--configs fig8|\"(N+M),..\"]\n"
         "    [--schemes fig4] [--insts N] [--study-insts N]\n"
         "    [--trace-format v1|v2] [--seek-ff] [--warmup-window N]\n"
         "    [--checkpoint-every N] [--timing-json F]\n"
+        "    [--workload-dir DIR]  add corpus .s programs as workload\n"
+        "                          rows (target 'none' = corpus only)\n"
+        "  grade <dir>                  conformance-grade a corpus dir\n"
+        "    assemble + run every .s against its sidecar manifest;\n"
+        "    exit 0 all pass, 1 unusable dir, 2 conformance failures\n"
         "  record <target> [--out F]    record a binary trace\n"
         "    [--trace-format v1|v2] [--block-records N] [--max-insts N]\n"
         "  replay <file.trace> [--seek N]  profile from a trace\n"
@@ -1542,6 +1703,8 @@ main(int argc, char **argv)
             return cmdTime(target, args);
         if (command == "sweep")
             return cmdSweep(target, args);
+        if (command == "grade")
+            return cmdGrade(target, args);
         if (command == "record")
             return cmdRecord(target, args);
         if (command == "replay")
