@@ -17,6 +17,7 @@ Hierarchy::Hierarchy(const HierarchyConfig &config_in)
 {
     if (config.hasLvc)
         lvc = std::make_unique<Cache>(config.lvc);
+    fastUncontended = !config.contention.anyEnabled();
 }
 
 Cache &
@@ -89,8 +90,8 @@ Hierarchy::enqueueWriteback(Cycle at)
 }
 
 HierarchyResult
-Hierarchy::timedAccess(MemPipe pipe, Addr addr, bool is_write,
-                       Cycle now)
+Hierarchy::timedAccessSlow(MemPipe pipe, Addr addr, bool is_write,
+                           Cycle now)
 {
     const ContentionConfig &contention = config.contention;
     Cache &first = firstLevel(pipe);

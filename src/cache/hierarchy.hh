@@ -133,9 +133,21 @@ class Hierarchy
      * ContentionConfig knob is zero.  Within a cycle, callers must
      * present accesses in the deterministic stage/program order the
      * core already uses — bank and bus grants are first-come.
+     *
+     * The all-knobs-zero case short-circuits straight to access():
+     * one cached-bool test instead of bank scheduling, MSHR lookup,
+     * and writeback bookkeeping that all provably no-op (the
+     * fast-path differential test pins the equivalence).  Installing
+     * an AccessObserver forces the full path so instrumentation sees
+     * every access.
      */
     HierarchyResult timedAccess(MemPipe pipe, Addr addr, bool is_write,
-                                Cycle now);
+                                Cycle now)
+    {
+        if (fastUncontended) [[likely]]
+            return access(pipe, addr, is_write);
+        return timedAccessSlow(pipe, addr, is_write, now);
+    }
 
     /**
      * Forget all transient contention state (bank busy time, MSHR
@@ -175,6 +187,8 @@ class Hierarchy
     void setAccessObserver(AccessObserver observer)
     {
         accessObserver = std::move(observer);
+        fastUncontended =
+            !config.contention.anyEnabled() && !accessObserver;
     }
 
     /**
@@ -188,6 +202,10 @@ class Hierarchy
                        const std::string &prefix) const;
 
   private:
+    /** The contention-modelling body of timedAccess(). */
+    HierarchyResult timedAccessSlow(MemPipe pipe, Addr addr,
+                                    bool is_write, Cycle now);
+
     /** Bus transfer completion no earlier than @p ready; books the
      *  bus busy time.  Only called when the bus knob is non-zero. */
     Cycle scheduleBusTransfer(Cycle ready);
@@ -209,6 +227,8 @@ class Hierarchy
     std::deque<Cycle> wbDrainAt;  ///< drain-completion cycles, sorted
     Cycle busFreeAt = 0;
     AccessObserver accessObserver;
+    /** No contention knobs and no observer: timedAccess ≡ access. */
+    bool fastUncontended = false;
 
     // Contention statistics.
     std::uint64_t busBusyCycles = 0;

@@ -22,6 +22,12 @@ Log2Histogram::percentile(double p) const
         ++rank;
     rank = std::max<std::uint64_t>(rank, 1);
 
+    // The extreme ranks are tracked exactly — no interpolation.
+    if (rank <= 1)
+        return static_cast<double>(min());
+    if (rank >= count_)
+        return static_cast<double>(max());
+
     std::uint64_t cumulative = 0;
     for (unsigned b = 0; b < NumBuckets; ++b) {
         if (buckets_[b] == 0)
@@ -31,12 +37,20 @@ Log2Histogram::percentile(double p) const
             continue;
         }
         // The rank falls in this bucket: interpolate linearly across
-        // its value range by the fractional position of the rank.
+        // its value range by the rank's position among the bucket's
+        // samples.  The k-th of n samples sits at (k-1)/(n-1), so the
+        // first/last ranks land on the bucket edges and a single-count
+        // bucket reports its low edge rather than its high one (the
+        // old rank/n rule returned bucketHigh for n == 1, inflating
+        // p50/p90/p99 whenever the target bucket was sparse).
         const double low = static_cast<double>(bucketLow(b));
         const double high = static_cast<double>(bucketHigh(b));
+        const std::uint64_t in_bucket = rank - cumulative;  // 1-based
         const double within =
-            static_cast<double>(rank - cumulative) /
-            static_cast<double>(buckets_[b]);
+            buckets_[b] > 1
+                ? static_cast<double>(in_bucket - 1) /
+                      static_cast<double>(buckets_[b] - 1)
+                : 0.0;
         double value = low + within * (high - low);
         value = std::max(value, static_cast<double>(min()));
         value = std::min(value, static_cast<double>(max()));

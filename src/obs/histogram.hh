@@ -97,10 +97,14 @@ class Log2Histogram
 
     /**
      * Estimate the @p p quantile (0 < p <= 1): walk the cumulative
-     * bucket counts to rank ceil(p * count), interpolate linearly
-     * inside the bucket's [low, high] value range, and clamp to the
-     * exact observed [min, max].  0 when empty.  Deterministic —
-     * identical sample streams always produce identical results.
+     * bucket counts to rank ceil(p * count), place the k-th of the
+     * bucket's n samples at (k-1)/(n-1) across the bucket's
+     * [low, high] value range (its low edge when n == 1), and clamp
+     * to the exact observed [min, max].  The extreme ranks skip
+     * interpolation entirely: rank 1 is the tracked min and rank
+     * count is the tracked max.  0 when empty.
+     * Deterministic — identical sample streams always produce
+     * identical results.
      */
     double percentile(double p) const;
 

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include <algorithm>
+#include <bit>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -73,6 +74,15 @@ OooStats::dump() const
     return os.str();
 }
 
+std::size_t
+OooCore::SlotMask::count() const
+{
+    std::size_t n = 0;
+    for (std::size_t w = 0; w < nwords; ++w)
+        n += static_cast<std::size_t>(std::popcount(words[w]));
+    return n;
+}
+
 OooCore::OooCore(const MachineConfig &config_in,
                  std::shared_ptr<const vm::Program> program,
                  std::shared_ptr<sim::StepSource> step_source)
@@ -83,8 +93,7 @@ OooCore::OooCore(const MachineConfig &config_in,
       tlb(config.tlbEntries, funcSim.process().regions),
       arpt(config.arpt),
       valuePred(config.vpEntries),
-      branchPred(config.bpEntries),
-      rob(config.robSize)
+      branchPred(config.bpEntries)
 {
     if (!stepSrc)
         stepSrc = std::make_shared<sim::SimulatorSource>(funcSim);
@@ -93,24 +102,60 @@ OooCore::OooCore(const MachineConfig &config_in,
               InstCount{0});
     stats.configName = config.name;
     cpiEnabled = config.contended() || config.cpiStack;
+
+    // Carve the structure-of-arrays ROB out of the per-core arena:
+    // one contiguous allocation instead of per-entry objects, and no
+    // global-allocator traffic from sweep workers after this point.
+    robLimit = config.robSize;
+    robSize = std::bit_ceil<std::size_t>(config.robSize);
+    robMask = robSize - 1;
+    robStep = arena.alloc<sim::StepInfo>(robSize);
+    robSeq = arena.alloc<InstCount>(robSize);
+    robFlags = arena.alloc<std::uint16_t>(robSize);
+    robCompleteAt = arena.alloc<Cycle>(robSize);
+    robEarliestIssueAt = arena.alloc<Cycle>(robSize);
+    robMemReqAt = arena.alloc<Cycle>(robSize);
+    robAddrKnownAt = arena.alloc<Cycle>(robSize);
+    robTlbStallUntil = arena.alloc<Cycle>(robSize);
+    robMispredStallUntil = arena.alloc<Cycle>(robSize);
+    robMemStartAt = arena.alloc<Cycle>(robSize);
+    robMemDelay = arena.alloc<MemDelays>(robSize);
+    robVpValue = arena.alloc<Word>(robSize);
+    robDeps = arena.alloc<Deps>(robSize);
+    robBaseProdSlot = arena.alloc<std::int32_t>(robSize);
+    robBaseProdSeq = arena.alloc<InstCount>(robSize);
+    robQueue = arena.alloc<std::uint8_t>(robSize);
+    robPipe = arena.alloc<std::uint8_t>(robSize);
+    robMemBlock = arena.alloc<std::uint8_t>(robSize);
+    robConsumers.resize(robSize);
+    unissuedMask.init(arena, robSize);
+    execMask.init(arena, robSize);
+    pendingMemMask.init(arena, robSize);
+    lsqStores.init(arena, robSize);
+    lvaqStores.init(arena, robSize);
+    debugTraceEnv = std::getenv("ARL_OOO_TRACE") != nullptr;
 }
 
 void
-OooCore::trace(obs::PipeEvent ev, const Entry &e,
-               const std::string &detail)
+OooCore::traceSlow(obs::PipeEvent ev, std::int32_t slot,
+                   const char *detail)
 {
     if (!obsHooks)
         return;
+    const std::string d(detail);
     if (obsHooks->tracer)
-        obsHooks->tracer->event(now, e.seq, e.step.pc, ev, detail);
+        obsHooks->tracer->event(now, robSeq[slot], robStep[slot].pc,
+                                ev, d);
     if (obsHooks->chrome)
-        obsHooks->chrome->event(now, e.seq, e.step.pc, ev, detail);
+        obsHooks->chrome->event(now, robSeq[slot], robStep[slot].pc,
+                                ev, d);
 }
 
 void
 OooCore::attachObs(obs::Hooks *hooks)
 {
     obsHooks = hooks;
+    tracingActive = hooks && (hooks->tracer || hooks->chrome);
     if (!hooks)
         return;
     obs::StatsRegistry &reg = hooks->registry;
@@ -221,39 +266,74 @@ OooCore::overlaps(const sim::StepInfo &a, const sim::StepInfo &b)
     return ia.start < ib.end && ib.start < ia.end;
 }
 
-bool
-OooCore::operandsReady(Entry &e)
+void
+OooCore::gatherRing(const SlotMask &mask,
+                    std::vector<std::int32_t> &out) const
 {
+    out.clear();
+    auto append = [&](std::size_t lo, std::size_t hi) {
+        if (lo >= hi)
+            return;
+        const std::size_t wlo = lo >> 6;
+        const std::size_t whi = (hi - 1) >> 6;
+        for (std::size_t w = wlo; w <= whi; ++w) {
+            std::uint64_t bits = mask.words[w];
+            if (w == wlo)
+                bits &= ~std::uint64_t{0} << (lo & 63);
+            if (w == whi) {
+                const unsigned top = (hi - 1) & 63;
+                if (top != 63)
+                    bits &= (std::uint64_t{2} << top) - 1;
+            }
+            while (bits) {
+                const unsigned b =
+                    static_cast<unsigned>(std::countr_zero(bits));
+                out.push_back(
+                    static_cast<std::int32_t>((w << 6) + b));
+                bits &= bits - 1;
+            }
+        }
+    };
+    const auto head = static_cast<std::size_t>(slotOf(headSeq));
+    append(head, robSize);
+    append(0, head);
+}
+
+bool
+OooCore::operandsReady(std::int32_t slot)
+{
+    const Deps &deps = robDeps[slot];
     bool spec = false;
-    for (unsigned i = 0; i < e.numProducers; ++i) {
-        std::int32_t slot = e.producers[i];
-        if (slot < 0)
+    for (unsigned i = 0; i < deps.count; ++i) {
+        std::int32_t pslot = deps.slot[i];
+        if (pslot < 0)
             continue;
-        Entry &p = rob[slot];
-        if (!p.valid || p.seq != e.producerSeq[i])
+        const std::uint16_t pf = robFlags[pslot];
+        if (!(pf & FlagValid) || robSeq[pslot] != deps.seq[i])
             continue;  // producer retired: value architected
-        if (p.completed)
+        if (pf & FlagCompleted)
             continue;
-        if (config.valuePrediction && p.vpConfident && !p.vpWrongKnown) {
+        if (config.valuePrediction && (pf & FlagVpConfident) &&
+            !(pf & FlagVpWrongKnown)) {
             spec = true;
             continue;
         }
         return false;
     }
     if (spec)
-        e.usedSpecValue = true;
+        robFlags[slot] |= FlagUsedSpecValue;
     return true;
 }
 
 std::size_t
-OooCore::StoreQueue::olderCount(InstCount seq) const
+OooCore::StoreQueue::olderCount(InstCount target) const
 {
-    // The deque is sorted by seq; binary search for the partition.
+    // The ring is sorted by seq; binary search for the partition.
     std::size_t lo = 0;
-    std::size_t hi = list.size();
+    std::size_t hi = count;
     while (lo < hi) {
         std::size_t mid = (lo + hi) / 2;
-        if (list[mid].seq < seq)
+        if (seqAt(mid) < target)
             lo = mid + 1;
         else
             hi = mid;
@@ -270,22 +350,24 @@ OooCore::storeAddrGenStage()
     // the store data may arrive much later without blocking younger
     // loads' ordering checks.
     for (StoreQueue *queue : {&lsqStores, &lvaqStores}) {
-        for (const StoreQueue::Ref &ref : queue->list) {
-            Entry &store = rob[ref.slot];
-            if (store.addrGenDone)
+        for (std::size_t i = 0; i < queue->count; ++i) {
+            const std::int32_t slot = queue->slotAt(i);
+            if (robFlags[slot] & FlagAddrGenDone)
                 continue;
-            if (store.earliestIssueAt > now)
+            if (robEarliestIssueAt[slot] > now)
                 continue;
-            if (store.baseProdSlot >= 0) {
-                const Entry &p = rob[store.baseProdSlot];
-                if (p.valid && p.seq == store.baseProdSeq &&
-                    !p.completed)
+            const std::int32_t base = robBaseProdSlot[slot];
+            if (base >= 0) {
+                const std::uint16_t pf = robFlags[base];
+                if ((pf & FlagValid) &&
+                    robSeq[base] == robBaseProdSeq[slot] &&
+                    !(pf & FlagCompleted))
                     continue;  // base register still in flight
             }
-            store.addrGenDone = true;
-            store.addrKnownAt = now + 1;
-            trace(obs::PipeEvent::AddrGen, store);
-            translateAndVerify(store);
+            robFlags[slot] |= FlagAddrGenDone;
+            robAddrKnownAt[slot] = now + 1;
+            trace(obs::PipeEvent::AddrGen, slot);
+            translateAndVerify(slot);
         }
     }
 }
@@ -294,12 +376,13 @@ void
 OooCore::advanceStorePrefixes()
 {
     for (StoreQueue *queue : {&lsqStores, &lvaqStores}) {
-        while (queue->knownPrefix < queue->list.size()) {
-            const Entry &store = rob[queue->list[queue->knownPrefix].slot];
-            if (!store.valid ||
-                store.seq != queue->list[queue->knownPrefix].seq)
+        while (queue->knownPrefix < queue->count) {
+            const std::int32_t slot = queue->slotAt(queue->knownPrefix);
+            if (!(robFlags[slot] & FlagValid) ||
+                robSeq[slot] != queue->seqAt(queue->knownPrefix))
                 panic("store queue out of sync with ROB");
-            if (!store.addrGenDone || store.addrKnownAt > now)
+            if (!(robFlags[slot] & FlagAddrGenDone) ||
+                robAddrKnownAt[slot] > now)
                 break;
             ++queue->knownPrefix;
         }
@@ -307,139 +390,165 @@ OooCore::advanceStorePrefixes()
 }
 
 void
-OooCore::onStoreSquashed(const Entry &e)
+OooCore::onStoreSquashed(std::int32_t slot)
 {
-    if (!e.step.inst.info().isStore || e.queue == Queue::None)
+    if (!robStep[slot].inst.info().isStore ||
+        robQueue[slot] == static_cast<std::uint8_t>(Queue::None))
         return;
-    StoreQueue &queue = storeQueueOf(e.queue);
-    std::size_t index = queue.olderCount(e.seq);
+    StoreQueue &queue =
+        storeQueueOf(static_cast<Queue>(robQueue[slot]));
+    std::size_t index = queue.olderCount(robSeq[slot]);
     queue.knownPrefix = std::min(queue.knownPrefix, index);
 }
 
 bool
-OooCore::loadMayIssue(const Entry &e) const
+OooCore::loadMayIssue(std::int32_t slot) const
 {
     // LVAQ fast forwarding: frame offsets identify dependences at
     // dispatch, so loads need not wait for older stores' address
     // generation (the forwarding search at the access stage handles
     // true dependences).
-    if (e.queue == Queue::Lvaq && config.fastForwarding)
+    const auto queue = static_cast<Queue>(robQueue[slot]);
+    if (queue == Queue::Lvaq && config.fastForwarding)
         return true;
 
     // Conservative rule: all older same-queue stores must have
     // generated their addresses.
-    const StoreQueue &queue =
-        e.queue == Queue::Lvaq ? lvaqStores : lsqStores;
-    return queue.knownPrefix >= queue.olderCount(e.seq);
+    const StoreQueue &store_queue =
+        queue == Queue::Lvaq ? lvaqStores : lsqStores;
+    return store_queue.knownPrefix >=
+           store_queue.olderCount(robSeq[slot]);
 }
 
 std::int32_t
-OooCore::findForwardingStore(const Entry &load, bool &all_known) const
+OooCore::findForwardingStore(std::int32_t load_slot,
+                             bool &all_known) const
 {
     const StoreQueue &queue =
-        load.queue == Queue::Lvaq ? lvaqStores : lsqStores;
-    std::size_t older = queue.olderCount(load.seq);
+        static_cast<Queue>(robQueue[load_slot]) == Queue::Lvaq
+            ? lvaqStores
+            : lsqStores;
+    std::size_t older = queue.olderCount(robSeq[load_slot]);
     all_known = queue.knownPrefix >= older;
     // Youngest older store first.
+    const sim::StepInfo &load_step = robStep[load_slot];
     for (std::size_t i = older; i-- > 0;) {
-        const Entry &store = rob[queue.list[i].slot];
-        if (overlaps(store.step, load.step))
-            return queue.list[i].slot;
+        const std::int32_t store_slot = queue.slotAt(i);
+        if (overlaps(robStep[store_slot], load_step))
+            return store_slot;
     }
     return -1;
 }
 
 void
-OooCore::translateAndVerify(Entry &e)
+OooCore::translateAndVerify(std::int32_t slot)
 {
-    if (e.regionChecked)
+    if (robFlags[slot] & FlagRegionChecked)
         return;
-    e.regionChecked = true;
-    cache::TlbResult translation = tlb.translate(e.step.effAddr);
+    robFlags[slot] |= FlagRegionChecked;
+    cache::TlbResult translation =
+        tlb.translate(robStep[slot].effAddr);
 
     // §4.3: a missed translation walks the page table before the
     // access (and, in decoupled mode, its steering verification) can
     // proceed.  Charged for loads and stores alike.
     if (!translation.hit && config.tlbMissLatency) {
         stats.tlbMissCycles += config.tlbMissLatency;
-        e.memReqAt += config.tlbMissLatency;
-        e.addrKnownAt += config.tlbMissLatency;
-        e.tlbStallUntil = e.memReqAt;
+        robMemReqAt[slot] += config.tlbMissLatency;
+        robAddrKnownAt[slot] += config.tlbMissLatency;
+        robTlbStallUntil[slot] = robMemReqAt[slot];
     }
 
     if (!config.decoupled)
         return;
 
-    bool predicted_stack = (e.queue == Queue::Lvaq);
+    bool predicted_stack =
+        static_cast<Queue>(robQueue[slot]) == Queue::Lvaq;
     bool actual_stack = translation.stackPage;
-    trace(obs::PipeEvent::TlbVerify, e,
-          std::string(translation.hit ? "hit" : "miss") +
-              (actual_stack ? " stack" : " nonstack"));
+    if (tracingActive) [[unlikely]] {
+        const std::string detail =
+            std::string(translation.hit ? "hit" : "miss") +
+            (actual_stack ? " stack" : " nonstack");
+        traceSlow(obs::PipeEvent::TlbVerify, slot, detail.c_str());
+    }
     if (predicted_stack != actual_stack) {
         ++stats.regionMispredictions;
-        trace(obs::PipeEvent::RegionMispredict, e,
+        trace(obs::PipeEvent::RegionMispredict, slot,
               predicted_stack ? "lvaq->lsq" : "lsq->lvaq");
         // Redirect to the correct memory pipeline and charge the
         // selective re-issue penalty.
-        e.pipe = actual_stack ? cache::MemPipe::Lvc
-                              : cache::MemPipe::DCache;
-        e.memReqAt += config.regionMispredictPenalty + 1;
-        e.addrKnownAt += config.regionMispredictPenalty + 1;
-        e.mispredStallUntil = e.memReqAt;
+        robPipe[slot] = static_cast<std::uint8_t>(
+            actual_stack ? cache::MemPipe::Lvc
+                         : cache::MemPipe::DCache);
+        robMemReqAt[slot] += config.regionMispredictPenalty + 1;
+        robAddrKnownAt[slot] += config.regionMispredictPenalty + 1;
+        robMispredStallUntil[slot] = robMemReqAt[slot];
     }
     // Train the ARPT; conclusively-resolved addressing modes are
     // never recorded (§3.4.1).
-    if (!isa::isConclusive(isa::classifyAddrMode(e.step.inst)))
-        arpt.update(e.step.pc, e.step.gbh, e.step.cid, actual_stack);
+    if (!isa::isConclusive(isa::classifyAddrMode(robStep[slot].inst)))
+        arpt.update(robStep[slot].pc, robStep[slot].gbh,
+                    robStep[slot].cid, actual_stack);
+}
+
+void
+OooCore::squashReset(std::int32_t slot, const char *why)
+{
+    robFlags[slot] &=
+        static_cast<std::uint16_t>(~(FlagIssued | FlagCompleted |
+                                     FlagPendingMem |
+                                     FlagRegionChecked |
+                                     FlagAddrGenDone |
+                                     FlagUsedSpecValue |
+                                     FlagMemStarted));
+    robMemBlock[slot] = static_cast<std::uint8_t>(MemBlock::None);
+    robEarliestIssueAt[slot] = now + 1;
+    unissuedMask.set(slot);
+    execMask.clear(slot);
+    pendingMemMask.clear(slot);
+    ++stats.vpSquashes;
+    trace(obs::PipeEvent::Squash, slot, why);
+    onStoreSquashed(slot);
 }
 
 /**
  * Selective re-issue after a value misverification: every issued
- * consumer of @p producer consumed a wrong value (either the
+ * consumer of @p producer_slot consumed a wrong value (either the
  * mispredicted one, or — in the recursive case — a result computed
  * from one) and must execute again, 1 cycle after detection.
  */
 void
-OooCore::squashConsumers(Entry &producer)
+OooCore::squashConsumers(std::int32_t producer_slot)
 {
-    for (std::int32_t slot : producer.consumers) {
-        Entry &c = rob[slot];
-        if (!c.valid || c.seq <= producer.seq)
+    const InstCount producer_seq = robSeq[producer_slot];
+    for (std::int32_t slot : robConsumers[producer_slot]) {
+        const std::uint16_t f = robFlags[slot];
+        if (!(f & FlagValid) || robSeq[slot] <= producer_seq)
             continue;  // stale reference
-        if (!c.issued && !c.completed)
+        if (!(f & FlagIssued) && !(f & FlagCompleted))
             continue;
-        bool was_completed = c.completed;
-        c.issued = false;
-        c.completed = false;
-        c.pendingMem = false;
-        c.regionChecked = false;
-        c.addrGenDone = false;
-        c.usedSpecValue = false;
-        c.memBlock = Entry::MemBlock::None;
-        c.memStarted = false;
-        c.earliestIssueAt = now + 1;
-        ++stats.vpSquashes;
-        trace(obs::PipeEvent::Squash, c, "dependent of wrong value");
-        onStoreSquashed(c);
+        const bool was_completed = f & FlagCompleted;
+        squashReset(slot, "dependent of wrong value");
         if (was_completed)
-            squashConsumers(c);
+            squashConsumers(slot);
     }
 }
 
 void
 OooCore::completeStage()
 {
-    for (InstCount s = headSeq; s < tailSeq; ++s) {
-        Entry &e = rob[s % rob.size()];
-        if (!e.valid || !e.issued || e.completed || e.pendingMem)
+    gatherRing(execMask, gatherBuf);
+    for (std::int32_t slot : gatherBuf) {
+        if (!execMask.test(slot))
+            continue;  // squashed earlier this stage
+        if (robCompleteAt[slot] > now)
             continue;
-        if (e.completeAt > now)
-            continue;
-        e.completed = true;
-        trace(obs::PipeEvent::Writeback, e);
+        robFlags[slot] |= FlagCompleted;
+        execMask.clear(slot);
+        trace(obs::PipeEvent::Writeback, slot);
         // Realistic front end: a resolved mispredicted branch
         // redirects fetch after the refill penalty.
-        if (e.seq == blockingBranchSeq) {
+        if (robSeq[slot] == blockingBranchSeq) {
             blockingBranchSeq = ~InstCount{0};
             dispatchResumeAt =
                 now + 1 + config.branchMispredictPenalty;
@@ -447,31 +556,21 @@ OooCore::completeStage()
         // Value-prediction verification: only consumers that issued
         // on the *predicted* value are affected (consumers that
         // waited saw the correct result).
-        if (e.vpConfident && e.vpValue != e.step.result) {
-            e.vpWrongKnown = true;
+        if ((robFlags[slot] & FlagVpConfident) &&
+            robVpValue[slot] != robStep[slot].result) {
+            robFlags[slot] |= FlagVpWrongKnown;
             ++stats.vpWrong;
-            for (std::int32_t slot : e.consumers) {
-                Entry &c = rob[slot];
-                if (!c.valid || c.seq <= e.seq)
+            const InstCount seq = robSeq[slot];
+            for (std::int32_t c : robConsumers[slot]) {
+                const std::uint16_t f = robFlags[c];
+                if (!(f & FlagValid) || robSeq[c] <= seq)
                     continue;
-                if (!c.usedSpecValue)
+                if (!(f & FlagUsedSpecValue))
                     continue;
-                if (!c.issued && !c.completed)
+                if (!(f & FlagIssued) && !(f & FlagCompleted))
                     continue;
-                bool was_completed = c.completed;
-                c.issued = false;
-                c.completed = false;
-                c.pendingMem = false;
-                c.regionChecked = false;
-                c.addrGenDone = false;
-                c.usedSpecValue = false;
-                c.memBlock = Entry::MemBlock::None;
-                c.memStarted = false;
-                c.earliestIssueAt = now + 1;
-                ++stats.vpSquashes;
-                trace(obs::PipeEvent::Squash, c,
-                      "issued on mispredicted value");
-                onStoreSquashed(c);
+                const bool was_completed = f & FlagCompleted;
+                squashReset(c, "issued on mispredicted value");
                 if (was_completed)
                     squashConsumers(c);
             }
@@ -482,106 +581,123 @@ OooCore::completeStage()
 void
 OooCore::memoryStage()
 {
-    for (InstCount s = headSeq; s < tailSeq; ++s) {
-        Entry &e = rob[s % rob.size()];
-        if (!e.valid || !e.pendingMem || e.memReqAt > now)
+    gatherRing(pendingMemMask, gatherBuf);
+    for (std::int32_t slot : gatherBuf) {
+        if (!pendingMemMask.test(slot))
+            continue;
+        if (robMemReqAt[slot] > now)
             continue;
 
         // Try store->load forwarding within the queue first: a
         // forwarded load reads the queue entry, not a cache port.
         bool all_known = true;
-        std::int32_t fwd = findForwardingStore(e, all_known);
+        std::int32_t fwd = findForwardingStore(slot, all_known);
         if (fwd >= 0) {
-            const Entry &store = rob[fwd];
-            if (store.issued && store.addrKnownAt <= now) {
-                e.pendingMem = false;
-                e.memBlock = Entry::MemBlock::None;
-                e.memStarted = true;
-                e.memStartAt = now;
-                e.completeAt = now + 1;  // 1-cycle forwarding delay
+            if ((robFlags[fwd] & FlagIssued) &&
+                robAddrKnownAt[fwd] <= now) {
+                robFlags[slot] = static_cast<std::uint16_t>(
+                    (robFlags[slot] & ~FlagPendingMem) |
+                    FlagMemStarted);
+                pendingMemMask.clear(slot);
+                execMask.set(slot);
+                robMemBlock[slot] =
+                    static_cast<std::uint8_t>(MemBlock::None);
+                robMemStartAt[slot] = now;
+                robCompleteAt[slot] = now + 1;  // 1-cycle forwarding
                 ++stats.forwardedLoads;
                 if (cpiEnabled)
                     stats.loadToUse.add(1);
-                trace(obs::PipeEvent::Forward, e);
-                if (e.queue == Queue::Lvaq && config.fastForwarding)
+                trace(obs::PipeEvent::Forward, slot);
+                if (static_cast<Queue>(robQueue[slot]) ==
+                        Queue::Lvaq &&
+                    config.fastForwarding)
                     ++stats.fastForwardedLoads;
             } else {
-                e.memBlock = Entry::MemBlock::StoreNotReady;
+                robMemBlock[slot] = static_cast<std::uint8_t>(
+                    MemBlock::StoreNotReady);
             }
             continue;  // matched store not ready yet: retry
         }
-        if (e.queue == Queue::Lvaq && config.fastForwarding &&
-            !all_known) {
+        if (static_cast<Queue>(robQueue[slot]) == Queue::Lvaq &&
+            config.fastForwarding && !all_known) {
             // An older LVAQ store's frame offset rules out overlap
             // (checked at dispatch in real hardware); proceed.
         }
 
-        unsigned pipe_index = static_cast<unsigned>(e.pipe);
-        unsigned limit = (e.pipe == cache::MemPipe::Lvc)
+        const unsigned pipe_index = robPipe[slot];
+        const auto pipe = static_cast<cache::MemPipe>(pipe_index);
+        unsigned limit = (pipe == cache::MemPipe::Lvc)
                              ? config.lvcPorts
                              : config.dcachePorts;
         if (portsUsed[pipe_index] >= limit) {
             ++stats.portStallsLoad[pipe_index];
-            e.memBlock = Entry::MemBlock::PortDenied;
+            robMemBlock[slot] =
+                static_cast<std::uint8_t>(MemBlock::PortDenied);
             continue;  // no port this cycle
         }
         ++portsUsed[pipe_index];
-        cache::HierarchyResult result =
-            hierarchy.timedAccess(e.pipe, e.step.effAddr, false, now);
-        e.pendingMem = false;
-        e.memBlock = Entry::MemBlock::None;
-        e.memStarted = true;
-        e.memStartAt = now;
-        e.memBankDelay = result.bankDelay;
-        e.memWbDelay = result.wbDelay;
-        e.memMshrDelay = result.mshrDelay;
-        e.memBusDelay = result.busDelay;
-        e.completeAt = now + result.latency;
+        cache::HierarchyResult result = hierarchy.timedAccess(
+            pipe, robStep[slot].effAddr, false, now);
+        robFlags[slot] = static_cast<std::uint16_t>(
+            (robFlags[slot] & ~FlagPendingMem) | FlagMemStarted);
+        pendingMemMask.clear(slot);
+        execMask.set(slot);
+        robMemBlock[slot] =
+            static_cast<std::uint8_t>(MemBlock::None);
+        robMemStartAt[slot] = now;
+        robMemDelay[slot] = {result.bankDelay, result.wbDelay,
+                             result.mshrDelay, result.busDelay};
+        robCompleteAt[slot] = now + result.latency;
         if (cpiEnabled)
             stats.loadToUse.add(result.latency);
-        trace(obs::PipeEvent::MemAccess, e,
+        trace(obs::PipeEvent::MemAccess, slot,
               result.l1Hit ? "hit" : "miss");
     }
 }
 
 void
-OooCore::doIssue(Entry &e)
+OooCore::doIssue(std::int32_t slot)
 {
-    const isa::OpInfo &info = e.step.inst.info();
-    e.issued = true;
+    const isa::OpInfo &info = robStep[slot].inst.info();
+    robFlags[slot] |= FlagIssued;
+    unissuedMask.clear(slot);
     ++issuedThisCycle;
-    trace(obs::PipeEvent::Issue, e);
+    trace(obs::PipeEvent::Issue, slot);
     if (info.fu != isa::FuClass::None &&
         info.fu != isa::FuClass::Mem)
         ++fuUsed[static_cast<unsigned>(info.fu)];
 
     if (info.isLoad) {
-        e.pendingMem = true;
-        e.memReqAt = now + 1;
-        e.addrKnownAt = now + 1;
-        translateAndVerify(e);
+        robFlags[slot] |= FlagPendingMem;
+        pendingMemMask.set(slot);
+        robMemReqAt[slot] = now + 1;
+        robAddrKnownAt[slot] = now + 1;
+        translateAndVerify(slot);
     } else if (info.isStore) {
         // Address generation already ran in storeAddrGenStage (it
         // only needs the base register); issue means the data is now
         // ready as well.
-        e.completeAt = now + 1;
+        robCompleteAt[slot] = now + 1;
+        execMask.set(slot);
     } else {
         unsigned latency = std::max<unsigned>(1, info.latency);
-        e.completeAt = now + latency;
+        robCompleteAt[slot] = now + latency;
+        execMask.set(slot);
     }
 }
 
 void
 OooCore::issueStage()
 {
-    for (InstCount s = headSeq;
-         s < tailSeq && issuedThisCycle < config.issueWidth; ++s) {
-        Entry &e = rob[s % rob.size()];
-        if (!e.valid || e.issued || e.completed)
+    gatherRing(unissuedMask, gatherBuf);
+    for (std::int32_t slot : gatherBuf) {
+        if (issuedThisCycle >= config.issueWidth)
+            break;
+        if (!unissuedMask.test(slot))
             continue;
-        if (e.earliestIssueAt > now)
+        if (robEarliestIssueAt[slot] > now)
             continue;
-        const isa::OpInfo &info = e.step.inst.info();
+        const isa::OpInfo &info = robStep[slot].inst.info();
 
         // Functional-unit availability (fully pipelined units).
         unsigned fu_index = static_cast<unsigned>(info.fu);
@@ -607,12 +723,12 @@ OooCore::issueStage()
         if (fu_limit && fuUsed[fu_index] >= fu_limit)
             continue;
 
-        if (!operandsReady(e))
+        if (!operandsReady(slot))
             continue;
-        if (info.isLoad && !loadMayIssue(e))
+        if (info.isLoad && !loadMayIssue(slot))
             continue;
 
-        doIssue(e);
+        doIssue(slot);
     }
 }
 
@@ -621,13 +737,16 @@ OooCore::commitStage()
 {
     unsigned committed = 0;
     while (committed < config.issueWidth && headSeq < tailSeq) {
-        Entry &e = rob[headSeq % rob.size()];
-        if (!e.valid || !e.completed)
+        const std::int32_t slot = slotOf(headSeq);
+        const std::uint16_t f = robFlags[slot];
+        if (!(f & FlagValid) || !(f & FlagCompleted))
             break;
-        const isa::OpInfo &info = e.step.inst.info();
-        if (info.isStore && !e.storeWritten) {
-            unsigned pipe_index = static_cast<unsigned>(e.pipe);
-            unsigned limit = (e.pipe == cache::MemPipe::Lvc)
+        const sim::StepInfo &step = robStep[slot];
+        const isa::OpInfo &info = step.inst.info();
+        if (info.isStore && !(f & FlagStoreWritten)) {
+            const unsigned pipe_index = robPipe[slot];
+            const auto pipe = static_cast<cache::MemPipe>(pipe_index);
+            unsigned limit = (pipe == cache::MemPipe::Lvc)
                                  ? config.lvcPorts
                                  : config.dcachePorts;
             if (portsUsed[pipe_index] >= limit) {
@@ -638,35 +757,36 @@ OooCore::commitStage()
                 break;  // stores write the cache at commit
             }
             ++portsUsed[pipe_index];
-            hierarchy.timedAccess(e.pipe, e.step.effAddr, true, now);
-            e.storeWritten = true;
+            hierarchy.timedAccess(pipe, step.effAddr, true, now);
+            robFlags[slot] |= FlagStoreWritten;
         }
         // Train the value predictor on the committed stream.
-        if (config.valuePrediction && e.step.dest != isa::NoReg &&
-            e.step.dest < isa::FprBase)
-            valuePred.train(e.step.pc, e.step.result);
+        if (config.valuePrediction && step.dest != isa::NoReg &&
+            step.dest < isa::FprBase)
+            valuePred.train(step.pc, step.result);
 
-        if (e.queue == Queue::Lsq)
+        const auto queue = static_cast<Queue>(robQueue[slot]);
+        if (queue == Queue::Lsq)
             --lsqOccupancy;
-        else if (e.queue == Queue::Lvaq)
+        else if (queue == Queue::Lvaq)
             --lvaqOccupancy;
-        if (info.isStore && e.queue != Queue::None) {
-            StoreQueue &store_queue = storeQueueOf(e.queue);
-            ARL_ASSERT(!store_queue.list.empty() &&
-                       store_queue.list.front().seq == e.seq,
+        if (info.isStore && queue != Queue::None) {
+            StoreQueue &store_queue = storeQueueOf(queue);
+            ARL_ASSERT(store_queue.count != 0 &&
+                       store_queue.seqAt(0) == robSeq[slot],
                        "store retires out of queue order");
-            store_queue.list.pop_front();
+            store_queue.popFront();
             if (store_queue.knownPrefix > 0)
                 --store_queue.knownPrefix;
         }
-        if (e.step.isMem) {
-            auto region = static_cast<unsigned>(e.step.region);
+        if (step.isMem) {
+            auto region = static_cast<unsigned>(step.region);
             if (region < vm::NumDataRegions)
                 ++stats.regionRefs[region];
         }
-        trace(obs::PipeEvent::Commit, e);
-        e.valid = false;
-        e.consumers.clear();
+        trace(obs::PipeEvent::Commit, slot);
+        robFlags[slot] &= static_cast<std::uint16_t>(~FlagValid);
+        robConsumers[slot].clear();
         ++stats.instructions;
         ++headSeq;
         ++committed;
@@ -684,7 +804,7 @@ OooCore::dispatchStage()
     unsigned dispatched = 0;
     while (dispatched < config.issueWidth) {
         // ROB space?
-        if (tailSeq - headSeq >= rob.size()) {
+        if (tailSeq - headSeq >= robLimit) {
             ++stats.robFullStalls;
             dispatchBlocked = obs::StallCause::RobFull;
             return;
@@ -754,57 +874,74 @@ OooCore::dispatchStage()
                 ++stats.stores;
         }
 
-        // Allocate the ROB entry.
-        Entry &e = rob[tailSeq % rob.size()];
-        ARL_ASSERT(!e.valid, "ROB slot reuse while occupied");
-        e = Entry{};
-        e.step = step;
-        e.seq = tailSeq;
-        e.valid = true;
-        e.queue = queue;
-        e.pipe = pipe;
-        e.earliestIssueAt = now + 1;
-        trace(obs::PipeEvent::Dispatch, e);
+        // Allocate the ROB entry: reset every per-slot field the old
+        // per-entry struct reset on `e = Entry{}`, but in place — in
+        // particular the consumers vector keeps its capacity.
+        const std::int32_t slot = slotOf(tailSeq);
+        ARL_ASSERT(!(robFlags[slot] & FlagValid),
+                   "ROB slot reuse while occupied");
+        robStep[slot] = step;
+        robSeq[slot] = tailSeq;
+        robFlags[slot] = FlagValid;
+        robCompleteAt[slot] = 0;
+        robEarliestIssueAt[slot] = now + 1;
+        robMemReqAt[slot] = 0;
+        robAddrKnownAt[slot] = 0;
+        robTlbStallUntil[slot] = 0;
+        robMispredStallUntil[slot] = 0;
+        robMemStartAt[slot] = 0;
+        robMemDelay[slot] = MemDelays{};
+        robVpValue[slot] = 0;
+        robDeps[slot] = Deps{};
+        robBaseProdSlot[slot] = -1;
+        robBaseProdSeq[slot] = 0;
+        robQueue[slot] = static_cast<std::uint8_t>(queue);
+        robPipe[slot] = static_cast<std::uint8_t>(pipe);
+        robMemBlock[slot] = static_cast<std::uint8_t>(MemBlock::None);
+        robConsumers[slot].clear();
+        unissuedMask.set(slot);
+        execMask.clear(slot);
+        pendingMemMask.clear(slot);
+        trace(obs::PipeEvent::Dispatch, slot);
         if (queue == Queue::Lvaq)
-            trace(obs::PipeEvent::SteerLvaq, e, steer_source);
+            trace(obs::PipeEvent::SteerLvaq, slot, steer_source);
         else if (queue == Queue::Lsq)
-            trace(obs::PipeEvent::SteerLsq, e, steer_source);
+            trace(obs::PipeEvent::SteerLsq, slot, steer_source);
 
         // Register dependences.
         isa::SourceList sources = isa::instSources(step.inst);
-        e.numProducers = 0;
+        Deps &deps = robDeps[slot];
         for (unsigned i = 0; i < sources.count; ++i) {
             isa::FlatReg reg = sources.regs[i];
-            std::int32_t slot = regProducer[reg];
-            if (slot < 0)
+            std::int32_t pslot = regProducer[reg];
+            if (pslot < 0)
                 continue;
-            Entry &p = rob[slot];
-            if (!p.valid || p.seq != regProducerSeq[reg])
+            const std::uint16_t pf = robFlags[pslot];
+            if (!(pf & FlagValid) ||
+                robSeq[pslot] != regProducerSeq[reg])
                 continue;  // producer retired
-            if (p.completed)
+            if (pf & FlagCompleted)
                 continue;  // value final and correct; no tracking
-            e.producers[e.numProducers] = slot;
-            e.producerSeq[e.numProducers] = p.seq;
-            ++e.numProducers;
-            p.consumers.push_back(
-                static_cast<std::int32_t>(tailSeq % rob.size()));
+            deps.slot[deps.count] = pslot;
+            deps.seq[deps.count] = robSeq[pslot];
+            ++deps.count;
+            robConsumers[pslot].push_back(slot);
         }
 
         // Track in-flight stores for ordering and forwarding, and
         // record the base-register producer for early address
         // generation.
         if (info.isStore) {
-            storeQueueOf(queue).list.push_back(
-                {tailSeq,
-                 static_cast<std::int32_t>(tailSeq % rob.size())});
+            storeQueueOf(queue).push(tailSeq, slot);
             isa::FlatReg base = step.inst.baseReg();
-            std::int32_t slot = regProducer[base];
-            if (slot >= 0) {
-                const Entry &p = rob[slot];
-                if (p.valid && p.seq == regProducerSeq[base] &&
-                    !p.completed) {
-                    e.baseProdSlot = slot;
-                    e.baseProdSeq = p.seq;
+            std::int32_t pslot = regProducer[base];
+            if (pslot >= 0) {
+                const std::uint16_t pf = robFlags[pslot];
+                if ((pf & FlagValid) &&
+                    robSeq[pslot] == regProducerSeq[base] &&
+                    !(pf & FlagCompleted)) {
+                    robBaseProdSlot[slot] = pslot;
+                    robBaseProdSeq[slot] = robSeq[pslot];
                 }
             }
         }
@@ -817,16 +954,16 @@ OooCore::dispatchStage()
         if (config.valuePrediction && dest != isa::NoReg &&
             dest < isa::FprBase) {
             ValuePredictor::Offer offer = valuePred.predict(step.pc);
-            e.vpConfident = offer.confident;
-            e.vpValue = offer.value;
-            if (offer.confident)
+            if (offer.confident) {
+                robFlags[slot] |= FlagVpConfident;
                 ++stats.vpOffered;
+            }
+            robVpValue[slot] = offer.value;
         }
 
         // Register renaming (producer map update).
         if (dest != isa::NoReg) {
-            regProducer[dest] =
-                static_cast<std::int32_t>(tailSeq % rob.size());
+            regProducer[dest] = slot;
             regProducerSeq[dest] = tailSeq;
         }
 
@@ -865,49 +1002,53 @@ OooCore::classifyStallCycle()
         return;
     }
 
-    const Entry &e = rob[headSeq % rob.size()];
-    const unsigned pipe = static_cast<unsigned>(e.pipe);
+    const std::int32_t slot = slotOf(headSeq);
+    const std::uint16_t f = robFlags[slot];
+    const unsigned pipe = robPipe[slot];
     StallCause cause = StallCause::Other;
 
-    if (e.completed) {
+    if (f & FlagCompleted) {
         // A completed head that did not retire on a zero-commit cycle
         // can only mean commitStage broke on the store-port check.
         cause = StallCause::StoreCommit;
-    } else if (e.pendingMem) {
+    } else if (f & FlagPendingMem) {
         // Load between issue and port grant.
-        if (now < e.tlbStallUntil)
+        if (now < robTlbStallUntil[slot])
             cause = StallCause::TlbWalk;
-        else if (now < e.mispredStallUntil)
+        else if (now < robMispredStallUntil[slot])
             cause = StallCause::RegionMispredict;
-        else if (e.memBlock == Entry::MemBlock::PortDenied)
+        else if (robMemBlock[slot] ==
+                 static_cast<std::uint8_t>(MemBlock::PortDenied))
             cause = StallCause::LoadPort;
         else
             cause = StallCause::Other;  // store-data wait / 1-cycle gap
-    } else if (e.issued && e.memStarted) {
+    } else if ((f & FlagIssued) && (f & FlagMemStarted)) {
         // Load inside the hierarchy: replay its recorded stall
         // breakdown in the order the delays occurred.
-        const Cycle elapsed = now - e.memStartAt;
-        const std::uint64_t bank = e.memBankDelay;
-        const std::uint64_t wb = bank + e.memWbDelay;
-        const std::uint64_t mshr = wb + e.memMshrDelay;
+        const Cycle elapsed = now - robMemStartAt[slot];
+        const MemDelays &delays = robMemDelay[slot];
+        const std::uint64_t bank = delays.bank;
+        const std::uint64_t wb = bank + delays.wb;
+        const std::uint64_t mshr = wb + delays.mshr;
         if (elapsed < bank)
             cause = StallCause::BankConflict;
         else if (elapsed < wb)
             cause = StallCause::WritebackFull;
         else if (elapsed < mshr)
             cause = StallCause::MshrFull;
-        else if (e.completeAt > now && e.completeAt - now <= e.memBusDelay)
+        else if (robCompleteAt[slot] > now &&
+                 robCompleteAt[slot] - now <= delays.bus)
             cause = StallCause::BusBusy;
         else
             cause = StallCause::MemLatency;
-    } else if (e.issued) {
+    } else if (f & FlagIssued) {
         cause = StallCause::ExecLatency;
     } else {
         // Not yet issued: operand wait, issue ramp, or a stalled
         // store address generation.
-        if (now < e.tlbStallUntil)
+        if (now < robTlbStallUntil[slot])
             cause = StallCause::TlbWalk;
-        else if (now < e.mispredStallUntil)
+        else if (now < robMispredStallUntil[slot])
             cause = StallCause::RegionMispredict;
         else
             cause = StallCause::Other;
@@ -1008,6 +1149,9 @@ OooCore::run(InstCount max_insts)
 {
     dispatchBudget =
         max_insts ? max_insts + stepSrc->delivered() : 0;
+    tracingActive = obsHooks &&
+                    (obsHooks->tracer != nullptr ||
+                     obsHooks->chrome != nullptr);
     Cycle deadlock_guard = 0;
     InstCount last_committed = 0;
 
@@ -1037,15 +1181,11 @@ OooCore::run(InstCount max_insts)
                 classifyStallCycle();
         }
 
-        if (std::getenv("ARL_OOO_TRACE") && now < 60) {
-            unsigned pending = 0, inflight = 0;
-            for (InstCount s = headSeq; s < tailSeq; ++s) {
-                const Entry &e = rob[s % rob.size()];
-                if (e.valid && e.pendingMem)
-                    ++pending;
-                if (e.valid && e.issued && !e.completed)
-                    ++inflight;
-            }
+        if (debugTraceEnv && now < 60) [[unlikely]] {
+            const unsigned pending =
+                static_cast<unsigned>(pendingMemMask.count());
+            const unsigned inflight =
+                static_cast<unsigned>(execMask.count()) + pending;
             std::fprintf(stderr,
                          "cyc %3llu head %4llu tail %4llu issued %2u "
                          "ports %u/%u pendMem %u exec %u\n",

@@ -36,19 +36,29 @@
  * OooStats::portStallsLoad and OooStats::portStallsStoreCommit,
  * reported as ooo.port_stalls.{load,store_commit}.{dcache,lvc} when
  * the configuration models contention.
+ *
+ * Representation: the ROB is a structure-of-arrays ring — per-field
+ * arrays indexed by slot, all carved from a per-core Arena — and the
+ * per-cycle stages iterate candidate *bitmaps* (one bit per slot for
+ * "waiting to issue", "in execution", "waiting for a port") instead
+ * of scanning every window entry.  Slots are gathered from the masks
+ * in ring order starting at the head, which is exactly the old
+ * oldest-first [headSeq, tailSeq) scan order, so arbitration and
+ * issue priority — and therefore every report byte — are unchanged
+ * (tests/test_differential.cc, tests/test_golden.cc).
  */
 
 #ifndef ARL_OOO_CORE_HH
 #define ARL_OOO_CORE_HH
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "cache/hierarchy.hh"
 #include "cache/tlb.hh"
+#include "common/arena.hh"
 #include "common/types.hh"
 #include "obs/cpi_stack.hh"
 #include "obs/histogram.hh"
@@ -216,67 +226,77 @@ class OooCore
     /** Which memory queue an entry sits in. */
     enum class Queue : std::uint8_t { None, Lsq, Lvaq };
 
-    /** One ROB (RUU) entry. */
-    struct Entry
+    /** Why the access stage skipped a pending load last try
+     *  (CPI-stack attribution state; observation only). */
+    enum class MemBlock : std::uint8_t
     {
-        sim::StepInfo step;
-        InstCount seq = 0;
-        bool valid = false;
+        None,
+        PortDenied,     ///< every port of its pipe was claimed
+        StoreNotReady   ///< matched forwarding store not ready
+    };
 
-        // Register dataflow.
-        std::int32_t producers[3] = {-1, -1, -1};
-        InstCount producerSeq[3] = {0, 0, 0};
-        std::uint8_t numProducers = 0;
-        std::vector<std::int32_t> consumers;   ///< ROB slots
-        bool usedSpecValue = false;  ///< issued on a predicted input
+    /** Per-slot state bits (OooCore::robFlags). */
+    enum : std::uint16_t
+    {
+        FlagValid = 1u << 0,
+        FlagIssued = 1u << 1,
+        FlagCompleted = 1u << 2,
+        FlagPendingMem = 1u << 3,     ///< load waiting for a port
+        FlagUsedSpecValue = 1u << 4,  ///< issued on a predicted input
+        FlagVpConfident = 1u << 5,
+        FlagVpWrongKnown = 1u << 6,   ///< verification failed
+        FlagAddrGenDone = 1u << 7,    ///< store AGU pass scheduled
+        FlagStoreWritten = 1u << 8,   ///< store performed at commit
+        FlagRegionChecked = 1u << 9,
+        FlagMemStarted = 1u << 10     ///< granted a port; in hierarchy
+    };
 
-        // Execution state.
-        bool issued = false;
-        bool completed = false;
-        Cycle completeAt = 0;
-        Cycle earliestIssueAt = 0;
+    /**
+     * One bit per ROB slot, arena-backed.  The three candidate masks
+     * (unissued / exec / pendingMem) mirror predicates over robFlags
+     * and are what the per-cycle stages iterate, so stage cost scales
+     * with the candidate count instead of the window size.
+     */
+    struct SlotMask
+    {
+        std::uint64_t *words = nullptr;
+        std::size_t nwords = 0;
 
-        // Value prediction.
-        bool vpConfident = false;
-        Word vpValue = 0;
-        bool vpWrongKnown = false;   ///< verification failed
-
-        // Memory state.
-        Queue queue = Queue::None;
-        cache::MemPipe pipe = cache::MemPipe::DCache;
-        bool pendingMem = false;     ///< load waiting for a port
-        Cycle memReqAt = 0;
-        bool addrGenDone = false;    ///< store AGU pass scheduled
-        Cycle addrKnownAt = 0;
-        bool storeWritten = false;   ///< store performed at commit
-        bool regionChecked = false;
-
-        // CPI-stack attribution state (observation only; written even
-        // when accounting is off — the fields are cheap and keeping
-        // the writes unconditional guarantees enabling the stack
-        // cannot perturb timing).
-        /** Why the access stage skipped this pending load last try. */
-        enum class MemBlock : std::uint8_t
+        void init(Arena &arena, std::size_t slots)
         {
-            None,
-            PortDenied,     ///< every port of its pipe was claimed
-            StoreNotReady   ///< matched forwarding store not ready
-        };
-        MemBlock memBlock = MemBlock::None;
-        Cycle tlbStallUntil = 0;      ///< page-table walk ends here
-        Cycle mispredStallUntil = 0;  ///< re-route penalty ends here
-        bool memStarted = false;      ///< granted a port; in hierarchy
-        Cycle memStartAt = 0;         ///< cycle the access began
-        std::uint32_t memBankDelay = 0;  ///< per-access stall breakdown
-        std::uint32_t memWbDelay = 0;
-        std::uint32_t memMshrDelay = 0;
-        std::uint32_t memBusDelay = 0;
+            nwords = (slots + 63) / 64;
+            words = arena.alloc<std::uint64_t>(nwords);
+        }
+        void set(std::size_t i)
+        {
+            words[i >> 6] |= std::uint64_t{1} << (i & 63);
+        }
+        void clear(std::size_t i)
+        {
+            words[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+        }
+        bool test(std::size_t i) const
+        {
+            return (words[i >> 6] >> (i & 63)) & 1;
+        }
+        std::size_t count() const;
+    };
 
-        // Store address generation depends only on the base
-        // register; these track that producer separately so a slow
-        // store *data* chain does not stall younger loads.
-        std::int32_t baseProdSlot = -1;
-        InstCount baseProdSeq = 0;
+    /** Per-access contention-delay breakdown (CPI-stack replay). */
+    struct MemDelays
+    {
+        std::uint32_t bank = 0;
+        std::uint32_t wb = 0;
+        std::uint32_t mshr = 0;
+        std::uint32_t bus = 0;
+    };
+
+    /** Register-dataflow producers of one entry. */
+    struct Deps
+    {
+        std::int32_t slot[3] = {-1, -1, -1};
+        InstCount seq[3] = {0, 0, 0};
+        std::uint8_t count = 0;
     };
 
     // --- pipeline stages (called once per cycle) ---
@@ -287,41 +307,60 @@ class OooCore
     void commitStage();
 
     // --- helpers ---
-    Entry &entryAt(std::int32_t slot) { return rob[slot]; }
     std::int32_t slotOf(InstCount seq) const
     {
-        return static_cast<std::int32_t>(seq % rob.size());
+        return static_cast<std::int32_t>(seq & robMask);
     }
 
-    /** True when every register input of @p e is available. */
-    bool operandsReady(Entry &e);
+    /**
+     * Append the slots of @p mask to @p out in ring order starting
+     * at the head slot.  Because seq → slot is a ring mapping,
+     * visiting `out` front-to-back visits the window oldest-first —
+     * identical priority order to the old full-window scans.
+     */
+    void gatherRing(const SlotMask &mask,
+                    std::vector<std::int32_t> &out) const;
 
-    /** True when queue-order constraints allow load @p e to issue. */
-    bool loadMayIssue(const Entry &e) const;
+    /** True when every register input of @p slot is available. */
+    bool operandsReady(std::int32_t slot);
+
+    /** True when queue-order constraints allow load @p slot to issue. */
+    bool loadMayIssue(std::int32_t slot) const;
 
     /**
      * Youngest older overlapping store in the same queue, or -1.
      * @param all_known set false when an older same-queue store's
      *        address is still unknown (ambiguous dependence).
      */
-    std::int32_t findForwardingStore(const Entry &load,
+    std::int32_t findForwardingStore(std::int32_t load_slot,
                                      bool &all_known) const;
 
     /** Verify steering at translation; applies penalty on mispredict. */
-    void translateAndVerify(Entry &e);
+    void translateAndVerify(std::int32_t slot);
 
     /** Recursively squash dependents after a value misprediction. */
-    void squashConsumers(Entry &producer);
+    void squashConsumers(std::int32_t producer_slot);
+
+    /** Reset one issued/completed consumer back to waiting. */
+    void squashReset(std::int32_t slot, const char *why);
 
     /** Issue one instruction (shared bookkeeping). */
-    void doIssue(Entry &e);
+    void doIssue(std::int32_t slot);
 
     /** True when two accesses overlap in memory. */
     static bool overlaps(const sim::StepInfo &a, const sim::StepInfo &b);
 
-    /** Emit one pipeline-trace event when tracing is enabled. */
-    void trace(obs::PipeEvent ev, const Entry &e,
-               const std::string &detail = "");
+    /** Emit one pipeline-trace event when tracing is enabled.  The
+     *  guard is a single cached-bool test so disabled tracing costs
+     *  nothing — in particular no std::string detail temporaries. */
+    void trace(obs::PipeEvent ev, std::int32_t slot,
+               const char *detail = "")
+    {
+        if (tracingActive) [[unlikely]]
+            traceSlow(ev, slot, detail);
+    }
+    void traceSlow(obs::PipeEvent ev, std::int32_t slot,
+                   const char *detail);
 
     /**
      * Attribute one zero-commit cycle to a StallCause, driven by the
@@ -346,8 +385,46 @@ class OooCore
     InstCount blockingBranchSeq = ~InstCount{0};
     Cycle dispatchResumeAt = 0;
 
-    // ROB ring: slots [head, tail) by sequence number.
-    std::vector<Entry> rob;
+    /**
+     * ROB ring, structure of arrays: slots [head, tail) by sequence
+     * number, one arena-backed array per field.  Hot scheduling
+     * fields (flags, cycle stamps, dependences) are densely packed
+     * and separate from the cold StepInfo payload, and the candidate
+     * masks below replace per-entry eligibility scans.
+     */
+    Arena arena;
+    std::size_t robLimit = 0;        ///< architectural window capacity
+    std::size_t robSize = 0;         ///< ring slots (robLimit, pow2-rounded)
+    std::size_t robMask = 0;         ///< robSize - 1
+    sim::StepInfo *robStep = nullptr;
+    InstCount *robSeq = nullptr;
+    std::uint16_t *robFlags = nullptr;   ///< Flag* bits
+    Cycle *robCompleteAt = nullptr;
+    Cycle *robEarliestIssueAt = nullptr;
+    Cycle *robMemReqAt = nullptr;
+    Cycle *robAddrKnownAt = nullptr;
+    Cycle *robTlbStallUntil = nullptr;   ///< page-table walk ends here
+    Cycle *robMispredStallUntil = nullptr; ///< re-route penalty end
+    Cycle *robMemStartAt = nullptr;      ///< cycle the access began
+    MemDelays *robMemDelay = nullptr;    ///< per-access stall breakdown
+    Word *robVpValue = nullptr;
+    Deps *robDeps = nullptr;
+    std::int32_t *robBaseProdSlot = nullptr;
+    InstCount *robBaseProdSeq = nullptr;
+    std::uint8_t *robQueue = nullptr;    ///< Queue
+    std::uint8_t *robPipe = nullptr;     ///< cache::MemPipe
+    std::uint8_t *robMemBlock = nullptr; ///< MemBlock
+    /** Consumer slot lists (capacity reused across occupants). */
+    std::vector<std::vector<std::int32_t>> robConsumers;
+
+    // Candidate masks: valid & !issued & !completed, valid & issued
+    // & !completed & !pendingMem, and valid & pendingMem.
+    SlotMask unissuedMask;
+    SlotMask execMask;
+    SlotMask pendingMemMask;
+    /** Reusable gather buffer for the per-cycle stage iterations. */
+    std::vector<std::int32_t> gatherBuf;
+
     InstCount headSeq = 0;   ///< oldest in-flight instruction
     InstCount tailSeq = 0;   ///< next sequence number to dispatch
 
@@ -356,22 +433,49 @@ class OooCore
     InstCount regProducerSeq[isa::NumFlatRegs];
 
     /**
-     * Per-queue in-flight store tracking.  `list` holds the stores
-     * of one queue in program order; `knownPrefix` counts the
-     * leading stores whose addresses have been generated.  Together
-     * they answer "have all stores older than seq generated their
+     * Per-queue in-flight store tracking: a fixed-capacity ring
+     * (arena-backed parallel seq/slot arrays) holding one queue's
+     * stores in program order; `knownPrefix` counts the leading
+     * stores whose addresses have been generated.  Together they
+     * answer "have all stores older than seq generated their
      * addresses?" in O(log n) and bound the forwarding search to the
      * queue's stores instead of the whole window.
      */
     struct StoreQueue
     {
-        struct Ref
-        {
-            InstCount seq;
-            std::int32_t slot;
-        };
-        std::deque<Ref> list;
+        InstCount *seq = nullptr;
+        std::int32_t *slot = nullptr;
+        std::size_t cap = 0;     ///< power of two, >= robSize
+        std::size_t head = 0;
+        std::size_t count = 0;
         std::size_t knownPrefix = 0;
+
+        void init(Arena &arena, std::size_t capacity)
+        {
+            cap = capacity;
+            seq = arena.alloc<InstCount>(cap);
+            slot = arena.alloc<std::int32_t>(cap);
+        }
+        InstCount seqAt(std::size_t i) const
+        {
+            return seq[(head + i) & (cap - 1)];
+        }
+        std::int32_t slotAt(std::size_t i) const
+        {
+            return slot[(head + i) & (cap - 1)];
+        }
+        void push(InstCount s, std::int32_t sl)
+        {
+            std::size_t at = (head + count) & (cap - 1);
+            seq[at] = s;
+            slot[at] = sl;
+            ++count;
+        }
+        void popFront()
+        {
+            head = (head + 1) & (cap - 1);
+            --count;
+        }
 
         /** Index of the first store with seq >= @p seq. */
         std::size_t olderCount(InstCount seq) const;
@@ -389,7 +493,7 @@ class OooCore
     void storeAddrGenStage();
 
     /** Roll back the known prefix when a store is squashed. */
-    void onStoreSquashed(const Entry &e);
+    void onStoreSquashed(std::int32_t slot);
 
     StoreQueue lsqStores;
     StoreQueue lvaqStores;
@@ -426,6 +530,10 @@ class OooCore
     obs::Hooks *obsHooks = nullptr;
     /** Per-cycle stall attribution on? (contended or forced). */
     bool cpiEnabled = false;
+    /** A pipeline/Chrome tracer is attached (cached; see trace()). */
+    bool tracingActive = false;
+    /** ARL_OOO_TRACE set in the environment (cached at run() entry). */
+    bool debugTraceEnv = false;
 };
 
 } // namespace arl::ooo

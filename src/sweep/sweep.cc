@@ -278,14 +278,25 @@ runSweep(const SweepSpec &spec)
                                      : trace::DefaultBlockRecords);
             if (!cache_path.empty()) {
                 // Write-then-rename keeps a concurrently reading
-                // sweep from seeing a half-written cache entry.
+                // sweep from seeing a half-written cache entry.  The
+                // cache is opportunistic: any failure (encode I/O or
+                // the rename itself) is a warning, and the .tmp file
+                // is unlinked so it cannot pile up in the cache dir.
                 std::string tmp =
                     cache_path + ".tmp" + std::to_string(getpid());
-                p.diskBytes =
-                    trace::saveTrace(tmp, *p.trace, spec.traceFormat);
-                if (std::rename(tmp.c_str(), cache_path.c_str()) != 0)
+                std::uint64_t bytes = 0;
+                if (!trace::trySaveTrace(tmp, *p.trace,
+                                         spec.traceFormat, bytes)) {
+                    warn("sweep: cannot write trace cache '%s'",
+                         cache_path.c_str());
+                } else if (std::rename(tmp.c_str(),
+                                       cache_path.c_str()) != 0) {
                     warn("sweep: cannot move trace into cache '%s'",
                          cache_path.c_str());
+                    std::remove(tmp.c_str());
+                } else {
+                    p.diskBytes = bytes;
+                }
             }
         }
         if (sampled) {

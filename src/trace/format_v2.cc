@@ -1,7 +1,7 @@
 #include "trace/format_v2.hh"
 
 #include <cstring>
-#include <unordered_map>
+#include <vector>
 
 #include "common/crc32.hh"
 #include "isa/operands.hh"
@@ -31,8 +31,104 @@ constexpr std::uint8_t TagEscape = 0x80;
 constexpr std::uint8_t RegionUnknown =
     static_cast<std::uint8_t>(vm::Region::Unknown);
 
-/** Block-scoped pc -> instruction-word elision map. */
-using WordMap = std::unordered_map<Addr, Word>;
+/**
+ * Block-scoped pc -> instruction-word elision map.
+ *
+ * A block holds at most `records` distinct pcs, so a linear-probed
+ * table sized to twice that stays under 0.5 load and resolves each
+ * find/put in one or two probes — the codec's inner loop does one of
+ * each per record, and this replaces the node allocations and hash
+ * buckets of the generic map.  Map *semantics* are identical, so the
+ * encoder's emit decisions (and therefore the trace bytes) are
+ * unchanged.
+ */
+class WordMap
+{
+  public:
+    explicit WordMap(std::size_t records)
+    {
+        std::size_t cap = 16;
+        while (cap < records * 2)
+            cap <<= 1;
+        mask = cap - 1;
+        slots.resize(cap);
+    }
+
+    /** Word recorded for @p pc, or null when unseen. */
+    Word *
+    find(Addr pc)
+    {
+        for (std::size_t i = hash(pc);; i = (i + 1) & mask) {
+            Slot &s = slots[i];
+            if (!s.used)
+                return nullptr;
+            if (s.pc == pc)
+                return &s.word;
+        }
+    }
+
+    void
+    put(Addr pc, Word word)
+    {
+        for (std::size_t i = hash(pc);; i = (i + 1) & mask) {
+            Slot &s = slots[i];
+            if (!s.used) {
+                s.used = true;
+                s.pc = pc;
+                s.word = word;
+                return;
+            }
+            if (s.pc == pc) {
+                s.word = word;
+                return;
+            }
+        }
+    }
+
+  private:
+    struct Slot
+    {
+        Addr pc = 0;
+        Word word = 0;
+        bool used = false;
+    };
+
+    std::size_t
+    hash(Addr pc) const
+    {
+        return static_cast<std::size_t>(
+                   (static_cast<std::uint64_t>(pc) *
+                    0x9E3779B97F4A7C15ull) >>
+                   32) &
+               mask;
+    }
+
+    std::vector<Slot> slots;
+    std::size_t mask = 0;
+};
+
+void
+advanceCommon(Context &ctx, const TraceRecord &rec)
+{
+    ctx.prevPc = rec.pc;
+    if (rec.memSize)
+        ctx.lastEffAddr = rec.effAddr;
+}
+
+/** advance() when the record's instruction is already decoded. */
+void
+advanceDecoded(Context &ctx, const TraceRecord &rec,
+               const isa::DecodedInst &inst)
+{
+    advanceCommon(ctx, rec);
+    // The functional simulator's exact recurrences: GBH shifts in
+    // every conditional-branch outcome; CID tracks the last value
+    // architecturally written to $ra.
+    if (inst.info().isBranch)
+        ctx.gbh = (ctx.gbh << 1) | ((rec.flags & FlagTaken) ? 1u : 0u);
+    if (isa::instDest(inst) == static_cast<isa::FlatReg>(isa::reg::Ra))
+        ctx.cid = rec.result;
+}
 
 /** Flags implied by the decoded instruction (+ the tag's taken bit). */
 std::uint8_t
@@ -61,7 +157,8 @@ encodeRecord(const TraceRecord &rec, Context &ctx, WordMap &words,
              std::string &out)
 {
     isa::DecodedInst inst;
-    bool escape = !isa::decode(rec.instWord, inst);
+    const bool decoded = isa::decode(rec.instWord, inst);
+    bool escape = !decoded;
     bool mem = false;
     bool store = false;
     std::uint8_t dest = isa::NoReg;
@@ -82,7 +179,10 @@ encodeRecord(const TraceRecord &rec, Context &ctx, WordMap &words,
     if (escape) {
         out.push_back(static_cast<char>(TagEscape));
         out.append(reinterpret_cast<const char *>(&rec), sizeof(rec));
-        advance(ctx, rec);
+        if (decoded)
+            advanceDecoded(ctx, rec, inst);
+        else
+            advanceCommon(ctx, rec);
         return;
     }
 
@@ -90,8 +190,8 @@ encodeRecord(const TraceRecord &rec, Context &ctx, WordMap &words,
     const Addr expect_pc = ctx.prevPc + 4;
     if (rec.pc != expect_pc)
         tag |= TagPcDelta;
-    auto it = words.find(rec.pc);
-    const bool emit_word = it == words.end() || it->second != rec.instWord;
+    Word *known = words.find(rec.pc);
+    const bool emit_word = !known || *known != rec.instWord;
     if (emit_word)
         tag |= TagInstWord;
     if (rec.flags & FlagTaken)
@@ -118,7 +218,7 @@ encodeRecord(const TraceRecord &rec, Context &ctx, WordMap &words,
                            static_cast<std::int64_t>(expect_pc));
     if (emit_word) {
         putVarint(out, rec.instWord);
-        words[rec.pc] = rec.instWord;
+        words.put(rec.pc, rec.instWord);
     }
     if (tag & TagGbh)
         putVarint(out, rec.gbh);
@@ -133,7 +233,7 @@ encodeRecord(const TraceRecord &rec, Context &ctx, WordMap &words,
         putVarint(out, rec.result);
     if (store)
         putVarint(out, rec.storeValue);
-    advance(ctx, rec);
+    advanceDecoded(ctx, rec, inst);
 }
 
 bool
@@ -169,14 +269,14 @@ decodeRecord(ByteCursor &cur, Context &ctx, WordMap &words,
             err = "bad instruction word varint";
             return false;
         }
-        words[pc] = rec.instWord;
+        words.put(pc, rec.instWord);
     } else {
-        auto it = words.find(pc);
-        if (it == words.end()) {
+        const Word *known = words.find(pc);
+        if (!known) {
             err = "instruction word back-reference to unseen pc";
             return false;
         }
-        rec.instWord = it->second;
+        rec.instWord = *known;
     }
     isa::DecodedInst inst;
     if (!isa::decode(rec.instWord, inst)) {
@@ -222,7 +322,7 @@ decodeRecord(ByteCursor &cur, Context &ctx, WordMap &words,
         err = "truncated record fields";
         return false;
     }
-    advance(ctx, rec);
+    advanceDecoded(ctx, rec, inst);
     return true;
 }
 
@@ -231,28 +331,18 @@ decodeRecord(ByteCursor &cur, Context &ctx, WordMap &words,
 void
 advance(Context &ctx, const TraceRecord &rec)
 {
-    ctx.prevPc = rec.pc;
-    if (rec.memSize)
-        ctx.lastEffAddr = rec.effAddr;
     isa::DecodedInst inst;
-    if (isa::decode(rec.instWord, inst)) {
-        // The functional simulator's exact recurrences: GBH shifts
-        // in every conditional-branch outcome; CID tracks the last
-        // value architecturally written to $ra.
-        if (inst.info().isBranch)
-            ctx.gbh = (ctx.gbh << 1) |
-                      ((rec.flags & FlagTaken) ? 1u : 0u);
-        if (isa::instDest(inst) == static_cast<isa::FlatReg>(isa::reg::Ra))
-            ctx.cid = rec.result;
-    }
+    if (isa::decode(rec.instWord, inst))
+        advanceDecoded(ctx, rec, inst);
+    else
+        advanceCommon(ctx, rec);
 }
 
 void
 encodeBlock(const TraceRecord *records, std::size_t n, Context &ctx,
             std::string &out)
 {
-    WordMap words;
-    words.reserve(1024);
+    WordMap words(n);
     for (std::size_t i = 0; i < n; ++i)
         encodeRecord(records[i], ctx, words, out);
 }
@@ -263,8 +353,8 @@ decodeBlock(const void *payload, std::size_t bytes, std::size_t n,
             std::string &err)
 {
     ByteCursor cur(payload, bytes);
-    WordMap words;
-    words.reserve(1024);
+    WordMap words(n);
+    out.reserve(out.size() + n);
     TraceRecord rec{};
     for (std::size_t i = 0; i < n; ++i) {
         if (!decodeRecord(cur, ctx, words, rec, err))

@@ -1,6 +1,7 @@
 #include "trace/replay.hh"
 
 #include <chrono>
+#include <cstdio>
 #include <fstream>
 
 #include "common/logging.hh"
@@ -10,6 +11,22 @@
 
 namespace arl::trace
 {
+
+void
+InMemoryTrace::predecode()
+{
+    if (decoded.size() == records.size())
+        return;
+    decoded.clear();
+    decoded.reserve(records.size());
+    for (const TraceRecord &record : records) {
+        isa::DecodedInst inst;
+        if (!isa::decode(record.instWord, inst))
+            fatal("trace: undecodable instruction word 0x%08x",
+                  record.instWord);
+        decoded.push_back(inst);
+    }
+}
 
 std::shared_ptr<const InMemoryTrace>
 recordToMemory(std::shared_ptr<const vm::Program> program,
@@ -39,6 +56,7 @@ recordToMemory(std::shared_ptr<const vm::Program> program,
         if (!simulator.step(step))
             break;
         trace->records.push_back(toRecord(step));
+        trace->decoded.push_back(step.inst);  // predecode for free
         digest.observe(step);
     }
     trace->complete = simulator.halted();
@@ -61,6 +79,33 @@ saveTrace(const std::string &path, const InMemoryTrace &t,
         writer.appendRecord(record);
     writer.close();
     return writer.bytesWritten();
+}
+
+bool
+trySaveTrace(const std::string &path, const InMemoryTrace &t,
+             TraceFormat format, std::uint64_t &out_bytes)
+{
+    obs::ProfScope prof("encode");
+    const auto block_records = static_cast<std::uint32_t>(
+        t.checkpointEvery ? t.checkpointEvery : DefaultBlockRecords);
+    TraceWriter writer(path, t.program, format, block_records,
+                       /*non_fatal=*/true);
+    if (writer.ok()) {
+        for (const ArchCheckpoint &cp : t.checkpoints)
+            writer.addCheckpoint(cp);
+        writer.setComplete(t.complete);
+        for (const TraceRecord &record : t.records)
+            writer.appendRecord(record);
+        writer.close();
+    }
+    if (!writer.ok()) {
+        // Never leave a partial file behind: a truncated trace would
+        // shadow the slot until something tripped over it.
+        std::remove(path.c_str());
+        return false;
+    }
+    out_bytes = writer.bytesWritten();
+    return true;
 }
 
 namespace
@@ -114,6 +159,7 @@ loadTraceV2(const std::string &path)
             digest.observe(trace->records[i]);
     }
     trace->complete = reader.complete();
+    trace->predecode();
     return trace;
 }
 
@@ -173,6 +219,7 @@ loadTrace(const std::string &path, TraceLoadStats *stats)
         // checkpoints; stay conservative.  Consumers gate only on
         // record count.
         trace->complete = false;
+        trace->predecode();
         result = std::move(trace);
     }
     if (result && stats) {

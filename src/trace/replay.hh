@@ -52,6 +52,18 @@ struct InMemoryTrace
      * trace covers the complete execution, not a truncated prefix).
      */
     bool complete = false;
+    /**
+     * Predecoded instruction words, parallel to `records` (empty on
+     * hand-built traces).  Built once by predecode() — recording and
+     * cache loading both call it — and shared read-only by every
+     * ReplaySource, so an N-job sweep decodes each record once
+     * instead of N times.
+     */
+    std::vector<isa::DecodedInst> decoded;
+
+    /** Populate `decoded` from `records` (fatal on undecodable
+     *  words, like fromRecord).  Idempotent. */
+    void predecode();
 
     InstCount size() const { return records.size(); }
 
@@ -91,6 +103,16 @@ recordToMemory(std::shared_ptr<const vm::Program> program,
  */
 std::uint64_t saveTrace(const std::string &path, const InMemoryTrace &t,
                         TraceFormat format = TraceFormat::V1);
+
+/**
+ * Non-fatal saveTrace() for opportunistic writers (the sweep's trace
+ * cache): an unopenable path or a mid-write I/O error (disk full,
+ * revoked permissions) returns false — after unlinking whatever
+ * partial file was created — instead of aborting the run.
+ * @param out_bytes bytes written, valid only on success.
+ */
+bool trySaveTrace(const std::string &path, const InMemoryTrace &t,
+                  TraceFormat format, std::uint64_t &out_bytes);
 
 /** Optional observability for loadTrace(). */
 struct TraceLoadStats
@@ -133,7 +155,12 @@ class ReplaySource final : public sim::StepSource
     {
         if (pos >= trace->records.size())
             return false;
-        out = fromRecord(trace->records[pos], pos);
+        // Predecoded fast path; per-record isa::decode otherwise.
+        if (pos < trace->decoded.size())
+            out = fromRecord(trace->records[pos], pos,
+                             trace->decoded[pos]);
+        else
+            out = fromRecord(trace->records[pos], pos);
         ++pos;
         return true;
     }

@@ -68,12 +68,21 @@ toRecord(const sim::StepInfo &step)
 sim::StepInfo
 fromRecord(const TraceRecord &record, InstCount seq)
 {
+    isa::DecodedInst inst;
+    if (!isa::decode(record.instWord, inst))
+        fatal("trace: undecodable instruction word 0x%08x",
+              record.instWord);
+    return fromRecord(record, seq, inst);
+}
+
+sim::StepInfo
+fromRecord(const TraceRecord &record, InstCount seq,
+           const isa::DecodedInst &inst)
+{
     sim::StepInfo step;
     step.pc = record.pc;
     step.seq = seq;
-    if (!isa::decode(record.instWord, step.inst))
-        fatal("trace: undecodable instruction word 0x%08x",
-              record.instWord);
+    step.inst = inst;
     const isa::OpInfo &info = step.inst.info();
     step.isMem = info.isLoad || info.isStore;
     step.isLoad = info.isLoad;
@@ -114,11 +123,17 @@ classifyRecord(const TraceRecord &record)
 
 TraceWriter::TraceWriter(const std::string &path_in,
                          const std::string &program, TraceFormat format,
-                         std::uint32_t block_records)
-    : out(path_in, std::ios::binary | std::ios::trunc), path(path_in)
+                         std::uint32_t block_records, bool non_fatal)
+    : out(path_in, std::ios::binary | std::ios::trunc), path(path_in),
+      nonFatal(non_fatal)
 {
-    if (!out)
+    if (!out) {
+        if (nonFatal) {
+            failed = true;
+            return;
+        }
         fatal("trace: cannot open '%s' for writing", path.c_str());
+    }
     TraceHeader header{};
     header.magic = TraceMagic;
     header.version = static_cast<std::uint32_t>(format);
@@ -138,6 +153,8 @@ TraceWriter::append(const sim::StepInfo &step)
 void
 TraceWriter::appendRecord(const TraceRecord &record)
 {
+    if (failed)
+        return;
     if (body)
         body->append(record);
     else
@@ -157,12 +174,17 @@ void
 TraceWriter::close()
 {
     if (out.is_open()) {
-        if (body)
+        if (body && !failed)
             body->finish(complete);
         fileBytes = static_cast<std::uint64_t>(out.tellp());
         out.close();
-        if (!out)
+        if (!out || failed) {
+            if (nonFatal) {
+                failed = true;
+                return;
+            }
             fatal("trace: write error on '%s'", path.c_str());
+        }
     }
 }
 

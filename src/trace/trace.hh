@@ -121,6 +121,15 @@ TraceRecord toRecord(const sim::StepInfo &step);
 sim::StepInfo fromRecord(const TraceRecord &record, InstCount seq);
 
 /**
+ * Reconstitute a step from a record whose instruction word has
+ * already been decoded into @p inst (the replay hot path: predecoded
+ * traces skip the per-record isa::decode entirely).  @p inst must be
+ * the decoding of record.instWord.
+ */
+sim::StepInfo fromRecord(const TraceRecord &record, InstCount seq,
+                         const isa::DecodedInst &inst);
+
+/**
  * Cheap per-record classification for fast functional passes that
  * only need the instruction's kind, not a full StepInfo (e.g. the
  * phase-sampling feature extractor walks millions of records and
@@ -151,12 +160,17 @@ class TraceWriter
   public:
     /**
      * Open @p path for writing and emit the header.
-     * Fatal on I/O errors (user environment problem).
+     * Fatal on I/O errors (user environment problem) unless
+     * @p non_fatal is set, in which case errors — at open, append,
+     * or close time — latch ok() to false instead and the caller
+     * decides (opportunistic writers like the sweep's trace cache
+     * must not abort the run over a full disk).
      * @param block_records v2 block size (ignored for v1).
      */
     TraceWriter(const std::string &path, const std::string &program,
                 TraceFormat format = TraceFormat::V1,
-                std::uint32_t block_records = DefaultBlockRecords);
+                std::uint32_t block_records = DefaultBlockRecords,
+                bool non_fatal = false);
 
     /** Append one instruction. */
     void append(const sim::StepInfo &step);
@@ -183,6 +197,9 @@ class TraceWriter
     /** On-disk size; valid once close() has run. */
     std::uint64_t bytesWritten() const { return fileBytes; }
 
+    /** False once a non-fatal writer has hit an I/O error. */
+    bool ok() const { return !failed; }
+
     ~TraceWriter();
 
   private:
@@ -192,6 +209,8 @@ class TraceWriter
     InstCount written = 0;
     std::uint64_t fileBytes = 0;
     bool complete = false;
+    bool nonFatal = false;
+    bool failed = false;
 };
 
 namespace v2

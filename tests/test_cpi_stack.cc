@@ -155,6 +155,44 @@ TEST(Log2Histogram, PercentilesMonotonicAndBounded)
     EXPECT_LT(p50, 64.0);
 }
 
+TEST(Log2Histogram, SingleCountBucketReportsItsLowEdge)
+{
+    // Rank 2 of {1, 4, 100} falls in bucket [4, 7], which holds one
+    // sample.  The estimate must stay at the bucket's low edge: the
+    // old rank/n interpolation returned the high edge (7.0) for any
+    // single-count bucket, overshooting every sparse distribution.
+    obs::Log2Histogram hist;
+    hist.add(1);
+    hist.add(4);
+    hist.add(100);
+    EXPECT_EQ(hist.p50(), 4.0);
+}
+
+TEST(Log2Histogram, ExtremeRanksReturnExactMinMax)
+{
+    // Rank 1 is the tracked min and rank count is the tracked max —
+    // exact values, not bucket-edge interpolations (100 lives in
+    // [64, 127]; neither edge is the right answer for p99).
+    obs::Log2Histogram hist;
+    hist.add(3);
+    hist.add(9);
+    hist.add(100);
+    EXPECT_EQ(hist.percentile(0.01), 3.0);
+    EXPECT_EQ(hist.p99(), 100.0);
+}
+
+TEST(Log2Histogram, InBucketRanksSpanTheBucketEdges)
+{
+    // Both samples share bucket [8, 15]: the first in-bucket rank
+    // sits at the low edge, the last at the high edge — here both
+    // coincide with the exact tracked min/max.
+    obs::Log2Histogram hist;
+    hist.add(8);
+    hist.add(15);
+    EXPECT_EQ(hist.p50(), 8.0);
+    EXPECT_EQ(hist.p99(), 15.0);
+}
+
 TEST(Log2Histogram, RegistryExpandsToSevenLeaves)
 {
     obs::StatsRegistry reg;

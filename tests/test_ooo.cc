@@ -14,6 +14,7 @@
 #include "builder/program_builder.hh"
 #include "cache/hierarchy.hh"
 #include "common/random.hh"
+#include "obs/hooks.hh"
 #include "ooo/core.hh"
 #include "ooo/value_predictor.hh"
 
@@ -498,6 +499,64 @@ TEST(OooContention, PortAndBankLimitsNeverExceeded)
         EXPECT_LE(count, 1u)
             << "cycle " << std::get<0>(key) << " pipe "
             << std::get<1>(key) << " bank " << std::get<2>(key);
+}
+
+TEST(OooFastPath, UncontendedFastPathIdenticalToSlowPath)
+{
+    // With every contention knob at zero the hierarchy serves
+    // timedAccess through the uncontended fast path.  Installing an
+    // access observer forces the full (slow) path by design — the two
+    // runs over the same seeded random load/store program must be
+    // cycle-identical in every registered stat, and neither may
+    // register a single contention.* key.
+    ooo::MachineConfig config = ooo::MachineConfig::nPlusM(3, 1);
+    auto prog = randomMemProgram(0xfa57fa57, 500);
+
+    ooo::OooCore fast(config, prog);
+    obs::Hooks fast_hooks;
+    fast.attachObs(&fast_hooks);
+    ooo::OooStats fast_stats = fast.run(0);
+    fast_hooks.finalize();
+
+    ooo::OooCore slow(config, prog);
+    obs::Hooks slow_hooks;
+    slow.attachObs(&slow_hooks);
+    std::uint64_t observed = 0;
+    slow.memHierarchy().setAccessObserver(
+        [&](cache::MemPipe, Addr, Cycle, Cycle, unsigned) {
+            ++observed;
+        });
+    ooo::OooStats slow_stats = slow.run(0);
+    slow_hooks.finalize();
+
+    // The observer proves the slow path actually ran.
+    EXPECT_GT(observed, 0u);
+    EXPECT_GT(fast_stats.instructions, 0u);
+    EXPECT_EQ(fast_stats.cycles, slow_stats.cycles);
+    EXPECT_EQ(fast_stats.instructions, slow_stats.instructions);
+    EXPECT_EQ(fast_stats.l1Hits, slow_stats.l1Hits);
+    EXPECT_EQ(fast_stats.l1Misses, slow_stats.l1Misses);
+    EXPECT_EQ(fast_stats.l2Hits, slow_stats.l2Hits);
+    EXPECT_EQ(fast_stats.l2Misses, slow_stats.l2Misses);
+
+    // Whole-report equality: every registered leaf, same values.
+    ASSERT_EQ(fast_hooks.finalSnapshot.size(),
+              slow_hooks.finalSnapshot.size());
+    for (std::size_t i = 0; i < fast_hooks.finalSnapshot.size(); ++i) {
+        EXPECT_EQ(fast_hooks.finalSnapshot[i].first,
+                  slow_hooks.finalSnapshot[i].first);
+        EXPECT_EQ(fast_hooks.finalSnapshot[i].second,
+                  slow_hooks.finalSnapshot[i].second)
+            << fast_hooks.finalSnapshot[i].first;
+    }
+    // The contention-only key families (registered solely when a
+    // knob is set) must be absent from both reports.
+    for (const auto *hooks : {&fast_hooks, &slow_hooks})
+        for (const auto &[name, value] : hooks->finalSnapshot)
+            for (const char *family :
+                 {".bank_", ".mshr.", ".wb.", ".bus."})
+                EXPECT_EQ(name.find(family), std::string::npos)
+                    << name;
 }
 
 TEST(OooContention, TlbMissLatencyChargedAndCounted)

@@ -393,6 +393,65 @@ TEST(IntervalSampler, FlushCapturesFinalPartialInterval)
     EXPECT_EQ(sampler.samples().back().values[0], 250.0);
 }
 
+TEST(IntervalSampler, BoundaryEndWithoutFinalTickStillYieldsCeilRows)
+{
+    // The run ends exactly on an interval boundary but the loop
+    // breaks before a tick() at the final count is delivered: flush()
+    // must supply the missing row — and only that row, never a
+    // zero-width duplicate (ceil(200/100) = 2, not 3).
+    obs::StatsRegistry reg;
+    std::uint64_t work = 0;
+    reg.addCounter("work", &work);
+    obs::IntervalSampler sampler(reg, 100);
+    for (std::uint64_t i = 1; i <= 199; ++i) {
+        work = i;
+        sampler.tick(i);
+    }
+    ASSERT_EQ(sampler.samples().size(), 1u);  // at 100
+    work = 200;
+    sampler.flush(200);
+    ASSERT_EQ(sampler.samples().size(), 2u);
+    EXPECT_EQ(sampler.samples().back().at, 200u);
+}
+
+TEST(IntervalSampler, FlushIsIdempotent)
+{
+    // A second end-of-run notification at the same count (defensive
+    // callers, finalize-twice paths) must not add a duplicate row.
+    obs::StatsRegistry reg;
+    std::uint64_t work = 0;
+    reg.addCounter("work", &work);
+    obs::IntervalSampler sampler(reg, 100);
+    for (std::uint64_t i = 1; i <= 150; ++i) {
+        work = i;
+        sampler.tick(i);
+    }
+    sampler.flush(150);
+    ASSERT_EQ(sampler.samples().size(), 2u);
+    sampler.flush(150);
+    EXPECT_EQ(sampler.samples().size(), 2u);
+    EXPECT_EQ(sampler.samples().back().at, 150u);
+}
+
+TEST(IntervalSampler, BurstCrossingEndingOnBoundaryTakesOneRow)
+{
+    // A batched commit burst that lands exactly on a boundary takes
+    // one sample for the whole burst; the flush right after it is a
+    // no-op (rows stay at ceil(300/100), never ceil + 1).
+    obs::StatsRegistry reg;
+    std::uint64_t work = 0;
+    reg.addCounter("work", &work);
+    obs::IntervalSampler sampler(reg, 100);
+    work = 90;
+    sampler.tick(90);
+    work = 300;
+    sampler.tick(300);  // crosses 100, 200, and 300 at once
+    ASSERT_EQ(sampler.samples().size(), 1u);
+    EXPECT_EQ(sampler.samples().back().at, 300u);
+    sampler.flush(300);
+    EXPECT_EQ(sampler.samples().size(), 1u);
+}
+
 TEST(IntervalSampler, FlushIsNoOpOnExactMultipleOrNoProgress)
 {
     obs::StatsRegistry reg;

@@ -173,6 +173,43 @@ TEST_F(TraceFile, DeterministicFiles)
     std::remove(path2.c_str());
 }
 
+TEST_F(TraceFile, TrySaveTraceMatchesSaveTrace)
+{
+    auto prog = workloads::buildWorkload("li_like", 1);
+    auto trace = trace::recordToMemory(prog, 5000);
+    std::string path2 = path + ".second";
+    std::uint64_t fatal_bytes =
+        trace::saveTrace(path, *trace, trace::TraceFormat::V2);
+    std::uint64_t try_bytes = 0;
+    EXPECT_TRUE(trace::trySaveTrace(path2, *trace,
+                                    trace::TraceFormat::V2,
+                                    try_bytes));
+    EXPECT_EQ(try_bytes, fatal_bytes);
+    std::ifstream a(path, std::ios::binary);
+    std::ifstream b(path2, std::ios::binary);
+    std::string content_a((std::istreambuf_iterator<char>(a)),
+                          std::istreambuf_iterator<char>());
+    std::string content_b((std::istreambuf_iterator<char>(b)),
+                          std::istreambuf_iterator<char>());
+    EXPECT_EQ(content_a, content_b);
+    std::remove(path2.c_str());
+}
+
+TEST(TrySaveTrace, UnwritablePathFailsWithoutAborting)
+{
+    auto prog = workloads::buildWorkload("li_like", 1);
+    auto trace = trace::recordToMemory(prog, 1000);
+    // A path whose directory does not exist: open fails, the run
+    // continues, and nothing is left behind.
+    const std::string bad =
+        ::testing::TempDir() + "arl_no_such_dir/trace.tmp";
+    std::uint64_t bytes = 123;
+    EXPECT_FALSE(trace::trySaveTrace(bad, *trace,
+                                     trace::TraceFormat::V2, bytes));
+    std::ifstream probe(bad, std::ios::binary);
+    EXPECT_FALSE(probe.good());
+}
+
 TEST_F(TraceFile, RejectsGarbageFiles)
 {
     {

@@ -17,12 +17,17 @@
  *
  *   arl_bench [--quick] [--out F] [--quiet] [--log-level L]
  *
- *   --quick   run only the fast subset (replay_core, trace_codec,
- *             sampled) with the same knobs, so its records still
- *             compare exactly against the full baseline.  The full
- *             suite adds sweep_fig8, contended, region_fig4, and
- *             corpus (the checked-in corpus/ via --workload-dir;
- *             override the directory with ARL_BENCH_WORKLOAD_DIR).
+ *   --quick   run only the fast subset (mips, replay_core,
+ *             trace_codec, sampled) with the same knobs, so its
+ *             records still compare exactly against the full
+ *             baseline.  The full suite adds sweep_fig8, contended,
+ *             region_fig4, and corpus (the checked-in corpus/ via
+ *             --workload-dir; override the directory with
+ *             ARL_BENCH_WORKLOAD_DIR).
+ *
+ *   The "mips" bench is the pinned raw-speed number the ROADMAP
+ *   tracks: pure replay→OoO guest-MIPS with recording excluded from
+ *   the timed window, gated in CI by bench_compare --mips-tol.
  *   --out F   output path (default BENCH_0006.json; "-" = stdout).
  *
  * ARL_UPDATE_BENCH=1 in the environment writes the report to the
@@ -44,6 +49,7 @@
 #include "corpus/corpus.hh"
 #include "obs/bench_schema.hh"
 #include "obs/profiler.hh"
+#include "ooo/core.hh"
 #include "sweep/sweep.hh"
 #include "trace/replay.hh"
 #include "workloads/workloads.hh"
@@ -265,6 +271,71 @@ benchCorpus()
     return bench;
 }
 
+/**
+ * The pinned raw-speed number: pure replay→OoO guest-MIPS on the
+ * replay grid (li_like/go_like × two n+m configs, same points as
+ * replay_core).  Each workload is recorded once before the clock
+ * starts, so the timed window covers only ReplaySource→OooCore
+ * execution — no assembly, recording, or sweep-engine overhead.
+ * The grid is replayed kMipsRepeats times to push the wall clock
+ * into a range where host noise stays well inside the CI
+ * --mips-tol gate; every repeat simulates identical work, so the
+ * deterministic guest totals stay exact multiples.
+ */
+obs::BenchCase
+benchMips()
+{
+    constexpr int kMipsRepeats = 4;
+    static const char *const kNames[] = {"li_like", "go_like"};
+    const std::vector<ooo::MachineConfig> configs = {
+        ooo::MachineConfig::nPlusM(2, 0),
+        ooo::MachineConfig::nPlusM(3, 1)};
+
+    struct Prepared
+    {
+        std::shared_ptr<const vm::Program> program;
+        std::shared_ptr<const trace::InMemoryTrace> trace;
+        InstCount warmup = 0;
+    };
+    std::vector<Prepared> prep;
+    for (const char *name : kNames) {
+        Prepared p;
+        p.program = workloads::buildWorkload(name, 1);
+        p.warmup = workloads::workloadByName(name).warmupInsts;
+        p.trace =
+            trace::recordToMemory(p.program, p.warmup + kTimedInsts);
+        prep.push_back(std::move(p));
+    }
+
+    obs::BenchCase bench;
+    bench.name = "mips";
+    Clock::time_point start = Clock::now();
+    for (int rep = 0; rep < kMipsRepeats; ++rep) {
+        for (const Prepared &p : prep) {
+            for (const ooo::MachineConfig &config : configs) {
+                auto source =
+                    std::make_shared<trace::ReplaySource>(p.trace);
+                ooo::OooCore core(config, p.program, source);
+                if (p.warmup)
+                    core.warmup(p.warmup);
+                ooo::OooStats stats = core.run(kTimedInsts);
+                bench.guestInsts += p.warmup + stats.instructions;
+                bench.guestCycles += stats.cycles;
+            }
+        }
+    }
+    bench.wallSeconds = secondsSince(start);
+    bench.mips = bench.wallSeconds > 0.0
+                     ? bench.guestInsts / 1e6 / bench.wallSeconds
+                     : 0.0;
+    bench.counters.emplace_back(
+        "grid_points",
+        static_cast<double>(std::size(kNames) * configs.size()));
+    bench.counters.emplace_back("repeats",
+                                static_cast<double>(kMipsRepeats));
+    return bench;
+}
+
 obs::BenchCase
 benchTraceCodec()
 {
@@ -343,6 +414,7 @@ main(int argc, char **argv)
     obs::Profiler::instance().enable();
 
     obs::BenchReport report;
+    report.benches.push_back(benchMips());
     report.benches.push_back(benchReplayCore());
     report.benches.push_back(benchTraceCodec());
     report.benches.push_back(benchSampled());

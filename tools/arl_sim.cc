@@ -186,9 +186,10 @@ isNonNegativeInt(const std::string &value)
  * shared logging flags (and, for simulating subcommands, the
  * observability flags) are accepted implicitly.  An unknown flag, a
  * missing or malformed value (integer flags demand a non-negative
- * integer), or a stray positional is a usage error: message + exit 1.
- * Strictness is deliberate — a typo must never silently run with
- * defaults.
+ * integer), a repeated flag, or a stray positional is a usage error:
+ * message + exit 1.  Strictness is deliberate — a typo must never
+ * silently run with defaults, and a duplicated flag must never
+ * silently drop one of the two values the user thought they set.
  */
 class Args
 {
@@ -247,9 +248,13 @@ class Args
             if (!spec)
                 badUsage("unknown flag '" + token + "'");
             if (spec->kind == FlagKind::Bool) {
+                if (has(spec->name))
+                    badUsage("duplicate flag '" + token + "'");
                 bools_.push_back(spec->name);
                 continue;
             }
+            if (hasValue(spec->name))
+                badUsage("duplicate flag '" + token + "'");
             if (i + 1 >= raw_.size())
                 badUsage("flag '" + token + "' needs a value");
             const std::string &value = raw_[++i];
@@ -264,10 +269,10 @@ class Args
     std::string
     flag(const std::string &name, const std::string &fallback) const
     {
-        // Last occurrence wins, matching common CLI convention.
-        for (std::size_t i = values_.size(); i-- > 0;)
-            if (values_[i].first == name)
-                return values_[i].second;
+        // At most one occurrence exists: parse() rejects duplicates.
+        for (const auto &entry : values_)
+            if (entry.first == name)
+                return entry.second;
         return fallback;
     }
 
@@ -288,6 +293,15 @@ class Args
     }
 
   private:
+    bool
+    hasValue(const std::string &name) const
+    {
+        for (const auto &entry : values_)
+            if (entry.first == name)
+                return true;
+        return false;
+    }
+
     std::vector<std::string> raw_;
     std::vector<std::pair<std::string, std::string>> values_;
     std::vector<std::string> bools_;
