@@ -1,0 +1,62 @@
+#include "obs/flight_recorder.hh"
+
+#include <csignal>
+
+#include <atomic>
+
+#include "obs/telemetry.hh"
+
+namespace arl::obs
+{
+
+namespace
+{
+
+std::atomic<TelemetryChannel *> armedChannel{nullptr};
+bool handlersInstalled = false;
+
+const int kFatalSignals[] = {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT};
+
+extern "C" void
+flightRecorderHandler(int signo)
+{
+    TelemetryChannel *chan =
+        armedChannel.load(std::memory_order_acquire);
+    if (chan)
+        chan->dumpBlackBox(signo);
+    // Restore the default disposition and re-raise so the process
+    // still dies with the original signal (core dumps, wait status
+    // and CI reporting all keep working).
+    ::signal(signo, SIG_DFL);
+    ::raise(signo);
+}
+
+} // namespace
+
+void
+armFlightRecorder(TelemetryChannel *channel)
+{
+    armedChannel.store(channel, std::memory_order_release);
+    if (handlersInstalled)
+        return;
+    struct sigaction sa;
+    sa.sa_handler = flightRecorderHandler;
+    sigemptyset(&sa.sa_mask);
+    // No SA_RESETHAND: the handler restores SIG_DFL itself after the
+    // dump, and keeping the disposition installed makes arming
+    // idempotent across channels.
+    sa.sa_flags = 0;
+    for (int signo : kFatalSignals)
+        ::sigaction(signo, &sa, nullptr);
+    handlersInstalled = true;
+}
+
+void
+disarmFlightRecorder(TelemetryChannel *channel)
+{
+    TelemetryChannel *expected = channel;
+    armedChannel.compare_exchange_strong(expected, nullptr,
+                                         std::memory_order_acq_rel);
+}
+
+} // namespace arl::obs

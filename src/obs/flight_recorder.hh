@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Crash-safe flight recorder: installs fatal-signal handlers that
+ * dump the armed TelemetryChannel's black-box ring as a postamble to
+ * the telemetry file before re-raising the signal with its default
+ * disposition.  `ARL_ASSERT`/`panic()` end in abort(), so the SIGABRT
+ * handler covers assertion failures without touching the logging
+ * layer.
+ *
+ * The handler does nothing but atomic loads and write() — it is
+ * async-signal-safe by construction (see TelemetryChannel::
+ * dumpBlackBox).
+ */
+
+#ifndef ARL_OBS_FLIGHT_RECORDER_HH
+#define ARL_OBS_FLIGHT_RECORDER_HH
+
+namespace arl::obs
+{
+
+class TelemetryChannel;
+
+/**
+ * Arm the flight recorder on @p channel: install handlers for
+ * SIGSEGV, SIGBUS, SIGILL, SIGFPE and SIGABRT (idempotent) and point
+ * them at the channel.  Only one channel can be armed at a time; a
+ * second call re-points the handlers.
+ */
+void armFlightRecorder(TelemetryChannel *channel);
+
+/**
+ * Disarm if @p channel is the armed one (no-op otherwise).  Called
+ * automatically from ~TelemetryChannel so the handler can never see
+ * a dangling pointer.  Signal dispositions are left installed; with
+ * no armed channel the handler just re-raises.
+ */
+void disarmFlightRecorder(TelemetryChannel *channel);
+
+} // namespace arl::obs
+
+#endif // ARL_OBS_FLIGHT_RECORDER_HH

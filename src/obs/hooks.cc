@@ -13,6 +13,10 @@ Hooks::startSampling()
     if (intervalEvery == 0 || sampler)
         return;
     sampler = std::make_unique<IntervalSampler>(registry, intervalEvery);
+    // Re-attached on every (re)start so Experiment::timingStudy's
+    // restartSampling() keeps streaming to the same sink.
+    if (intervalStream)
+        sampler->setStream(intervalStream);
 }
 
 void

@@ -21,6 +21,7 @@
 #include "obs/pipetrace.hh"
 #include "obs/sampler.hh"
 #include "obs/stats_registry.hh"
+#include "obs/telemetry.hh"
 
 namespace arl::obs
 {
@@ -36,6 +37,23 @@ struct Hooks
     std::unique_ptr<IntervalSampler> sampler;
     std::unique_ptr<PipeTracer> tracer;
     std::unique_ptr<ChromeTracer> chrome;
+
+    /**
+     * Optional incremental sink for the sampler (non-owning; the CLI
+     * owns the stream).  When set, startSampling() routes interval
+     * rows to it as they are captured — O(1) sampler memory — and
+     * the report's "intervals" section is omitted.
+     */
+    std::ostream *intervalStream = nullptr;
+
+    /**
+     * Optional telemetry scope for this run's job (non-owning; the
+     * CLI or sweep coordinator owns the scope and its channel).  The
+     * core caches its presence at run() entry — mirroring the
+     * tracingActive pattern — so a null scope costs one
+     * short-circuited branch per cycle.
+     */
+    TelemetryScope *telemetry = nullptr;
 
     /**
      * Freeze the sampled stat set and arm the sampler.  Call after

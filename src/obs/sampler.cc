@@ -1,6 +1,9 @@
 #include "obs/sampler.hh"
 
+#include <ostream>
+
 #include "common/logging.hh"
+#include "obs/json.hh"
 
 namespace arl::obs
 {
@@ -36,11 +39,44 @@ IntervalSampler::sampleValues() const
 }
 
 void
+IntervalSampler::setStream(std::ostream *os)
+{
+    ARL_ASSERT(taken.empty(), "cannot switch to streaming mid-run");
+    stream = os;
+    if (!stream)
+        return;
+    *stream << "at";
+    for (const std::string &name : statNames)
+        *stream << ',' << name;
+    *stream << '\n';
+    stream->flush();
+}
+
+void
+IntervalSampler::capture(std::uint64_t committed)
+{
+    if (stream) {
+        // Streaming sink: one row per sample, flushed immediately so
+        // a long run is observable (and crash-durable) as it goes;
+        // nothing accumulates in memory.
+        std::vector<double> values = sampleValues();
+        *stream << committed;
+        for (double v : values)
+            *stream << ',' << jsonNumber(v);
+        *stream << '\n';
+        stream->flush();
+        lastStreamedAt = committed;
+        return;
+    }
+    taken.push_back({committed, sampleValues()});
+}
+
+void
 IntervalSampler::tick(std::uint64_t committed)
 {
     if (committed < nextAt)
         return;
-    taken.push_back({committed, sampleValues()});
+    capture(committed);
     // One sample per crossing even when several boundaries were
     // passed at once (e.g. a batched commit burst).
     nextAt = (committed / interval + 1) * interval;
@@ -54,9 +90,11 @@ IntervalSampler::flush(std::uint64_t committed)
     // its final row from tick().
     if (committed == 0)
         return;
-    if (!taken.empty() && taken.back().at >= committed)
+    std::uint64_t lastAt =
+        stream ? lastStreamedAt : (taken.empty() ? 0 : taken.back().at);
+    if (lastAt >= committed)
         return;
-    taken.push_back({committed, sampleValues()});
+    capture(committed);
     nextAt = (committed / interval + 1) * interval;
 }
 

@@ -10,6 +10,7 @@
 #define ARL_OBS_SAMPLER_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,19 @@ class IntervalSampler
      * @param every    sampling period in committed instructions (>0).
      */
     IntervalSampler(const StatsRegistry &registry, std::uint64_t every);
+
+    /**
+     * Attach a streaming sink: every sample is written to @p os as a
+     * CSV row ("at,<value>,...", header emitted immediately) instead
+     * of accumulating in memory, so a 100 M-instruction run holds
+     * O(1) sampler state.  samples()/deltas() stay empty; the
+     * serialized report omits its "intervals" section.  The stream
+     * must outlive the sampler.
+     */
+    void setStream(std::ostream *os);
+
+    /** True when a streaming sink is attached. */
+    bool streaming() const { return stream != nullptr; }
 
     /**
      * Notify progress to @p committed instructions; takes one sample
@@ -77,6 +91,7 @@ class IntervalSampler
 
   private:
     std::vector<double> sampleValues() const;
+    void capture(std::uint64_t committed);
 
     const StatsRegistry &registry;
     std::uint64_t interval;
@@ -84,6 +99,8 @@ class IntervalSampler
     std::vector<std::string> statNames;
     std::vector<double> base;
     std::vector<Sample> taken;
+    std::ostream *stream = nullptr;
+    std::uint64_t lastStreamedAt = 0;
 };
 
 } // namespace arl::obs

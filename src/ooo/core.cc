@@ -152,6 +152,25 @@ OooCore::traceSlow(obs::PipeEvent ev, std::int32_t slot,
 }
 
 void
+OooCore::telemetryBeat()
+{
+    obs::TelemetryFrame frame;
+    frame.insts = stats.instructions;
+    frame.cycles = now - cycleBase;
+    frame.loads = stats.loads;
+    frame.stores = stats.stores;
+    frame.refsData = stats.regionRefs[0];
+    frame.refsHeap = stats.regionRefs[1];
+    frame.refsStack = stats.regionRefs[2];
+    frame.lvaqSteered = stats.lvaqSteered;
+    frame.contentionStalls =
+        stats.portStallsLoad[0] + stats.portStallsLoad[1] +
+        stats.portStallsStoreCommit[0] + stats.portStallsStoreCommit[1] +
+        stats.tlbMissCycles;
+    telemetryNext = obsHooks->telemetry->check(frame);
+}
+
+void
 OooCore::attachObs(obs::Hooks *hooks)
 {
     obsHooks = hooks;
@@ -1136,8 +1155,18 @@ OooStats
 OooCore::runSample(InstCount insts, InstCount detail_warmup)
 {
     if (detail_warmup) {
+        // Telemetry stays quiet through the detailed warmup: the
+        // stats fence below resets the instruction counter, and a
+        // heartbeat straddling it would report a non-monotone
+        // cumulative count for the job.
+        obs::TelemetryScope *saved_telemetry =
+            obsHooks ? obsHooks->telemetry : nullptr;
+        if (obsHooks)
+            obsHooks->telemetry = nullptr;
         commitTarget = stats.instructions + detail_warmup;
         run(0);
+        if (obsHooks)
+            obsHooks->telemetry = saved_telemetry;
         statsFence();
     }
     commitTarget = insts ? stats.instructions + insts : 0;
@@ -1152,6 +1181,10 @@ OooCore::run(InstCount max_insts)
     tracingActive = obsHooks &&
                     (obsHooks->tracer != nullptr ||
                      obsHooks->chrome != nullptr);
+    telemetryActive = obsHooks && obsHooks->telemetry != nullptr;
+    if (telemetryActive)
+        telemetryNext =
+            obsHooks->telemetry->firstCheckAt(stats.instructions);
     Cycle deadlock_guard = 0;
     InstCount last_committed = 0;
 
@@ -1171,6 +1204,9 @@ OooCore::run(InstCount max_insts)
         commitStage();
         if (obsHooks)
             obsHooks->tick(stats.instructions);
+        if (telemetryActive && stats.instructions >= telemetryNext)
+            [[unlikely]]
+            telemetryBeat();
 
         // Per-cycle stall attribution: exactly one cause per cycle,
         // so the stack sums to total cycles by construction.

@@ -362,6 +362,10 @@ class OooCore
     void traceSlow(obs::PipeEvent ev, std::int32_t slot,
                    const char *detail);
 
+    /** Telemetry interval check (cold path; see run()'s cached
+     *  telemetryActive/telemetryNext guard). */
+    void telemetryBeat();
+
     /**
      * Attribute one zero-commit cycle to a StallCause, driven by the
      * ROB head (top-down accounting); falls back to the cycle's
@@ -532,6 +536,12 @@ class OooCore
     bool cpiEnabled = false;
     /** A pipeline/Chrome tracer is attached (cached; see trace()). */
     bool tracingActive = false;
+    /** A telemetry scope is attached (cached at run() entry, same
+     *  pattern as tracingActive: disabled telemetry is one
+     *  short-circuited branch per cycle). */
+    bool telemetryActive = false;
+    /** Committed-instruction count of the next telemetry check. */
+    InstCount telemetryNext = 0;
     /** ARL_OOO_TRACE set in the environment (cached at run() entry). */
     bool debugTraceEnv = false;
 };

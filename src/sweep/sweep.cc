@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <memory>
@@ -179,6 +180,23 @@ struct TimingJob
     /** Result slot: rep jobs index repRuns, verify jobs verifyRuns. */
     std::size_t slot = 0;
 };
+
+/**
+ * Test hook: ARL_SWEEP_TEST_STALL_MS makes job 0 sleep that long
+ * right after its job-start telemetry record, so the watchdog (and
+ * `arl_sim monitor`) can be exercised against a deterministic stall
+ * without a pathological workload.  Ignored without a channel.
+ */
+std::uint64_t
+testStallMs()
+{
+    const char *env = std::getenv("ARL_SWEEP_TEST_STALL_MS");
+    if (!env)
+        return 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    return (end && *end == '\0') ? v : 0;
+}
 
 /** Insert @p name into the sorted snapshot @p snapshot. */
 void
@@ -385,6 +403,49 @@ runSweep(const SweepSpec &spec)
         remaining[tj.wi].fetch_add(1, std::memory_order_relaxed);
     std::atomic<std::uint64_t> seek_skipped{0};
 
+    // Coordinator watchdog: while the grid drains, flag any started
+    // job whose heartbeat has been silent longer than the stall
+    // threshold (a stall record on the channel plus a warning on
+    // stderr).  Observation only — it never touches job state.
+    std::atomic<bool> grid_done{false};
+    std::thread watchdog;
+    if (spec.telemetry && spec.telemetryStallSec > 0.0) {
+        watchdog = std::thread([&] {
+            const std::uint64_t stall_ms = static_cast<std::uint64_t>(
+                spec.telemetryStallSec * 1000.0);
+            std::uint64_t poll_ms = stall_ms / 4;
+            if (poll_ms == 0)
+                poll_ms = 1;
+            if (poll_ms > 200)
+                poll_ms = 200;
+            // Per-job idle level at which to emit the next stall
+            // record (re-flag once per additional threshold).
+            std::vector<std::uint64_t> next_flag(total_jobs,
+                                                 stall_ms);
+            while (!grid_done.load(std::memory_order_acquire)) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(poll_ms));
+                for (std::size_t j = 0; j < total_jobs; ++j) {
+                    std::uint64_t idle = spec.telemetry->msSinceBeat(
+                        static_cast<int>(j));
+                    if (idle == UINT64_MAX || idle < stall_ms) {
+                        // Idle, done, or recovered: re-arm.
+                        next_flag[j] = stall_ms;
+                        continue;
+                    }
+                    if (idle >= next_flag[j]) {
+                        next_flag[j] = idle + stall_ms;
+                        spec.telemetry->emitStall(
+                            static_cast<int>(j), idle);
+                        warn("sweep: job %zu heartbeat stalled for "
+                             "%llu ms", j,
+                             static_cast<unsigned long long>(idle));
+                    }
+                }
+            }
+        });
+    }
+
     runJobs(total_jobs, jobs, [&](std::size_t job) {
         Clock::time_point start = Clock::now();
         std::size_t wi =
@@ -423,12 +484,30 @@ runSweep(const SweepSpec &spec)
             ooo::OooCore core(config, prep[wi].program, source);
             obs::Hooks hooks;
             core.attachObs(&hooks);
+            std::unique_ptr<obs::TelemetryScope> tscope;
+            if (spec.telemetry) {
+                std::uint64_t total = w.timed;
+                if (!total && trace_handle->size() > w.warmup)
+                    total = trace_handle->size() - w.warmup;
+                tscope = std::make_unique<obs::TelemetryScope>(
+                    spec.telemetry, static_cast<int>(job), w.name,
+                    config.name, static_cast<int>(TimingJob::Exact),
+                    total);
+                tscope->start();
+                hooks.telemetry = tscope.get();
+                if (job == 0 && testStallMs())
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(testStallMs()));
+            }
             if (w.warmup)
                 core.warmup(w.warmup - ff_skip, window);
             TimingPoint point;
             point.workload = w.name;
             point.config = config.name;
             point.stats = core.run(w.timed);
+            if (tscope)
+                tscope->done(point.stats.instructions,
+                             point.stats.cycles);
             hooks.finalize();
             point.snapshot = std::move(hooks.finalSnapshot);
             prof.addGuestInsts(w.warmup - ff_skip +
@@ -456,6 +535,17 @@ runSweep(const SweepSpec &spec)
             ooo::OooCore core(config, prep[wi].program, source);
             obs::Hooks hooks;
             core.attachObs(&hooks);
+            std::unique_ptr<obs::TelemetryScope> tscope;
+            if (spec.telemetry) {
+                // Sampled points are monitorable per representative:
+                // the rep index rides on every record of this job.
+                tscope = std::make_unique<obs::TelemetryScope>(
+                    spec.telemetry, static_cast<int>(job), w.name,
+                    config.name, static_cast<int>(tj.rep),
+                    rep.length);
+                tscope->start();
+                hooks.telemetry = tscope.get();
+            }
             // The warmup window splits into a functional prefix and
             // a short detailed tail; runSample fences the statistics
             // between the tail and the timed interval, so the window
@@ -466,6 +556,8 @@ runSweep(const SweepSpec &spec)
                 core.warmup(warm - rep.detail, 0);
             ooo::OooStats stats =
                 core.runSample(rep.length, rep.detail);
+            if (tscope)
+                tscope->done(stats.instructions, stats.cycles);
             hooks.finalize();
             rep_meas[tj.slot] = {stats.cycles, stats.instructions};
             rep_snaps[tj.slot] = std::move(hooks.finalSnapshot);
@@ -486,12 +578,25 @@ runSweep(const SweepSpec &spec)
             auto source =
                 std::make_shared<trace::ReplaySource>(trace_handle);
             ooo::OooCore core(config, prep[wi].program, source);
+            obs::Hooks hooks;
+            core.attachObs(&hooks);
+            std::unique_ptr<obs::TelemetryScope> tscope;
+            if (spec.telemetry) {
+                tscope = std::make_unique<obs::TelemetryScope>(
+                    spec.telemetry, static_cast<int>(job), w.name,
+                    config.name, static_cast<int>(TimingJob::Verify),
+                    w.timed);
+                tscope->start();
+                hooks.telemetry = tscope.get();
+            }
             InstCount window = w.warmup;
             if (w.warmupWindow && w.warmupWindow < window)
                 window = w.warmupWindow;
             if (w.warmup)
                 core.warmup(w.warmup, window);
             ooo::OooStats stats = core.run(w.timed);
+            if (tscope)
+                tscope->done(stats.instructions, stats.cycles);
             verify_meas[tj.slot] = {stats.cycles,
                                     stats.instructions};
             prof.addGuestInsts(w.warmup + stats.instructions);
@@ -503,6 +608,18 @@ runSweep(const SweepSpec &spec)
             // mirroring Experiment::regionStudy.
             RegionPoint point;
             point.workload = w.name;
+            std::unique_ptr<obs::TelemetryScope> tscope;
+            std::uint64_t tnext = UINT64_MAX;
+            if (spec.telemetry) {
+                std::uint64_t total =
+                    w.studyInsts ? w.studyInsts : trace_handle->size();
+                tscope = std::make_unique<obs::TelemetryScope>(
+                    spec.telemetry, static_cast<int>(job), w.name,
+                    "regionstudy", static_cast<int>(TimingJob::Exact),
+                    total);
+                tscope->start();
+                tnext = tscope->firstCheckAt(0);
+            }
             profile::RegionProfiler region_profiler;
             profile::WindowProfiler win32(32);
             profile::WindowProfiler win64(64);
@@ -524,7 +641,14 @@ runSweep(const SweepSpec &spec)
                 for (auto &predictor : predictors)
                     predictor->observe(step);
                 ++point.instructions;
+                if (point.instructions >= tnext) [[unlikely]] {
+                    obs::TelemetryFrame frame;
+                    frame.insts = point.instructions;
+                    tnext = tscope->check(frame);
+                }
             }
+            if (tscope)
+                tscope->done(point.instructions, 0);
             point.profile = region_profiler.profile();
             point.window32 = win32.stats_summary();
             point.window64 = win64.stats_summary();
@@ -568,6 +692,10 @@ runSweep(const SweepSpec &spec)
         if (remaining[wi].fetch_sub(1, std::memory_order_acq_rel) == 1)
             prep[wi].trace.reset();
     });
+
+    grid_done.store(true, std::memory_order_release);
+    if (watchdog.joinable())
+        watchdog.join();
 
     {
         obs::ProfScope prof_merge("merge");

@@ -39,6 +39,7 @@
 #include "common/types.hh"
 #include "obs/report.hh"
 #include "obs/stats_registry.hh"
+#include "obs/telemetry.hh"
 #include "ooo/config.hh"
 #include "ooo/core.hh"
 #include "predict/region_predictor.hh"
@@ -163,6 +164,19 @@ struct SweepSpec
      * what sampling saved; for tests, benches and walkthroughs.
      */
     bool samplingVerify = false;
+    /**
+     * Optional shared telemetry channel (non-owning; the CLI owns
+     * it and its lifetime spans the sweep).  The coordinator emits
+     * per-job start/done records, every timing job streams
+     * heartbeats through its own TelemetryScope — sampled points
+     * per representative — and a watchdog thread flags jobs whose
+     * heartbeat stalls longer than telemetryStallSec.  Observation
+     * only: results and reports are byte-identical with or without
+     * a channel attached.
+     */
+    obs::TelemetryChannel *telemetry = nullptr;
+    /** Watchdog stall threshold in seconds (0 = no watchdog). */
+    double telemetryStallSec = 30.0;
 };
 
 /** Result of one timing grid point. */

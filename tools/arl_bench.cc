@@ -17,10 +17,10 @@
  *
  *   arl_bench [--quick] [--out F] [--quiet] [--log-level L]
  *
- *   --quick   run only the fast subset (mips, replay_core,
- *             trace_codec, sampled) with the same knobs, so its
- *             records still compare exactly against the full
- *             baseline.  The full suite adds sweep_fig8, contended,
+ *   --quick   run only the fast subset (mips, mips_telemetry,
+ *             replay_core, trace_codec, sampled) with the same
+ *             knobs, so its records still compare exactly against
+ *             the full baseline.  The full suite adds sweep_fig8, contended,
  *             region_fig4, and corpus (the checked-in corpus/ via
  *             --workload-dir; override the directory with
  *             ARL_BENCH_WORKLOAD_DIR).
@@ -48,7 +48,9 @@
 #include "core/experiment.hh"
 #include "corpus/corpus.hh"
 #include "obs/bench_schema.hh"
+#include "obs/hooks.hh"
 #include "obs/profiler.hh"
+#include "obs/telemetry.hh"
 #include "ooo/core.hh"
 #include "sweep/sweep.hh"
 #include "trace/replay.hh"
@@ -336,6 +338,94 @@ benchMips()
     return bench;
 }
 
+/**
+ * The same grid and repeats as "mips", but with a live telemetry
+ * scope attached to every core (heartbeat every 20 K instructions,
+ * ~5 beats per timed window).  The channel uses an injected zero
+ * clock and RSS provider so every emitted byte is deterministic:
+ * telemetry_records and telemetry_bytes are exact counters, and the
+ * bench's MIPS against the plain "mips" bench is the telemetry
+ * overhead (gated by bench_compare --telemetry-overhead-tol; the
+ * budget is <1%).
+ */
+obs::BenchCase
+benchMipsTelemetry()
+{
+    constexpr int kMipsRepeats = 4;
+    constexpr InstCount kBeatEvery = 20000;
+    static const char *const kNames[] = {"li_like", "go_like"};
+    const std::vector<ooo::MachineConfig> configs = {
+        ooo::MachineConfig::nPlusM(2, 0),
+        ooo::MachineConfig::nPlusM(3, 1)};
+
+    struct Prepared
+    {
+        std::shared_ptr<const vm::Program> program;
+        std::shared_ptr<const trace::InMemoryTrace> trace;
+        InstCount warmup = 0;
+    };
+    std::vector<Prepared> prep;
+    for (const char *name : kNames) {
+        Prepared p;
+        p.program = workloads::buildWorkload(name, 1);
+        p.warmup = workloads::workloadByName(name).warmupInsts;
+        p.trace =
+            trace::recordToMemory(p.program, p.warmup + kTimedInsts);
+        prep.push_back(std::move(p));
+    }
+
+    const std::string path = "arl_bench_telemetry.jsonl.tmp";
+    std::remove(path.c_str());
+    obs::TelemetryOptions opt;
+    opt.intervalInsts = kBeatEvery;
+    opt.clockMs = [] { return std::uint64_t(0); };
+    opt.rssKb = [] { return std::uint64_t(0); };
+    std::string error;
+    auto channel = obs::TelemetryChannel::open(path, opt, &error);
+    if (!channel)
+        fatal("mips_telemetry: %s", error.c_str());
+
+    obs::BenchCase bench;
+    bench.name = "mips_telemetry";
+    Clock::time_point start = Clock::now();
+    int job = 0;
+    for (int rep = 0; rep < kMipsRepeats; ++rep) {
+        for (const Prepared &p : prep) {
+            for (const ooo::MachineConfig &config : configs) {
+                auto source =
+                    std::make_shared<trace::ReplaySource>(p.trace);
+                ooo::OooCore core(config, p.program, source);
+                obs::Hooks hooks;
+                obs::TelemetryScope scope(channel.get(), job++,
+                                          p.program->name, "bench", -1,
+                                          p.warmup + kTimedInsts);
+                hooks.telemetry = &scope;
+                core.attachObs(&hooks);
+                scope.start();
+                if (p.warmup)
+                    core.warmup(p.warmup);
+                ooo::OooStats stats = core.run(kTimedInsts);
+                scope.done(stats.instructions, stats.cycles);
+                bench.guestInsts += p.warmup + stats.instructions;
+                bench.guestCycles += stats.cycles;
+            }
+        }
+    }
+    bench.wallSeconds = secondsSince(start);
+    bench.mips = bench.wallSeconds > 0.0
+                     ? bench.guestInsts / 1e6 / bench.wallSeconds
+                     : 0.0;
+    bench.counters.emplace_back(
+        "telemetry_records",
+        static_cast<double>(channel->recordsEmitted()));
+    bench.counters.emplace_back(
+        "telemetry_bytes",
+        static_cast<double>(channel->bytesWritten()));
+    channel.reset();
+    std::remove(path.c_str());
+    return bench;
+}
+
 obs::BenchCase
 benchTraceCodec()
 {
@@ -415,6 +505,7 @@ main(int argc, char **argv)
 
     obs::BenchReport report;
     report.benches.push_back(benchMips());
+    report.benches.push_back(benchMipsTelemetry());
     report.benches.push_back(benchReplayCore());
     report.benches.push_back(benchTraceCodec());
     report.benches.push_back(benchSampled());

@@ -56,14 +56,37 @@
  *       the prefix; reports are bit-identical, only wall clock
  *       changes.
  *
+ *   arl_sim monitor <file.jsonl> [--follow] [--refresh-ms N]
+ *       [--stall-sec N] [--timeout-sec N]
+ *       Render a --telemetry stream as a per-job progress table
+ *       (progress bars, aggregate guest-MIPS, ETA, stall-flagged
+ *       jobs).  Post-hoc by default; --follow polls the file and
+ *       refreshes until the final record, a black-box crash
+ *       postamble, or --timeout-sec.
+ *
  *   arl_sim validate <file.json>
  *       Validate an emitted JSON document with the in-tree parser:
  *       Chrome traces (a "traceEvents" array — every event needs
  *       ph/pid/tid/ts, "X" events need dur, timestamps must be
  *       non-decreasing), BENCH_*.json benchmark-trajectory documents
  *       ("bench_schema"), --profile-json phase trees ("kind":
- *       "profile"), and obs::Report documents (schema_version +
- *       runs).  Exit 0 when valid, 2 when not.
+ *       "profile"), obs::Report documents (schema_version + runs),
+ *       and telemetry JSONL streams ("telemetry_schema" per line:
+ *       per-kind required fields, per-job monotone heartbeats).
+ *       Exit 0 when valid, 2 when not.
+ *
+ * Telemetry flags, accepted by run, time, replay, and sweep:
+ *
+ *   --telemetry <file>        append JSONL heartbeat records (guest
+ *                             insts/cycles, interval IPC, guest-MIPS,
+ *                             ETA, access mix, contention deltas,
+ *                             peak RSS), one durable write() per
+ *                             line; a fatal signal dumps the last
+ *                             records as a black-box postamble
+ *   --telemetry-interval <N>  heartbeat period in guest instructions
+ *                             (default 1000000)
+ *   --telemetry-wall-ms <N>   additional wall-clock trigger
+ *   --telemetry-stall-sec <N> sweep watchdog threshold (default 30)
  *
  *   arl_sim disasm <file.s>
  *       Assemble and disassemble.
@@ -85,9 +108,16 @@
  *
  *   --stats-json <file>   write an obs::Report JSON document
  *   --stats-csv <file>    flat workload,config,stat,value CSV
- *                         ("-" writes either sink to stdout)
+ *                         ("-" writes either sink to stdout and
+ *                         silences every human table/progress line,
+ *                         so piped output is machine-clean even
+ *                         without --quiet)
  *   --interval <N>        sample all stats every N instructions
  *                         (recorded in the JSON "intervals" section)
+ *   --interval-stream <file>  stream sampled rows to a CSV file as
+ *                         they are captured instead of holding them
+ *                         in memory (needs --interval; the report's
+ *                         "intervals" section is then omitted)
  *   --pipetrace <file>    pipeline event trace (time only)
  *   --pipetrace-max <N>   cap trace at N events (0 = unlimited)
  *   --chrome-trace <file> Chrome Trace Event timeline (time only)
@@ -113,13 +143,16 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "assembler/assembler.hh"
@@ -128,10 +161,12 @@
 #include "corpus/corpus.hh"
 #include "isa/inst.hh"
 #include "obs/bench_schema.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/hooks.hh"
 #include "obs/json.hh"
 #include "obs/profiler.hh"
 #include "obs/report.hh"
+#include "obs/telemetry.hh"
 #include "predict/static_classifier.hh"
 #include "sim/simulator.hh"
 #include "trace/trace.hh"
@@ -221,6 +256,7 @@ class Args
             {"stats-json", FlagKind::String},
             {"stats-csv", FlagKind::String},
             {"interval", FlagKind::Int},
+            {"interval-stream", FlagKind::String},
             {"pipetrace", FlagKind::String},
             {"pipetrace-max", FlagKind::Int},
             {"chrome-trace", FlagKind::String},
@@ -307,6 +343,14 @@ class Args
     std::vector<std::string> bools_;
 };
 
+/**
+ * Set when a machine-readable sink streams to stdout ("-"): every
+ * human table, progress line, and heartbeat then goes to stderr (or
+ * is suppressed) so the piped document stays parseable without
+ * requiring an explicit --quiet.
+ */
+bool machineStdout = false;
+
 /** The observability flags shared by every simulating subcommand. */
 struct ObsOptions
 {
@@ -317,6 +361,12 @@ struct ObsOptions
     std::uint64_t interval = 0;
     std::uint64_t traceMax = 0;
     std::uint64_t chromeMax = 0;
+    /** --interval-stream: incremental CSV sink for the sampler. */
+    std::string intervalStreamPath;
+    /** --telemetry: heartbeat JSONL sink ("" = disabled). */
+    std::string telemetryPath;
+    std::uint64_t telemetryInterval = 1'000'000;
+    std::uint64_t telemetryWallMs = 0;
 
     static ObsOptions
     parse(const Args &args)
@@ -332,6 +382,28 @@ struct ObsOptions
             static_cast<std::uint64_t>(args.flagInt("pipetrace-max", 0));
         opts.chromeMax = static_cast<std::uint64_t>(
             args.flagInt("chrome-trace-max", 0));
+        opts.intervalStreamPath = args.flag("interval-stream", "");
+        if (!opts.intervalStreamPath.empty() && opts.interval == 0)
+            badUsage("--interval-stream requires --interval");
+        opts.telemetryPath = args.flag("telemetry", "");
+        opts.telemetryInterval = static_cast<std::uint64_t>(
+            args.flagInt("telemetry-interval", 1'000'000));
+        opts.telemetryWallMs = static_cast<std::uint64_t>(
+            args.flagInt("telemetry-wall-ms", 0));
+        if (opts.telemetryPath.empty()) {
+            for (const char *name :
+                 {"telemetry-interval", "telemetry-wall-ms",
+                  "telemetry-stall-sec"})
+                if (!args.flag(name, "").empty())
+                    badUsage(std::string("--") + name +
+                             " requires --telemetry");
+        } else if (opts.telemetryInterval == 0 &&
+                   opts.telemetryWallMs == 0) {
+            badUsage("--telemetry-interval 0 needs a non-zero "
+                     "--telemetry-wall-ms");
+        }
+        if (opts.jsonPath == "-" || opts.csvPath == "-")
+            machineStdout = true;
         return opts;
     }
 
@@ -340,6 +412,69 @@ struct ObsOptions
         return !jsonPath.empty() || !csvPath.empty();
     }
 };
+
+/** The telemetry flags (accepted by run, time, replay, and sweep). */
+const std::vector<FlagSpec> kTelemetryFlags = {
+    {"telemetry", FlagKind::String},
+    {"telemetry-interval", FlagKind::Int},
+    {"telemetry-wall-ms", FlagKind::Int},
+};
+
+/**
+ * Open the --telemetry channel (when requested), emit its meta
+ * record, and arm the flight recorder so a crash dumps the black-box
+ * ring into the file.  @return the owning channel pointer (null when
+ * telemetry is off); sets @p rc to 2 when the file cannot be opened.
+ */
+std::unique_ptr<obs::TelemetryChannel>
+openTelemetry(const ObsOptions &opts, const char *command, int *rc)
+{
+    if (opts.telemetryPath.empty())
+        return nullptr;
+    obs::TelemetryOptions topt;
+    topt.intervalInsts = opts.telemetryInterval;
+    topt.intervalWallMs = opts.telemetryWallMs;
+    std::string error;
+    auto channel =
+        obs::TelemetryChannel::open(opts.telemetryPath, topt, &error);
+    if (!channel) {
+        std::fprintf(stderr, "arl_sim: %s\n", error.c_str());
+        *rc = 2;
+        return nullptr;
+    }
+    channel->emitMeta("arl_sim", command);
+    obs::armFlightRecorder(channel.get());
+    return channel;
+}
+
+/**
+ * Open --interval-stream and attach it to the armed sampler so rows
+ * go to disk as they are captured (O(1) memory) instead of into the
+ * report's "intervals" section.  Call after Hooks::startSampling();
+ * the returned stream must outlive the run.  Sets @p rc to 2 when
+ * the file cannot be opened.
+ */
+std::unique_ptr<std::ofstream>
+openIntervalStream(const ObsOptions &opts, obs::Hooks &hooks, int *rc)
+{
+    if (opts.intervalStreamPath.empty())
+        return nullptr;
+    auto stream =
+        std::make_unique<std::ofstream>(opts.intervalStreamPath);
+    if (!stream->is_open()) {
+        std::fprintf(stderr,
+                     "arl_sim: cannot write interval stream '%s'\n",
+                     opts.intervalStreamPath.c_str());
+        *rc = 2;
+        return nullptr;
+    }
+    // Attach to the live sampler when one is armed already; either
+    // way record the sink so every later (re)start re-attaches.
+    hooks.intervalStream = stream.get();
+    if (hooks.sampler)
+        hooks.sampler->setStream(stream.get());
+    return stream;
+}
 
 /**
  * Write the report to every requested sink; 0 on success, 2 on I/O.
@@ -371,11 +506,12 @@ emitReport(obs::Report &report, const ObsOptions &opts)
 }
 
 /** True when --quiet (or --log-level quiet) asked for machine-clean
- *  stdout: human tables, headers, and meter lines are suppressed. */
+ *  stdout, or a "-" sink claimed stdout for machine output: human
+ *  tables, headers, and meter lines are suppressed. */
 bool
 quietOutput()
 {
-    return logLevel() >= LogLevel::Error;
+    return logLevel() >= LogLevel::Error || machineStdout;
 }
 
 /** Load a target: registered workload name or an assembly file. */
@@ -420,7 +556,11 @@ cmdList()
 int
 cmdRun(const std::string &target, Args &args)
 {
-    args.parse({{"scale", FlagKind::Int}, {"max-insts", FlagKind::Int}});
+    std::vector<FlagSpec> accepted = {{"scale", FlagKind::Int},
+                                      {"max-insts", FlagKind::Int}};
+    accepted.insert(accepted.end(), kTelemetryFlags.begin(),
+                    kTelemetryFlags.end());
+    args.parse(accepted);
     ObsOptions opts = ObsOptions::parse(args);
     auto prog = loadTarget(target,
                            static_cast<unsigned>(args.flagInt("scale", 1)));
@@ -431,16 +571,39 @@ cmdRun(const std::string &target, Args &args)
     simulator.registerStats(hooks.registry, "sim");
     hooks.startSampling();
 
+    int rc = 0;
+    auto telemetry = openTelemetry(opts, "run", &rc);
+    if (rc)
+        return rc;
+    auto interval_stream = openIntervalStream(opts, hooks, &rc);
+    if (rc)
+        return rc;
+
     InstCount max_insts =
         static_cast<InstCount>(args.flagInt("max-insts", 0));
+    std::unique_ptr<obs::TelemetryScope> tscope;
+    std::uint64_t tnext = 0;
+    if (telemetry) {
+        tscope = std::make_unique<obs::TelemetryScope>(
+            telemetry.get(), 0, prog->name, "functional", -1,
+            max_insts);
+        tscope->start();
+        tnext = tscope->firstCheckAt(0);
+    }
     InstCount executed;
     {
         obs::ProfScope prof("run/execute",
                             obs::ProfScope::Mode::Absolute);
-        if (hooks.sampler) {
+        if (hooks.sampler || tscope) {
+            obs::TelemetryFrame frame;
             executed =
                 simulator.run(max_insts, [&](const sim::StepInfo &) {
-                    hooks.tick(simulator.instCount());
+                    std::uint64_t done = simulator.instCount();
+                    hooks.tick(done);
+                    if (tscope && done >= tnext) {
+                        frame.insts = done;
+                        tnext = tscope->check(frame);
+                    }
                 });
         } else {
             executed = simulator.run(max_insts);
@@ -448,17 +611,24 @@ cmdRun(const std::string &target, Args &args)
         hooks.finishSampling(simulator.instCount());
         prof.addGuestInsts(executed);
     }
-    std::printf("program   : %s\n", prog->name.c_str());
-    std::printf("executed  : %llu instructions\n",
-                (unsigned long long)executed);
-    std::printf("halted    : %s (exit %u)\n",
-                simulator.halted() ? "yes" : "no (limit reached)",
-                simulator.process().exitCode);
-    std::printf("output    : %s\n",
-                simulator.process().output.c_str());
-    std::printf("heap      : %llu bytes live in %zu blocks\n",
-                (unsigned long long)simulator.process().heap.bytesInUse(),
-                simulator.process().heap.liveBlocks());
+    if (tscope) {
+        tscope->done(simulator.instCount(), 0);
+        telemetry->emitFinal(simulator.instCount());
+    }
+    if (!quietOutput()) {
+        std::printf("program   : %s\n", prog->name.c_str());
+        std::printf("executed  : %llu instructions\n",
+                    (unsigned long long)executed);
+        std::printf("halted    : %s (exit %u)\n",
+                    simulator.halted() ? "yes" : "no (limit reached)",
+                    simulator.process().exitCode);
+        std::printf("output    : %s\n",
+                    simulator.process().output.c_str());
+        std::printf(
+            "heap      : %llu bytes live in %zu blocks\n",
+            (unsigned long long)simulator.process().heap.bytesInUse(),
+            simulator.process().heap.liveBlocks());
+    }
 
     if (!opts.wantsReport())
         return 0;
@@ -482,31 +652,35 @@ cmdProfile(const std::string &target, Args &args)
         core::figure4Schemes(), false,
         static_cast<InstCount>(args.flagInt("max-insts", 0)));
 
-    std::printf("== %s: %llu instructions ==\n",
-                result.workload.c_str(),
-                (unsigned long long)result.instructions);
-    std::printf("\nregion classes (Fig 2):\n");
-    for (unsigned c = 0; c < profile::NumRegionClasses; ++c) {
-        if (result.profile.staticCounts[c] == 0)
-            continue;
-        std::printf("  %-6s static %6llu   dynamic %12llu\n",
-                    profile::regionClassName(
-                        static_cast<profile::RegionClass>(c)).c_str(),
-                    (unsigned long long)result.profile.staticCounts[c],
-                    (unsigned long long)result.profile.dynamicCounts[c]);
-    }
-    std::printf("\nwindow statistics (Table 2), mean (sd):\n");
     const char *names[3] = {"data", "heap", "stack"};
-    for (unsigned r = 0; r < 3; ++r)
-        std::printf("  %-5s W32 %6.2f (%5.2f)   W64 %6.2f (%5.2f)\n",
-                    names[r], result.window32.mean[r],
-                    result.window32.stddev[r], result.window64.mean[r],
-                    result.window64.stddev[r]);
-    std::printf("\nprediction schemes (Fig 4):\n");
-    for (const auto &[name, report] : result.schemes)
-        std::printf("  %-12s %8.4f%%   (ARPT entries %zu)\n",
-                    name.c_str(), report.accuracyPct(),
-                    report.arptOccupancy);
+    if (!quietOutput()) {
+        std::printf("== %s: %llu instructions ==\n",
+                    result.workload.c_str(),
+                    (unsigned long long)result.instructions);
+        std::printf("\nregion classes (Fig 2):\n");
+        for (unsigned c = 0; c < profile::NumRegionClasses; ++c) {
+            if (result.profile.staticCounts[c] == 0)
+                continue;
+            std::printf(
+                "  %-6s static %6llu   dynamic %12llu\n",
+                profile::regionClassName(
+                    static_cast<profile::RegionClass>(c)).c_str(),
+                (unsigned long long)result.profile.staticCounts[c],
+                (unsigned long long)result.profile.dynamicCounts[c]);
+        }
+        std::printf("\nwindow statistics (Table 2), mean (sd):\n");
+        for (unsigned r = 0; r < 3; ++r)
+            std::printf(
+                "  %-5s W32 %6.2f (%5.2f)   W64 %6.2f (%5.2f)\n",
+                names[r], result.window32.mean[r],
+                result.window32.stddev[r], result.window64.mean[r],
+                result.window64.stddev[r]);
+        std::printf("\nprediction schemes (Fig 4):\n");
+        for (const auto &[name, report] : result.schemes)
+            std::printf("  %-12s %8.4f%%   (ARPT entries %zu)\n",
+                        name.c_str(), report.accuracyPct(),
+                        report.arptOccupancy);
+    }
 
     if (!opts.wantsReport())
         return 0;
@@ -587,11 +761,12 @@ cmdPredict(const std::string &target, Args &args)
         static_hints =
             std::make_unique<predict::StaticClassifier>(*prog);
         hints = static_hints.get();
-        std::printf("static analysis: %zu/%zu memory instructions "
-                    "tagged (%.1f%%)\n",
-                    static_hints->classifiedInstructions(),
-                    static_hints->memInstructions(),
-                    static_hints->coveragePct());
+        if (!quietOutput())
+            std::printf("static analysis: %zu/%zu memory instructions "
+                        "tagged (%.1f%%)\n",
+                        static_hints->classifiedInstructions(),
+                        static_hints->memInstructions(),
+                        static_hints->coveragePct());
     } else if (hints_kind != "none") {
         std::fprintf(stderr, "arl_sim: unknown hints '%s'\n",
                      hints_kind.c_str());
@@ -607,6 +782,10 @@ cmdPredict(const std::string &target, Args &args)
     predictor.registerStats(hooks.registry, "predict");
     simulator.registerStats(hooks.registry, "sim");
     hooks.startSampling();
+    int rc = 0;
+    auto interval_stream = openIntervalStream(opts, hooks, &rc);
+    if (rc)
+        return rc;
 
     simulator.run(0, [&](const sim::StepInfo &step) {
         predictor.observe(step);
@@ -615,19 +794,22 @@ cmdPredict(const std::string &target, Args &args)
     hooks.finishSampling(simulator.instCount());
 
     auto report = predictor.report();
-    std::printf("references   : %llu\n",
-                (unsigned long long)report.total);
-    std::printf("accuracy     : %.4f%%\n", report.accuracyPct());
-    std::printf("by source    : hints %.1f%%  addr-mode %.1f%%  "
-                "ARPT %.1f%%\n", report.hintResolvedPct(),
-                report.addrModeResolvedPct(),
-                report.arptResolvedPct());
-    std::printf("ARPT entries : %zu occupied", report.arptOccupancy);
-    if (config.arpt.entries)
-        std::printf(" of %u (%zu bytes of state)",
-                    config.arpt.entries,
-                    predictor.arpt().storageBytes());
-    std::printf("\n");
+    if (!quietOutput()) {
+        std::printf("references   : %llu\n",
+                    (unsigned long long)report.total);
+        std::printf("accuracy     : %.4f%%\n", report.accuracyPct());
+        std::printf("by source    : hints %.1f%%  addr-mode %.1f%%  "
+                    "ARPT %.1f%%\n", report.hintResolvedPct(),
+                    report.addrModeResolvedPct(),
+                    report.arptResolvedPct());
+        std::printf("ARPT entries : %zu occupied",
+                    report.arptOccupancy);
+        if (config.arpt.entries)
+            std::printf(" of %u (%zu bytes of state)",
+                        config.arpt.entries,
+                        predictor.arpt().storageBytes());
+        std::printf("\n");
+    }
 
     if (!opts.wantsReport())
         return 0;
@@ -755,6 +937,8 @@ cmdTime(const std::string &target, Args &args)
                     kContentionFlags.end());
     accepted.insert(accepted.end(), kSamplingFlags.begin(),
                     kSamplingFlags.end());
+    accepted.insert(accepted.end(), kTelemetryFlags.begin(),
+                    kTelemetryFlags.end());
     args.parse(accepted);
     ObsOptions opts = ObsOptions::parse(args);
     unsigned scale = static_cast<unsigned>(args.flagInt("scale", 1));
@@ -832,6 +1016,10 @@ cmdTime(const std::string &target, Args &args)
     sweep::SweepSpec sampling_spec;
     if (int rc = parseSamplingFlags(args, sampling_spec))
         return rc;
+    int trc = 0;
+    auto telemetry = openTelemetry(opts, "time", &trc);
+    if (trc)
+        return trc;
     if (sampling_spec.sampling) {
         if (!opts.tracePath.empty() || !opts.chromePath.empty() ||
             opts.interval)
@@ -839,6 +1027,7 @@ cmdTime(const std::string &target, Args &args)
                  "do not apply to sampled runs; ignoring them");
         sampling_spec.configs = configs;
         sampling_spec.jobs = 1;
+        sampling_spec.telemetry = telemetry.get();
         sweep::WorkloadSpec w;
         w.name = target;
         w.sourcePath = source_path;
@@ -848,6 +1037,12 @@ cmdTime(const std::string &target, Args &args)
         sampling_spec.workloads.push_back(std::move(w));
         sweep::SweepResult result =
             core::Experiment::sweep(sampling_spec);
+        if (telemetry) {
+            std::uint64_t total = 0;
+            for (const auto &point : result.timing)
+                total += point.stats.instructions;
+            telemetry->emitFinal(total);
+        }
         obs::Report report;
         report.command = "time";
         for (const auto &point : result.timing) {
@@ -877,6 +1072,9 @@ cmdTime(const std::string &target, Args &args)
     if (!opts.chromePath.empty() && configs.size() > 1)
         warn("--chrome-trace with multiple configs: tracing only '%s'",
              configs.front().name.c_str());
+    if (!opts.intervalStreamPath.empty() && configs.size() > 1)
+        warn("--interval-stream with multiple configs: streaming "
+             "only '%s'", configs.front().name.c_str());
 
     // Each configuration gets a fresh Hooks: the core re-registers
     // the same stat names on every run.
@@ -884,6 +1082,7 @@ cmdTime(const std::string &target, Args &args)
     report.command = "time";
     std::vector<ooo::OooStats> results;
     results.reserve(configs.size());
+    std::uint64_t total_insts = 0;
     for (std::size_t i = 0; i < configs.size(); ++i) {
         obs::Hooks hooks;
         hooks.intervalEvery = opts.interval;
@@ -893,6 +1092,22 @@ cmdTime(const std::string &target, Args &args)
         if (i == 0 && !opts.chromePath.empty() &&
             !hooks.openChromeTrace(opts.chromePath, opts.chromeMax))
             return 1;
+        // The sampler itself is (re)armed inside timingStudy, after
+        // the core registers its stats; the sink attaches then.
+        std::unique_ptr<std::ofstream> interval_stream;
+        if (i == 0) {
+            interval_stream = openIntervalStream(opts, hooks, &trc);
+            if (trc)
+                return trc;
+        }
+        std::unique_ptr<obs::TelemetryScope> tscope;
+        if (telemetry) {
+            tscope = std::make_unique<obs::TelemetryScope>(
+                telemetry.get(), static_cast<int>(i), target,
+                configs[i].name, -1, timed);
+            tscope->start();
+            hooks.telemetry = tscope.get();
+        }
         {
             obs::ProfScope prof("time/simulate",
                                 obs::ProfScope::Mode::Absolute);
@@ -903,11 +1118,17 @@ cmdTime(const std::string &target, Args &args)
                                results.back().instructions);
             prof.addGuestCycles(results.back().cycles);
         }
+        if (tscope)
+            tscope->done(results.back().instructions,
+                         results.back().cycles);
+        total_insts += results.back().instructions;
         hooks.finishChromeTrace(target + " " + configs[i].name);
         if (opts.wantsReport())
             report.runs.push_back(obs::RunRecord::fromHooks(
                 target, configs[i].name, hooks));
     }
+    if (telemetry)
+        telemetry->emitFinal(total_insts);
 
     if (quietOutput())
         return emitReport(report, opts);
@@ -949,11 +1170,14 @@ cmdSweep(const std::string &target, Args &args)
         {"timing-json", FlagKind::String},
         {"cpi-stack", FlagKind::Bool},
         {"workload-dir", FlagKind::String},
+        {"telemetry-stall-sec", FlagKind::Int},
     };
     accepted.insert(accepted.end(), kContentionFlags.begin(),
                     kContentionFlags.end());
     accepted.insert(accepted.end(), kSamplingFlags.begin(),
                     kSamplingFlags.end());
+    accepted.insert(accepted.end(), kTelemetryFlags.begin(),
+                    kTelemetryFlags.end());
     args.parse(accepted);
     ObsOptions opts = ObsOptions::parse(args);
     unsigned scale = static_cast<unsigned>(args.flagInt("scale", 1));
@@ -1065,7 +1289,24 @@ cmdSweep(const std::string &target, Args &args)
     for (auto &w : spec.workloads)
         w.warmupWindow = warmup_window;
 
+    int trc = 0;
+    auto telemetry = openTelemetry(opts, "sweep", &trc);
+    if (trc)
+        return trc;
+    spec.telemetry = telemetry.get();
+    spec.telemetryStallSec = static_cast<double>(
+        args.flagInt("telemetry-stall-sec", 30));
+
     sweep::SweepResult result = core::Experiment::sweep(spec);
+
+    if (telemetry) {
+        std::uint64_t total = 0;
+        for (const auto &point : result.timing)
+            total += point.stats.instructions;
+        for (const auto &point : result.region)
+            total += point.instructions;
+        telemetry->emitFinal(total);
+    }
 
     if (!result.timing.empty() && !quietOutput()) {
         std::printf("%-15s %-12s %10s %6s\n", "workload", "config",
@@ -1255,12 +1496,14 @@ cmdRecord(const std::string &target, Args &args)
             bytes = static_cast<std::uint64_t>(probe.tellg());
     }
     const std::uint64_t v1_bytes = 64 + 32 * n;
-    std::printf("recorded %llu instructions of %s to %s "
-                "(%s, %.1f MB, %.2fx vs v1)\n",
-                (unsigned long long)n, prog->name.c_str(),
-                out_path.c_str(), trace::formatName(format),
-                bytes / 1e6,
-                bytes ? static_cast<double>(v1_bytes) / bytes : 0.0);
+    if (!quietOutput())
+        std::printf("recorded %llu instructions of %s to %s "
+                    "(%s, %.1f MB, %.2fx vs v1)\n",
+                    (unsigned long long)n, prog->name.c_str(),
+                    out_path.c_str(), trace::formatName(format),
+                    bytes / 1e6,
+                    bytes ? static_cast<double>(v1_bytes) / bytes
+                          : 0.0);
 
     if (!opts.wantsReport())
         return 0;
@@ -1278,39 +1521,80 @@ cmdRecord(const std::string &target, Args &args)
 int
 cmdReplay(const std::string &trace_path, Args &args)
 {
-    args.parse({{"seek", FlagKind::Int}});
+    std::vector<FlagSpec> accepted = {{"seek", FlagKind::Int}};
+    accepted.insert(accepted.end(), kTelemetryFlags.begin(),
+                    kTelemetryFlags.end());
+    args.parse(accepted);
     ObsOptions opts = ObsOptions::parse(args);
     trace::TraceReader reader(trace_path);
     auto skip = static_cast<InstCount>(args.flagInt("seek", 0));
     if (skip)
         reader.seek(skip);
+
+    int rc = 0;
+    auto telemetry = openTelemetry(opts, "replay", &rc);
+    if (rc)
+        return rc;
+    std::unique_ptr<obs::TelemetryScope> tscope;
+    std::uint64_t tnext = 0;
+    if (telemetry) {
+        // Replay passes have no core: the loop below drives the
+        // interval check directly off the record count.
+        tscope = std::make_unique<obs::TelemetryScope>(
+            telemetry.get(), 0, reader.programName(), "replay", -1,
+            0);
+        tscope->start();
+        tnext = tscope->firstCheckAt(0);
+    }
+
     profile::RegionProfiler profiler;
     profile::WindowProfiler window32(32);
     sim::StepInfo step;
     {
         obs::ProfScope prof("replay");
+        obs::TelemetryFrame frame;
+        std::uint64_t replayed = 0;
         while (reader.next(step)) {
             profiler.observe(step);
             window32.observe(step);
+            if (tscope && ++replayed >= tnext) {
+                const auto &live = profiler.profile();
+                frame.insts = replayed;
+                frame.loads = live.dynamicLoads;
+                frame.stores = live.dynamicStores;
+                frame.refsData = live.regionRefs[0];
+                frame.refsHeap = live.regionRefs[1];
+                frame.refsStack = live.regionRefs[2];
+                tnext = tscope->check(frame);
+            } else if (!tscope) {
+                ++replayed;
+            }
         }
         prof.addGuestInsts(profiler.profile().totalInstructions);
+        if (tscope) {
+            tscope->done(replayed, 0);
+            telemetry->emitFinal(replayed);
+        }
     }
     auto profile = profiler.profile();
-    std::printf("trace      : %s (%s, v%u)\n", trace_path.c_str(),
-                reader.programName().c_str(), reader.version());
-    std::printf("instructions: %llu (loads %llu, stores %llu)\n",
-                (unsigned long long)profile.totalInstructions,
-                (unsigned long long)profile.dynamicLoads,
-                (unsigned long long)profile.dynamicStores);
-    std::printf("refs by region: data %llu, heap %llu, stack %llu\n",
-                (unsigned long long)profile.regionRefs[0],
-                (unsigned long long)profile.regionRefs[1],
-                (unsigned long long)profile.regionRefs[2]);
-    auto stats = window32.stats_summary();
-    std::printf("window32   : D %.2f (%.2f)  H %.2f (%.2f)  "
-                "S %.2f (%.2f)\n", stats.mean[0], stats.stddev[0],
-                stats.mean[1], stats.stddev[1], stats.mean[2],
-                stats.stddev[2]);
+    if (!quietOutput()) {
+        std::printf("trace      : %s (%s, v%u)\n", trace_path.c_str(),
+                    reader.programName().c_str(), reader.version());
+        std::printf("instructions: %llu (loads %llu, stores %llu)\n",
+                    (unsigned long long)profile.totalInstructions,
+                    (unsigned long long)profile.dynamicLoads,
+                    (unsigned long long)profile.dynamicStores);
+        std::printf(
+            "refs by region: data %llu, heap %llu, stack %llu\n",
+            (unsigned long long)profile.regionRefs[0],
+            (unsigned long long)profile.regionRefs[1],
+            (unsigned long long)profile.regionRefs[2]);
+        auto stats = window32.stats_summary();
+        std::printf("window32   : D %.2f (%.2f)  H %.2f (%.2f)  "
+                    "S %.2f (%.2f)\n", stats.mean[0], stats.stddev[0],
+                    stats.mean[1], stats.stddev[1], stats.mean[2],
+                    stats.stddev[2]);
+    }
 
     if (!opts.wantsReport())
         return 0;
@@ -1337,6 +1621,283 @@ invalid(const std::string &path, const std::string &message)
     std::fprintf(stderr, "arl_sim: %s: %s\n", path.c_str(),
                  message.c_str());
     return 2;
+}
+
+/** Numeric field helper for telemetry-line parsing. */
+double
+numField(const obs::JsonValue &v, const char *key, double fallback = 0.0)
+{
+    const obs::JsonValue *field = v.find(key);
+    return field && field->isNumber() ? field->number : fallback;
+}
+
+/** String field helper for telemetry-line parsing. */
+std::string
+strField(const obs::JsonValue &v, const char *key)
+{
+    const obs::JsonValue *field = v.find(key);
+    return field && field->isString() ? field->string : std::string();
+}
+
+/** The monitor's view of one telemetry job. */
+struct MonitorJob
+{
+    std::string workload;
+    std::string config;
+    int rep = -1;
+    std::uint64_t totalInsts = 0;
+    std::uint64_t insts = 0;
+    double mips = 0.0;
+    double etaS = -1.0;
+    /** Producer-clock timestamp of the job's last record. */
+    std::uint64_t lastWallMs = 0;
+    std::uint64_t stallEvents = 0;
+    bool running = false;
+    bool done = false;
+    bool stalled = false;
+};
+
+/** Everything a telemetry JSONL file says about the run so far. */
+struct MonitorState
+{
+    std::string tool = "?";
+    std::string command = "?";
+    std::map<int, MonitorJob> jobs;
+    /** Max producer-clock timestamp across all records. */
+    std::uint64_t lastWallMs = 0;
+    std::uint64_t heartbeats = 0;
+    std::uint64_t records = 0;
+    std::uint64_t stallEvents = 0;
+    bool sawFinal = false;
+    std::uint64_t finalInsts = 0;
+    bool sawBlackbox = false;
+    std::uint64_t blackboxSignal = 0;
+};
+
+/**
+ * Fold a telemetry JSONL stream into per-job state.  Unparseable
+ * lines are skipped (a live file's last line may be mid-write).  A
+ * job counts as stalled when the producer's watchdog said so (stall
+ * record not yet followed by a heartbeat) or when it is running but
+ * its last record is more than @p stallMs behind the stream's newest
+ * timestamp — the latter works post-hoc and live alike because other
+ * jobs' records keep advancing the stream clock.
+ */
+MonitorState
+parseTelemetryStream(const std::string &content, std::uint64_t stallMs)
+{
+    MonitorState state;
+    std::istringstream in(content);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        obs::JsonValue v;
+        std::string error;
+        if (!obs::jsonParse(line, v, &error) || !v.isObject())
+            continue;
+        std::string kind = strField(v, "kind");
+        auto wall = static_cast<std::uint64_t>(numField(v, "wall_ms"));
+        if (wall > state.lastWallMs)
+            state.lastWallMs = wall;
+        ++state.records;
+        if (kind == "meta") {
+            state.tool = strField(v, "tool");
+            state.command = strField(v, "command");
+        } else if (kind == "job") {
+            auto job = static_cast<int>(numField(v, "job", -1));
+            MonitorJob &j = state.jobs[job];
+            j.workload = strField(v, "workload");
+            j.config = strField(v, "config");
+            j.rep = static_cast<int>(numField(v, "rep", -1));
+            j.lastWallMs = wall;
+            j.stalled = false;
+            if (strField(v, "event") == "start") {
+                j.totalInsts =
+                    static_cast<std::uint64_t>(numField(v, "total_insts"));
+                j.running = true;
+                j.done = false;
+            } else {
+                j.insts = static_cast<std::uint64_t>(numField(v, "insts"));
+                j.running = false;
+                j.done = true;
+            }
+        } else if (kind == "hb") {
+            auto job = static_cast<int>(numField(v, "job", -1));
+            MonitorJob &j = state.jobs[job];
+            ++state.heartbeats;
+            j.insts = static_cast<std::uint64_t>(numField(v, "insts"));
+            j.totalInsts = static_cast<std::uint64_t>(numField(
+                v, "total_insts", static_cast<double>(j.totalInsts)));
+            j.mips = numField(v, "mips");
+            j.etaS = numField(v, "eta_s", -1.0);
+            j.rep = static_cast<int>(numField(v, "rep", -1));
+            j.lastWallMs = wall;
+            j.stalled = false;
+            if (j.workload.empty())
+                j.workload = strField(v, "workload");
+            if (j.config.empty())
+                j.config = strField(v, "config");
+            if (!j.done)
+                j.running = true;
+        } else if (kind == "stall") {
+            auto job = static_cast<int>(numField(v, "job", -1));
+            MonitorJob &j = state.jobs[job];
+            ++j.stallEvents;
+            ++state.stallEvents;
+            j.stalled = true;
+        } else if (kind == "final") {
+            state.sawFinal = true;
+            state.finalInsts =
+                static_cast<std::uint64_t>(numField(v, "insts"));
+        } else if (kind == "blackbox") {
+            state.sawBlackbox = true;
+            state.blackboxSignal =
+                static_cast<std::uint64_t>(numField(v, "signal"));
+        }
+    }
+    if (stallMs)
+        for (auto &[id, j] : state.jobs)
+            if (j.running && j.lastWallMs + stallMs < state.lastWallMs)
+                j.stalled = true;
+    return state;
+}
+
+/** One refresh of the monitor's progress table. */
+void
+renderMonitor(const MonitorState &state)
+{
+    std::size_t running = 0, done = 0, stalled = 0;
+    double mips = 0.0, eta = -1.0;
+    for (const auto &[id, j] : state.jobs) {
+        running += j.running;
+        done += j.done;
+        stalled += j.stalled;
+        if (j.running && !j.stalled) {
+            mips += j.mips;
+            if (j.etaS > eta)
+                eta = j.etaS;
+        }
+    }
+    std::printf("monitor: %s %s | %zu jobs: %zu running, %zu done, "
+                "%zu stalled | %.2f MIPS",
+                state.tool.c_str(), state.command.c_str(),
+                state.jobs.size(), running, done, stalled, mips);
+    if (eta >= 0.0)
+        std::printf(" | eta %.0fs", eta);
+    std::printf(" | t=%.1fs\n", state.lastWallMs / 1000.0);
+    for (const auto &[id, j] : state.jobs) {
+        double frac = 0.0;
+        if (j.totalInsts)
+            frac = static_cast<double>(j.insts) / j.totalInsts;
+        if (j.done || frac > 1.0)
+            frac = 1.0;
+        char bar[21];
+        int fill = static_cast<int>(frac * 20.0 + 0.5);
+        for (int i = 0; i < 20; ++i)
+            bar[i] = i < fill ? '#' : '-';
+        bar[20] = '\0';
+        const char *status = j.stalled  ? "STALL"
+                             : j.done    ? "DONE "
+                             : j.running ? "RUN  "
+                                         : "WAIT ";
+        std::string config = j.config;
+        if (j.rep >= 0) {
+            config += '#';
+            config += std::to_string(j.rep);
+        }
+        std::printf("  job %3d %s [%s]", id, status, bar);
+        if (j.totalInsts)
+            std::printf(" %5.1f%%", 100.0 * frac);
+        else
+            std::printf(" %6s", "-");
+        std::printf("  %-15s %-14s %10llu", j.workload.c_str(),
+                    config.c_str(), (unsigned long long)j.insts);
+        if (j.totalInsts)
+            std::printf("/%llu", (unsigned long long)j.totalInsts);
+        std::printf(" insts");
+        if (j.mips > 0.0 && j.running)
+            std::printf("  %.2f MIPS", j.mips);
+        if (j.etaS >= 0.0 && j.running && !j.stalled)
+            std::printf("  eta %.0fs", j.etaS);
+        std::printf("\n");
+    }
+    if (state.stallEvents)
+        std::printf("  stall events: %llu\n",
+                    (unsigned long long)state.stallEvents);
+    if (state.sawBlackbox)
+        std::printf("  black box: crash postamble present (signal "
+                    "%llu)\n",
+                    (unsigned long long)state.blackboxSignal);
+    if (state.sawFinal)
+        std::printf("  final: %llu guest insts, %llu records\n",
+                    (unsigned long long)state.finalInsts,
+                    (unsigned long long)state.records);
+}
+
+/**
+ * Tail a telemetry JSONL file as a refreshing progress table.
+ * Post-hoc by default (one render); --follow polls until the final
+ * record, a black-box postamble, or --timeout-sec.
+ */
+int
+cmdMonitor(const std::string &path, Args &args)
+{
+    args.parse({{"follow", FlagKind::Bool},
+                {"refresh-ms", FlagKind::Int},
+                {"stall-sec", FlagKind::Int},
+                {"timeout-sec", FlagKind::Int}},
+               Args::Common::LogOnly);
+    const bool follow = args.has("follow");
+    long refresh_ms = args.flagInt("refresh-ms", 500);
+    if (refresh_ms <= 0)
+        refresh_ms = 1;
+    const auto stall_ms =
+        static_cast<std::uint64_t>(args.flagInt("stall-sec", 10)) * 1000;
+    const long timeout_sec = args.flagInt("timeout-sec", 0);
+
+    auto read_file = [&](std::string &out) -> bool {
+        std::ifstream file(path, std::ios::binary);
+        if (!file)
+            return false;
+        std::ostringstream buffer;
+        buffer << file.rdbuf();
+        out = buffer.str();
+        return true;
+    };
+
+    const auto start = std::chrono::steady_clock::now();
+    bool rendered = false;
+    for (;;) {
+        std::string content;
+        if (read_file(content)) {
+            MonitorState state =
+                parseTelemetryStream(content, stall_ms);
+            if (rendered)
+                std::printf("\n");
+            renderMonitor(state);
+            std::fflush(stdout);
+            rendered = true;
+            if (!follow || state.sawFinal || state.sawBlackbox)
+                return 0;
+        } else if (!follow) {
+            return invalid(path, "cannot open");
+        }
+        const double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        if (timeout_sec && elapsed >= static_cast<double>(timeout_sec)) {
+            if (!rendered)
+                return invalid(path, "cannot open");
+            if (!quietOutput())
+                std::printf("monitor: timeout after %lds\n",
+                            timeout_sec);
+            return 0;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(refresh_ms));
+    }
 }
 
 /**
@@ -1505,6 +2066,135 @@ validateProfile(const std::string &path, const obs::JsonValue &doc)
     return 0;
 }
 
+/**
+ * Validate a telemetry JSONL stream line by line: every line must
+ * parse as an object stamped with the telemetry schema and a known
+ * kind carrying its required fields; each job's heartbeat sequence
+ * numbers and cumulative instruction counts must be monotone
+ * (re-based at every job start).  Lines after a black-box postamble
+ * header are ring replays of earlier records and are parse-checked
+ * only.
+ */
+int
+validateTelemetry(const std::string &path, const std::string &content)
+{
+    std::istringstream in(content);
+    std::string line;
+    std::size_t lineno = 0, records = 0, heartbeats = 0;
+    std::size_t stalls = 0, blackboxes = 0, finals = 0;
+    std::map<int, std::uint64_t> job_insts;
+    std::map<int, std::uint64_t> job_seq;
+    bool in_blackbox = false;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue; // the black-box dump's partial-line guard
+        const std::string at = "line " + std::to_string(lineno);
+        obs::JsonValue v;
+        std::string error;
+        if (!obs::jsonParse(line, v, &error))
+            return invalid(path, at + ": " + error);
+        if (!v.isObject())
+            return invalid(path, at + " is not an object");
+        const obs::JsonValue *schema = v.find("telemetry_schema");
+        if (!schema || !schema->isNumber() ||
+            schema->number !=
+                static_cast<double>(obs::kTelemetrySchema))
+            return invalid(path,
+                           at + ": bad or missing "
+                                "\"telemetry_schema\"");
+        const obs::JsonValue *kind = v.find("kind");
+        if (!kind || !kind->isString())
+            return invalid(path, at + ": bad or missing \"kind\"");
+        ++records;
+        const std::string &k = kind->string;
+        auto needNum = [&](std::initializer_list<const char *> keys)
+            -> std::string {
+            for (const char *key : keys) {
+                const obs::JsonValue *field = v.find(key);
+                if (!field || !field->isNumber())
+                    return at + ": \"" + k +
+                           "\" record without numeric \"" + key + "\"";
+            }
+            return "";
+        };
+        std::string problem;
+        if (k == "meta") {
+            problem = needNum({"pid", "interval_insts",
+                               "interval_wall_ms", "ring", "wall_ms"});
+        } else if (k == "job") {
+            const obs::JsonValue *event = v.find("event");
+            if (!event || !event->isString() ||
+                (event->string != "start" && event->string != "done"))
+                return invalid(
+                    path, at + ": \"job\" record without a "
+                               "start/done \"event\"");
+            problem = needNum({"job", "wall_ms"});
+            if (problem.empty() && !in_blackbox &&
+                event->string == "start") {
+                auto job =
+                    static_cast<int>(v.find("job")->number);
+                // New job epoch: heartbeat monotonicity re-bases.
+                job_insts[job] = 0;
+                job_seq[job] = 0;
+            }
+        } else if (k == "hb") {
+            ++heartbeats;
+            problem = needNum({"seq", "job", "wall_ms", "insts",
+                               "cycles", "total_insts", "d_insts",
+                               "d_cycles", "ipc", "mips", "eta_s",
+                               "d_loads", "d_stores", "d_refs_data",
+                               "d_refs_heap", "d_refs_stack",
+                               "d_lvaq", "d_contention", "rss_kb"});
+            if (problem.empty() && !in_blackbox) {
+                auto job = static_cast<int>(v.find("job")->number);
+                auto insts = static_cast<std::uint64_t>(
+                    v.find("insts")->number);
+                auto seq = static_cast<std::uint64_t>(
+                    v.find("seq")->number);
+                if (insts < job_insts[job])
+                    return invalid(
+                        path, at + ": job " + std::to_string(job) +
+                                  " instruction count went backwards");
+                if (seq <= job_seq[job])
+                    return invalid(
+                        path, at + ": job " + std::to_string(job) +
+                                  " heartbeat \"seq\" not increasing");
+                job_insts[job] = insts;
+                job_seq[job] = seq;
+            }
+        } else if (k == "stall") {
+            ++stalls;
+            problem = needNum({"job", "idle_ms", "wall_ms"});
+        } else if (k == "final") {
+            ++finals;
+            problem =
+                needNum({"insts", "records", "bytes", "wall_ms"});
+        } else if (k == "blackbox") {
+            ++blackboxes;
+            problem = needNum({"signal", "lines"});
+            in_blackbox = true;
+        } else {
+            return invalid(path,
+                           at + ": unknown telemetry kind \"" + k +
+                               "\"");
+        }
+        if (!problem.empty())
+            return invalid(path, problem);
+    }
+    if (records == 0)
+        return invalid(path, "no telemetry records");
+    if (!quietOutput()) {
+        std::printf("%s: valid telemetry stream (%zu records: %zu "
+                    "heartbeats, %zu jobs, %zu stalls%s%s)\n",
+                    path.c_str(), records, heartbeats,
+                    job_insts.size(), stalls,
+                    finals ? ", final" : "",
+                    blackboxes ? ", black box" : "");
+    }
+    return 0;
+}
+
 int
 cmdValidate(const std::string &path, Args &args)
 {
@@ -1514,6 +2204,19 @@ cmdValidate(const std::string &path, Args &args)
         return invalid(path, "cannot open");
     std::ostringstream buffer;
     buffer << file.rdbuf();
+
+    // Telemetry files are JSONL, not one document: sniff the first
+    // non-empty line before attempting a whole-file parse.
+    {
+        std::istringstream sniff_stream(buffer.str());
+        std::string first;
+        while (std::getline(sniff_stream, first) && first.empty()) {
+        }
+        obs::JsonValue head;
+        if (!first.empty() && obs::jsonParse(first, head, nullptr) &&
+            head.isObject() && head.find("telemetry_schema"))
+            return validateTelemetry(path, buffer.str());
+    }
 
     obs::JsonValue doc;
     std::string error;
@@ -1533,7 +2236,8 @@ cmdValidate(const std::string &path, Args &args)
     return invalid(path,
                    "not a Chrome trace (\"traceEvents\"), bench "
                    "report (\"bench_schema\"), profile (\"kind\"), "
-                   "or obs::Report (\"schema_version\")");
+                   "telemetry JSONL (\"telemetry_schema\"), or "
+                   "obs::Report (\"schema_version\")");
 }
 
 int
@@ -1579,8 +2283,13 @@ usage()
         "  record <target> [--out F]    record a binary trace\n"
         "    [--trace-format v1|v2] [--block-records N] [--max-insts N]\n"
         "  replay <file.trace> [--seek N]  profile from a trace\n"
+        "  monitor <file.jsonl>         render a --telemetry stream as\n"
+        "    [--follow] [--refresh-ms N]  a progress table (live with\n"
+        "    [--stall-sec N]              --follow; stops on the final\n"
+        "    [--timeout-sec N]            record or the timeout)\n"
         "  validate <file.json>         check a Chrome trace, report,\n"
-        "                               BENCH_*.json, or profile doc\n"
+        "                               BENCH_*.json, profile doc, or\n"
+        "                               telemetry JSONL stream\n"
         "  disasm <file.s|workload>     disassemble\n"
         "targets: a registered workload name or an .s assembly file\n"
         "contention (time and sweep; 0 = ideal backend):\n"
@@ -1601,9 +2310,19 @@ usage()
         "                            report the measured CPI error\n"
         "observability (any simulating command; F = \"-\" for stdout):\n"
         "  --stats-json F   --stats-csv F   --interval N\n"
+        "  --interval-stream F   stream sampled rows as CSV (needs\n"
+        "                        --interval; O(1) sampler memory)\n"
         "  --pipetrace F [--pipetrace-max N]   (time only)\n"
         "  --chrome-trace F [--chrome-trace-max N]   (time only)\n"
         "  --quiet   --log-level debug|info|warn|quiet\n"
+        "telemetry (run, time, replay, sweep):\n"
+        "  --telemetry F             append heartbeat JSONL records\n"
+        "                            (crash-safe; 'monitor' tails it)\n"
+        "  --telemetry-interval N    heartbeat period in guest insts\n"
+        "                            (default 1000000)\n"
+        "  --telemetry-wall-ms N     also beat every N wall-clock ms\n"
+        "  --telemetry-stall-sec N   sweep watchdog threshold\n"
+        "                            (default 30, 0 = off)\n"
         "host self-profiling (any command):\n"
         "  --profile            print the host phase tree at exit\n"
         "  --profile-json F     write it as JSON (\"-\" = stdout)\n");
@@ -1723,6 +2442,8 @@ main(int argc, char **argv)
             return cmdRecord(target, args);
         if (command == "replay")
             return cmdReplay(target, args);
+        if (command == "monitor")
+            return cmdMonitor(target, args);
         if (command == "validate")
             return cmdValidate(target, args);
         if (command == "disasm")

@@ -4,6 +4,7 @@
  *
  *   bench_compare <baseline.json> <current.json>
  *                 [--mips-tol F] [--require-all]
+ *                 [--telemetry-overhead-tol F]
  *
  * Diffs two BENCH_*.json documents (see obs/bench_schema.hh) over
  * the intersection of their bench names:
@@ -18,6 +19,13 @@
  * --require-all additionally fails when a baseline bench is missing
  * from the current report (off by default so `arl_bench --quick`
  * output can be gated against the full baseline).
+ *
+ * --telemetry-overhead-tol F additionally cross-checks the CURRENT
+ * report against itself: the "mips_telemetry" bench (same grid as
+ * "mips" with a live heartbeat scope attached) may run at most F
+ * relative slower than "mips".  The budget for telemetry is <1%
+ * (F = 0.01) on a quiet host; CI passes a looser value to ride out
+ * shared-runner noise, the same concession --mips-tol makes.
  *
  * Exit codes: 0 pass, 1 regression or usage error, 2 unreadable or
  * malformed input.
@@ -44,7 +52,8 @@ badUsage(const char *message)
     std::fprintf(stderr, "bench_compare: %s\n", message);
     std::fprintf(stderr,
                  "usage: bench_compare <baseline.json> <current.json> "
-                 "[--mips-tol F] [--require-all]\n");
+                 "[--mips-tol F] [--require-all] "
+                 "[--telemetry-overhead-tol F]\n");
     std::exit(1);
 }
 
@@ -83,8 +92,17 @@ main(int argc, char **argv)
 {
     std::string baseline_path, current_path;
     obs::CompareOptions opts;
+    double telemetry_tol = -1.0; // <0 = check disabled
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--mips-tol") == 0) {
+        if (std::strcmp(argv[i], "--telemetry-overhead-tol") == 0) {
+            if (i + 1 >= argc)
+                badUsage("--telemetry-overhead-tol needs a value");
+            char *end = nullptr;
+            telemetry_tol = std::strtod(argv[++i], &end);
+            if (!end || *end != '\0' || telemetry_tol < 0.0)
+                badUsage("--telemetry-overhead-tol wants a "
+                         "non-negative number");
+        } else if (std::strcmp(argv[i], "--mips-tol") == 0) {
             if (i + 1 >= argc)
                 badUsage("--mips-tol needs a value");
             char *end = nullptr;
@@ -113,6 +131,37 @@ main(int argc, char **argv)
 
     for (const std::string &message : result.messages)
         std::printf("%s\n", message.c_str());
+
+    if (telemetry_tol >= 0.0) {
+        const obs::BenchCase *plain = nullptr, *telemetered = nullptr;
+        for (const obs::BenchCase &bench : current.benches) {
+            if (bench.name == "mips")
+                plain = &bench;
+            else if (bench.name == "mips_telemetry")
+                telemetered = &bench;
+        }
+        if (!plain || !telemetered) {
+            std::printf("FAIL mips_telemetry: current report lacks "
+                        "the %s bench\n",
+                        plain ? "mips_telemetry" : "mips");
+            result.ok = false;
+        } else if (plain->mips > 0.0 &&
+                   telemetered->mips <
+                       plain->mips * (1.0 - telemetry_tol)) {
+            std::printf("FAIL mips_telemetry: %.2f MIPS vs %.2f plain "
+                        "(-%.2f%%, budget %.2f%%)\n",
+                        telemetered->mips, plain->mips,
+                        (1.0 - telemetered->mips / plain->mips) * 100.0,
+                        telemetry_tol * 100.0);
+            result.ok = false;
+        } else {
+            std::printf("telemetry overhead: %.2f MIPS vs %.2f plain "
+                        "(%+.2f%%, budget %.2f%%)\n",
+                        telemetered->mips, plain->mips,
+                        (telemetered->mips / plain->mips - 1.0) * 100.0,
+                        telemetry_tol * 100.0);
+        }
+    }
     std::printf("%s: %u bench(es) compared, baseline git %s vs "
                 "current git %s\n",
                 result.ok ? "PASS" : "FAIL", result.compared,
